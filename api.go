@@ -1,0 +1,366 @@
+package fastsched
+
+import (
+	"io"
+
+	"fastsched/internal/bounds"
+	"fastsched/internal/casch"
+	"fastsched/internal/codegen"
+	"fastsched/internal/dag"
+	"fastsched/internal/dls"
+	"fastsched/internal/dsc"
+	"fastsched/internal/dup"
+	"fastsched/internal/etf"
+	"fastsched/internal/example"
+	"fastsched/internal/ez"
+	"fastsched/internal/fast"
+	"fastsched/internal/frontend"
+	"fastsched/internal/hlfet"
+	"fastsched/internal/lc"
+	"fastsched/internal/mcp"
+	"fastsched/internal/md"
+	"fastsched/internal/mh"
+	"fastsched/internal/optimal"
+	"fastsched/internal/sched"
+	"fastsched/internal/sim"
+	"fastsched/internal/timing"
+	"fastsched/internal/transform"
+	"fastsched/internal/workload"
+)
+
+// Core graph and schedule types.
+type (
+	// Graph is a node- and edge-weighted directed acyclic task graph.
+	Graph = dag.Graph
+	// NodeID identifies a node within a Graph.
+	NodeID = dag.NodeID
+	// Node is one task of a Graph.
+	Node = dag.Node
+	// Edge is one message/precedence constraint of a Graph.
+	Edge = dag.Edge
+	// Levels holds t-level, b-level, static-level and ALAP attributes.
+	Levels = dag.Levels
+	// Schedule assigns every task a processor and a time slot.
+	Schedule = sched.Schedule
+	// Placement is one task's slot within a Schedule.
+	Placement = sched.Placement
+	// Scheduler is the interface all algorithms implement.
+	Scheduler = sched.Scheduler
+)
+
+// NewGraph returns an empty task graph with capacity for n nodes.
+func NewGraph(n int) *Graph { return dag.New(n) }
+
+// ReadGraphJSON parses a task graph from its JSON form.
+func ReadGraphJSON(r io.Reader) (*Graph, string, error) { return dag.ReadJSON(r) }
+
+// WriteGraphJSON serializes a task graph to JSON.
+func WriteGraphJSON(w io.Writer, g *Graph, name string) error { return dag.WriteJSON(w, g, name) }
+
+// GraphDOT renders a task graph in Graphviz dot syntax.
+func GraphDOT(g *Graph, name string) string { return dag.DOT(g, name) }
+
+// ReadGraphSTG parses a task graph in the Standard Task Graph (STG)
+// benchmark format; every edge gets defaultComm as its communication
+// cost (STG carries none).
+func ReadGraphSTG(r io.Reader, defaultComm float64) (*Graph, error) {
+	return dag.ReadSTG(r, defaultComm)
+}
+
+// WriteGraphSTG serializes a task graph in STG form (communication
+// costs are dropped; STG cannot represent them).
+func WriteGraphSTG(w io.Writer, g *Graph) error { return dag.WriteSTG(w, g) }
+
+// WriteScheduleJSON serializes a complete schedule.
+func WriteScheduleJSON(w io.Writer, s *Schedule) error { return sched.WriteJSON(w, s) }
+
+// ReadScheduleJSON parses a schedule and validates it against g.
+func ReadScheduleJSON(r io.Reader, g *Graph) (*Schedule, error) { return sched.ReadJSON(r, g) }
+
+// LowerBounds holds the schedule-length lower bounds of a graph.
+type LowerBounds = bounds.Result
+
+// ComputeBounds returns the dependence (computation-only critical
+// path) and area (work / processors) lower bounds for g on procs
+// processors.
+func ComputeBounds(g *Graph, procs int) (LowerBounds, error) { return bounds.Compute(g, procs) }
+
+// ComputeLevels computes the scheduling attributes (t-level, b-level,
+// static level, ALAP, critical-path length) of every node in O(v+e).
+func ComputeLevels(g *Graph) (*Levels, error) { return dag.ComputeLevels(g) }
+
+// GraphProfile characterizes a task graph's structure (height, width,
+// CCR, available parallelism).
+type GraphProfile = dag.Profile
+
+// ComputeProfile analyzes g's structure in O(v+e).
+func ComputeProfile(g *Graph) (GraphProfile, error) { return dag.ComputeProfile(g) }
+
+// CriticalPath returns one critical path of g.
+func CriticalPath(g *Graph, l *Levels) []NodeID { return dag.CriticalPath(g, l) }
+
+// Schedulers. Each constructor returns a ready-to-use Scheduler whose
+// Schedule(g, procs) method maps every node of g onto processors;
+// procs <= 0 requests an unbounded ("more than enough") machine.
+
+// FASTOptions configures the FAST scheduler (search steps, seed,
+// ablation switches, PFAST parallelism). See internal/fast.Options.
+type FASTOptions = fast.Options
+
+// SearchStrategy selects FAST's phase-2 search strategy.
+type SearchStrategy = fast.Strategy
+
+// The available search strategies: the paper's greedy random walk and
+// the two extensions targeting its local-minima caveat.
+const (
+	GreedySearch    SearchStrategy = fast.Greedy
+	SteepestSearch  SearchStrategy = fast.SteepestDescent
+	AnnealingSearch SearchStrategy = fast.Annealing
+)
+
+// FAST returns the paper's scheduler with default options
+// (CPN-Dominate list, ready-time placement, MAXSTEP=64).
+func FAST() Scheduler { return fast.Default() }
+
+// FASTWith returns a FAST scheduler with explicit options.
+func FASTWith(opts FASTOptions) Scheduler { return fast.New(opts) }
+
+// PFAST returns the parallel multi-start FAST variant with the given
+// number of concurrent searchers.
+func PFAST(parallelism int, seed int64) Scheduler {
+	return fast.New(fast.Options{Parallelism: parallelism, Seed: seed})
+}
+
+// ETF returns the Earliest-Task-First scheduler (Hwang et al.).
+func ETF() Scheduler { return etf.New() }
+
+// DLS returns the Dynamic-Level-Scheduling scheduler (Sih & Lee).
+func DLS() Scheduler { return dls.New() }
+
+// MD returns the Mobility-Directed scheduler (Wu & Gajski).
+func MD() Scheduler { return md.New() }
+
+// DSC returns the Dominant-Sequence-Clustering scheduler
+// (Yang & Gerasoulis).
+func DSC() Scheduler { return dsc.New() }
+
+// HLFET returns the Highest-Level-First-with-Estimated-Times scheduler
+// (Adam, Chandy, Dickson) from the extended classical suite.
+func HLFET() Scheduler { return hlfet.New() }
+
+// MCP returns the Modified-Critical-Path scheduler (Wu & Gajski) from
+// the extended classical suite.
+func MCP() Scheduler { return mcp.New() }
+
+// LC returns the Linear-Clustering scheduler (Kim & Browne) from the
+// extended classical suite.
+func LC() Scheduler { return lc.New() }
+
+// EZ returns Sarkar's Edge-Zeroing scheduler from the extended
+// classical suite.
+func EZ() Scheduler { return ez.New() }
+
+// MH returns the Mapping-Heuristic scheduler (El-Rewini & Lewis), the
+// topology-aware classic; pass the mesh model the machine will use.
+func MH(topology MeshTopology) Scheduler { return mh.New(topology) }
+
+// Optimal returns the exact branch-and-bound solver, feasible only for
+// small graphs (roughly v <= 12); it errors when its expansion budget
+// is exceeded rather than returning a suboptimal schedule.
+func Optimal() Scheduler { return optimal.New() }
+
+// DuplicationResult is a duplication schedule: a derived graph with
+// cloned task executions plus a conventional schedule over it.
+type DuplicationResult = dup.Result
+
+// Duplicate schedules g with the DSH-style duplication heuristic (the
+// third classic family: tasks may be re-executed on several processors
+// to avoid waiting for messages). The result carries its own derived
+// graph because duplication breaks the one-placement-per-task model.
+func Duplicate(g *Graph, procs int) (*DuplicationResult, error) {
+	return dup.New().Schedule(g, procs)
+}
+
+// NewScheduler constructs a scheduler by name ("fast", "fast-initial",
+// "pfast", "dsc", "md", "etf", "dls").
+func NewScheduler(name string, seed int64) (Scheduler, error) {
+	return casch.NewScheduler(name, seed)
+}
+
+// AlgorithmNames lists the names NewScheduler accepts.
+func AlgorithmNames() []string { return casch.AlgorithmNames() }
+
+// Validate checks that s is a legal execution of g: complete, overlap-
+// free, and respecting every precedence and communication delay.
+func Validate(g *Graph, s *Schedule) error { return sched.Validate(g, s) }
+
+// Gantt renders s as a text Gantt chart of the given width.
+func Gantt(g *Graph, s *Schedule, width int) string { return sched.Gantt(g, s, width) }
+
+// ScheduleTable renders s as a start-time-ordered placement table.
+func ScheduleTable(g *Graph, s *Schedule) string { return sched.Table(g, s) }
+
+// GanttSVG renders s as a standalone SVG Gantt chart of the given pixel
+// width.
+func GanttSVG(g *Graph, s *Schedule, width int) string { return sched.SVG(g, s, width) }
+
+// CriticalChainLink is one step of a schedule's binding event chain.
+type CriticalChainLink = sched.CriticalChainLink
+
+// CriticalChain explains a schedule's makespan: the backward chain of
+// binding constraints (message waits, processor waits) from the last
+// task to a chain head.
+func CriticalChain(g *Graph, s *Schedule) ([]CriticalChainLink, error) {
+	return sched.CriticalChain(g, s)
+}
+
+// FormatChain renders a critical chain with task labels.
+func FormatChain(g *Graph, s *Schedule, chain []CriticalChainLink) string {
+	return sched.FormatChain(g, s, chain)
+}
+
+// ScheduleMetrics summarizes schedule quality (imbalance, cross-edge
+// traffic, efficiency).
+type ScheduleMetrics = sched.Metrics
+
+// ComputeScheduleMetrics derives the metrics of a complete schedule.
+func ComputeScheduleMetrics(g *Graph, s *Schedule) ScheduleMetrics {
+	return sched.ComputeMetrics(g, s)
+}
+
+// Workload generation.
+
+// TimingDB converts operation counts and message sizes into task-graph
+// weights; the stand-in for CASCH's benchmarked timing database.
+type TimingDB = timing.DB
+
+// ParagonLike returns the default machine cost model.
+func ParagonLike() TimingDB { return timing.ParagonLike() }
+
+// CoarseGrain returns a computation-dominated cost model (CCR << 1).
+func CoarseGrain() TimingDB { return timing.CoarseGrain() }
+
+// FineGrain returns a communication-dominated cost model (CCR >> 1).
+func FineGrain() TimingDB { return timing.FineGrain() }
+
+// ScaleCCR rescales g's edge weights to the target communication-to-
+// computation ratio.
+func ScaleCCR(g *Graph, target float64) *Graph { return timing.ScaleCCR(g, target) }
+
+// GaussElim returns the Gaussian elimination task graph for matrix
+// dimension n (paper §5.1; task counts match Figure 5 exactly).
+func GaussElim(n int, db TimingDB) (*Graph, error) { return workload.GaussElim(n, db) }
+
+// Laplace returns the Laplace equation solver task graph for an n×n
+// grid (task counts match Figure 6 exactly).
+func Laplace(n int, db TimingDB) (*Graph, error) { return workload.Laplace(n, db) }
+
+// FFT returns the blocked-butterfly FFT task graph for the given number
+// of points (task counts match Figure 7 exactly).
+func FFT(points int, db TimingDB) (*Graph, error) { return workload.FFT(points, db) }
+
+// LU returns the right-looking LU decomposition task graph for an n×n
+// matrix.
+func LU(n int, db TimingDB) (*Graph, error) { return workload.LU(n, db) }
+
+// Cholesky returns the column-oriented Cholesky factorization task
+// graph for an n×n matrix.
+func Cholesky(n int, db TimingDB) (*Graph, error) { return workload.Cholesky(n, db) }
+
+// Stencil returns the task graph of iters Jacobi sweeps over an n×n
+// grid.
+func Stencil(n, iters int, db TimingDB) (*Graph, error) { return workload.Stencil(n, iters, db) }
+
+// DivideConquer returns the depth-d fork-join recursion task graph.
+func DivideConquer(depth int, db TimingDB) (*Graph, error) { return workload.DivideConquer(depth, db) }
+
+// RandomDAGOptions configures the §5.2 layered random DAG generator.
+type RandomDAGOptions = workload.RandomOpts
+
+// RandomDAG generates a layered random DAG per the paper's recipe.
+func RandomDAG(opts RandomDAGOptions) (*Graph, error) { return workload.Random(opts) }
+
+// PaperExampleGraph returns the reconstructed 9-node example DAG of the
+// paper's Figure 1 (critical path n1 → n7 → n9, length 23).
+func PaperExampleGraph() *Graph { return example.Graph() }
+
+// Graph transformations.
+
+// TransitiveReduction removes zero-weight precedence edges implied by
+// longer paths, shrinking e without changing the legal schedules.
+func TransitiveReduction(g *Graph) (*Graph, error) { return transform.TransitiveReduction(g) }
+
+// GrainPackResult maps a coarsened graph back to its original tasks.
+type GrainPackResult = transform.PackResult
+
+// GrainPack fuses linear chains of small tasks into grains of at most
+// maxGrain total weight (Sarkar-style granularity adjustment).
+func GrainPack(g *Graph, maxGrain float64) (*GrainPackResult, error) {
+	return transform.GrainPack(g, maxGrain)
+}
+
+// Execution simulation (the Intel Paragon stand-in).
+
+// SimConfig selects machine effects for simulated execution.
+type SimConfig = sim.Config
+
+// MeshTopology adds Paragon-style 2D-mesh hop latency to the machine
+// model (set SimConfig.Topology).
+type MeshTopology = sim.Mesh
+
+// SimReport is the outcome of one simulated execution.
+type SimReport = sim.Report
+
+// Simulate executes schedule s of graph g on the simulated machine.
+func Simulate(g *Graph, s *Schedule, cfg SimConfig) (*SimReport, error) {
+	return sim.Run(g, s, cfg)
+}
+
+// SimTrace holds the event trace of one simulated execution.
+type SimTrace = sim.Tracer
+
+// SimulateTraced is Simulate with event recording (task start/finish,
+// message send/arrive), for timeline tooling and debugging.
+func SimulateTraced(g *Graph, s *Schedule, cfg SimConfig) (*SimReport, *SimTrace, error) {
+	return sim.RunTraced(g, s, cfg)
+}
+
+// Sequential-program front end (the CASCH front half).
+
+// SeqProgram is a sequential program: ordered tasks with read/write
+// sets over named variables, lowered to a task graph by dependence
+// analysis.
+type SeqProgram = frontend.Program
+
+// NewSeqProgram returns an empty sequential program whose undeclared
+// variables cost defaultSize to ship between processors.
+func NewSeqProgram(defaultSize float64) *SeqProgram { return frontend.NewProgram(defaultSize) }
+
+// ParseSeqProgram reads a sequential program from its text form (see
+// internal/frontend.Parse for the grammar).
+func ParseSeqProgram(r io.Reader) (*SeqProgram, error) { return frontend.Parse(r) }
+
+// Scheduled-code generation (the CASCH back end).
+
+// Program is the compiled, scheduled form of a parallel program: one
+// instruction sequence (COMPUTE/SEND/RECV) per processor.
+type Program = codegen.Program
+
+// Compile lowers a valid schedule to per-processor scheduled code.
+func Compile(g *Graph, s *Schedule) (*Program, error) { return codegen.Compile(g, s) }
+
+// ExecuteProgram runs compiled code on the instruction-level machine
+// interpreter; it agrees with Simulate on the source schedule.
+func ExecuteProgram(g *Graph, p *Program, cfg SimConfig) (*SimReport, error) {
+	return codegen.Execute(g, p, cfg)
+}
+
+// PipelineResult bundles the metrics of one schedule-then-execute run.
+type PipelineResult = casch.Result
+
+// RunPipeline schedules g with s on procs processors, validates and
+// executes the schedule, and reports execution time, processors used
+// and scheduling time — the paper's three per-table metrics.
+func RunPipeline(g *Graph, s Scheduler, procs int, machine SimConfig) (*PipelineResult, error) {
+	return casch.Run(g, s, procs, machine)
+}

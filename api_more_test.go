@@ -1,0 +1,142 @@
+package fastsched_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fastsched"
+)
+
+// Exercises the facade functions not covered by the core API tests:
+// profiles, metrics, critical chains, transformations, traced
+// simulation, the topology-aware and exact schedulers.
+func TestPublicAPIAnalysisSurface(t *testing.T) {
+	g := fastsched.PaperExampleGraph()
+
+	p, err := fastsched.ComputeProfile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes != 9 || p.Height < 3 {
+		t.Fatalf("profile = %+v", p)
+	}
+
+	s, err := fastsched.FAST().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fastsched.ComputeScheduleMetrics(g, s)
+	if m.Length != s.Length() || m.ProcsUsed != s.ProcsUsed() {
+		t.Fatalf("metrics = %+v", m)
+	}
+	chain, err := fastsched.CriticalChain(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) == 0 || !strings.Contains(fastsched.FormatChain(g, s, chain), "critical chain") {
+		t.Fatal("critical chain surface broken")
+	}
+	if !strings.Contains(fastsched.GanttSVG(g, s, 640), "<svg") {
+		t.Fatal("GanttSVG broken")
+	}
+
+	rep, tr, err := fastsched.SimulateTraced(g, s, fastsched.SimConfig{Contention: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Time <= 0 || len(tr.Events()) == 0 {
+		t.Fatal("traced simulation surface broken")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ph":"X"`) {
+		t.Fatal("chrome trace broken")
+	}
+}
+
+func TestPublicAPITransformSurface(t *testing.T) {
+	g := fastsched.NewGraph(3)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	c := g.AddNode("c", 1)
+	g.MustAddEdge(a, b, 2)
+	g.MustAddEdge(b, c, 2)
+	g.MustAddEdge(a, c, 0) // implied
+
+	red, err := fastsched.TransitiveReduction(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumEdges() != 2 {
+		t.Fatalf("reduction left %d edges", red.NumEdges())
+	}
+	packed, err := fastsched.GrainPack(red, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Graph.NumNodes() != 1 {
+		t.Fatalf("pack left %d nodes", packed.Graph.NumNodes())
+	}
+}
+
+func TestPublicAPITopologyAndExact(t *testing.T) {
+	g := fastsched.NewGraph(2)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	g.MustAddEdge(a, b, 10)
+
+	mh := fastsched.MH(fastsched.MeshTopology{Cols: 2, PerHop: 4})
+	s, err := mh.Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fastsched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+
+	opt, err := fastsched.Optimal().Schedule(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Length() != 2 {
+		t.Fatalf("optimum = %v, want 2 (co-located)", opt.Length())
+	}
+
+	mesh := fastsched.MeshTopology{Cols: 2, PerHop: 4}
+	if mesh.Delay(0, 3) != 8 {
+		t.Fatalf("mesh delay = %v", mesh.Delay(0, 3))
+	}
+}
+
+func TestPublicAPIWorkloadSurface(t *testing.T) {
+	db := fastsched.ParagonLike()
+	if g, err := fastsched.LU(4, db); err != nil || g.NumNodes() != 9 {
+		t.Fatalf("LU: %v", err)
+	}
+	if g, err := fastsched.Cholesky(4, db); err != nil || g.NumNodes() != 10 {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	if g, err := fastsched.Stencil(3, 2, db); err != nil || g.NumNodes() != 18 {
+		t.Fatalf("Stencil: %v", err)
+	}
+	if g, err := fastsched.DivideConquer(3, db); err != nil || g.NumNodes() != 10 {
+		t.Fatalf("DivideConquer: %v", err)
+	}
+}
+
+func TestPublicAPISeqProgramSurface(t *testing.T) {
+	p := fastsched.NewSeqProgram(2).
+		Var("x", 5).
+		Task("w", 3, nil, []string{"x"}).
+		Task("r", 2, []string{"x"}, nil)
+	g, err := p.BuildDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 5 {
+		t.Fatalf("edge = %v,%v", w, ok)
+	}
+}

@@ -1,0 +1,140 @@
+// Command caschsim runs the full CASCH-style pipeline on one task
+// graph: schedule it with one or all algorithms, execute the schedule
+// on the simulated machine, and report execution time, processors used
+// and scheduling time.
+//
+// Usage:
+//
+//	caschsim -in graph.json [-algo all] [-procs 16] [-contention] [-perturb 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastsched"
+	"fastsched/internal/table"
+)
+
+func main() {
+	in := flag.String("in", "", "input task graph (JSON, from dagen)")
+	algo := flag.String("algo", "all", fmt.Sprintf("one of %v, or all", fastsched.AlgorithmNames()))
+	procs := flag.Int("procs", 0, "available processors for bounded algorithms (<= 0: unbounded)")
+	seed := flag.Int64("seed", 1, "FAST search seed")
+	contention := flag.Bool("contention", true, "model single-port send contention")
+	perturb := flag.Float64("perturb", 0.05, "max relative runtime perturbation of task durations")
+	simseed := flag.Int64("simseed", 42, "perturbation seed")
+	emit := flag.Bool("emit", false, "print the generated scheduled code (single -algo only)")
+	trace := flag.String("trace", "", "write a Chrome trace_event JSON of the execution (single -algo only)")
+	flag.Parse()
+
+	if err := run(*in, *algo, *procs, *seed, *contention, *perturb, *simseed, *emit, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "caschsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, algo string, procs int, seed int64, contention bool, perturb float64, simseed int64, emit bool, tracePath string) error {
+	if in == "" {
+		return fmt.Errorf("need -in <file> (generate one with dagen)")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, name, err := fastsched.ReadGraphJSON(f)
+	if err != nil {
+		return err
+	}
+
+	var algos []string
+	if algo == "all" {
+		algos = fastsched.AlgorithmNames()
+	} else {
+		algos = []string{algo}
+	}
+	machine := fastsched.SimConfig{Contention: contention, Perturb: perturb, Seed: simseed}
+
+	if tracePath != "" {
+		if len(algos) != 1 {
+			return fmt.Errorf("-trace needs a single -algo, not %q", algo)
+		}
+		s, err := fastsched.NewScheduler(algos[0], seed)
+		if err != nil {
+			return err
+		}
+		schedule, err := s.Schedule(g, procs)
+		if err != nil {
+			return err
+		}
+		rep, tr, err := fastsched.SimulateTraced(g, schedule, machine)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteChromeTrace(f, g); err != nil {
+			return err
+		}
+		fmt.Printf("executed in %.6g; wrote %s (open in chrome://tracing)\n", rep.Time, tracePath)
+		return nil
+	}
+
+	if emit {
+		if len(algos) != 1 {
+			return fmt.Errorf("-emit needs a single -algo, not %q", algo)
+		}
+		s, err := fastsched.NewScheduler(algos[0], seed)
+		if err != nil {
+			return err
+		}
+		schedule, err := s.Schedule(g, procs)
+		if err != nil {
+			return err
+		}
+		p, err := fastsched.Compile(g, schedule)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.Listing(g))
+		rep, err := fastsched.ExecuteProgram(g, p, machine)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("executed in %.6g (%d messages)\n", rep.Time, rep.Messages)
+		return nil
+	}
+
+	lb, err := fastsched.ComputeBounds(g, procs)
+	if err != nil {
+		return err
+	}
+	t := table.New(
+		fmt.Sprintf("%s: %d tasks, %d messages, CCR %.2f, lower bound %.6g",
+			name, g.NumNodes(), g.NumEdges(), g.CCR(), lb.Combined),
+		"algorithm", "sched len", "gap", "exec time", "procs", "speedup", "sched ms")
+	for _, a := range algos {
+		s, err := fastsched.NewScheduler(a, seed)
+		if err != nil {
+			return err
+		}
+		r, err := fastsched.RunPipeline(g, s, procs, machine)
+		if err != nil {
+			return err
+		}
+		t.AddRow(r.Algorithm,
+			fmt.Sprintf("%.6g", r.ScheduleLength),
+			fmt.Sprintf("%.2f", lb.Gap(r.ScheduleLength)),
+			fmt.Sprintf("%.6g", r.ExecTime),
+			fmt.Sprintf("%d", r.ProcsUsed),
+			fmt.Sprintf("%.2f", r.Speedup),
+			fmt.Sprintf("%.3f", float64(r.SchedulingTime.Microseconds())/1000))
+	}
+	fmt.Print(t.String())
+	return nil
+}

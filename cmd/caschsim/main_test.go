@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastsched"
+	"fastsched/internal/example"
+)
+
+func writeExample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := fastsched.WriteGraphJSON(f, example.Graph(), "ex"); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestPipelineAllAlgorithms(t *testing.T) {
+	path := writeExample(t)
+	out, err := capture(t, func() error {
+		return run(path, "all", 4, 1, true, 0.05, 42, false, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FAST", "DSC", "MD", "ETF", "DLS", "exec time", "sched ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPipelineSingleAlgorithm(t *testing.T) {
+	path := writeExample(t)
+	out, err := capture(t, func() error {
+		return run(path, "etf", 4, 1, false, 0, 0, false, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ETF") || strings.Contains(out, "DSC") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	if err := run("", "all", 4, 1, false, 0, 0, false, ""); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run("/does/not/exist.json", "all", 4, 1, false, 0, 0, false, ""); err == nil {
+		t.Error("bad path accepted")
+	}
+	path := writeExample(t)
+	if err := run(path, "bogus", 4, 1, false, 0, 0, false, ""); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+}
+
+func TestPipelineEmit(t *testing.T) {
+	path := writeExample(t)
+	out, err := capture(t, func() error {
+		return run(path, "fast", 4, 1, false, 0, 0, true, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scheduled program:", "COMPUTE", "executed in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("emit output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run(path, "all", 4, 1, false, 0, 0, true, ""); err == nil {
+		t.Error("-emit with -algo all accepted")
+	}
+}
+
+func TestPipelineTrace(t *testing.T) {
+	path := writeExample(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	out, err := capture(t, func() error {
+		return run(path, "fast", 4, 1, true, 0, 0, false, tracePath)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "chrome://tracing") {
+		t.Errorf("output: %s", out)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"ph":"X"`) {
+		t.Errorf("trace content: %.80s", data)
+	}
+	if err := run(path, "all", 4, 1, true, 0, 0, false, tracePath); err == nil {
+		t.Error("-trace with -algo all accepted")
+	}
+}

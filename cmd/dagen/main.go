@@ -1,0 +1,127 @@
+// Command dagen generates the workload task graphs of the paper and
+// writes them as JSON for consumption by fastsched and caschsim.
+//
+// Usage:
+//
+//	dagen -kind gauss   -n 8               [-o ge8.json]
+//	dagen -kind laplace -n 16              [-o lp16.json]
+//	dagen -kind fft     -points 64         [-o fft64.json]
+//	dagen -kind random  -v 2000 -seed 7    [-o rnd.json]
+//	dagen -kind chain|forkjoin|intree|outtree ...
+//
+// -ccr rescales edge weights to a target communication-to-computation
+// ratio after generation. Without -o, JSON goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fastsched"
+	"fastsched/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "random", "gauss, laplace, fft, lu, cholesky, stencil, dnc, random, chain, forkjoin, intree, outtree, program")
+	n := flag.Int("n", 8, "matrix dimension (gauss, laplace, lu, cholesky, stencil), length (chain), width (forkjoin), depth (trees, dnc)")
+	points := flag.Int("points", 64, "number of points (fft)")
+	iters := flag.Int("iters", 4, "sweep count (stencil)")
+	v := flag.Int("v", 1000, "node count (random)")
+	seed := flag.Int64("seed", 1, "generation seed (random)")
+	degree := flag.Int("degree", 0, "mean in-degree (random; 0 = paper default)")
+	ccr := flag.Float64("ccr", 0, "rescale edge weights to this CCR (0 = keep)")
+	prog := flag.String("prog", "", "sequential program source (kind=program)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	if err := run(*kind, *n, *points, *iters, *v, *seed, *degree, *ccr, *prog, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "dagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, n, points, iters, v int, seed int64, degree int, ccr float64, prog, out string) error {
+	db := fastsched.ParagonLike()
+	var (
+		g    *fastsched.Graph
+		err  error
+		name string
+	)
+	switch kind {
+	case "gauss":
+		g, err = fastsched.GaussElim(n, db)
+		name = fmt.Sprintf("gauss-%d", n)
+	case "laplace":
+		g, err = fastsched.Laplace(n, db)
+		name = fmt.Sprintf("laplace-%d", n)
+	case "fft":
+		g, err = fastsched.FFT(points, db)
+		name = fmt.Sprintf("fft-%d", points)
+	case "lu":
+		g, err = fastsched.LU(n, db)
+		name = fmt.Sprintf("lu-%d", n)
+	case "cholesky":
+		g, err = fastsched.Cholesky(n, db)
+		name = fmt.Sprintf("cholesky-%d", n)
+	case "stencil":
+		g, err = fastsched.Stencil(n, iters, db)
+		name = fmt.Sprintf("stencil-%dx%d", n, iters)
+	case "dnc":
+		g, err = fastsched.DivideConquer(n, db)
+		name = fmt.Sprintf("dnc-%d", n)
+	case "program":
+		var f *os.File
+		f, err = os.Open(prog)
+		if err != nil {
+			return err
+		}
+		var sp *fastsched.SeqProgram
+		sp, err = fastsched.ParseSeqProgram(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		g, err = sp.BuildDAG()
+		name = fmt.Sprintf("program-%s", prog)
+	case "random":
+		g, err = fastsched.RandomDAG(fastsched.RandomDAGOptions{V: v, Seed: seed, MeanInDegree: degree})
+		name = fmt.Sprintf("random-%d-seed%d", v, seed)
+	case "chain":
+		g, name = workload.Chain(n, 4, 4), fmt.Sprintf("chain-%d", n)
+	case "forkjoin":
+		g, name = workload.ForkJoin(n, 2, 4, 2, 3), fmt.Sprintf("forkjoin-%d", n)
+	case "intree":
+		g, name = workload.InTree(n, 3, 2), fmt.Sprintf("intree-%d", n)
+	case "outtree":
+		g, name = workload.OutTree(n, 3, 2), fmt.Sprintf("outtree-%d", n)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	if ccr > 0 {
+		fastsched.ScaleCCR(g, ccr)
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := fastsched.WriteGraphJSON(w, g, name); err != nil {
+		return err
+	}
+	profile, err := fastsched.ComputeProfile(g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dagen: %s: %s\n", name, profile)
+	return nil
+}

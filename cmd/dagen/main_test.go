@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastsched"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		kind  string
+		wantV int
+	}{
+		{"gauss", 20},   // n=4
+		{"laplace", 18}, // n=4
+		{"fft", 34},     // points=64
+		{"random", 80},  // v=80
+		{"chain", 4},    // n=4
+		{"forkjoin", 6}, // width 4 + entry + exit
+		{"intree", 15},  // depth 4
+		{"outtree", 15}, // depth 4
+	}
+	for _, c := range cases {
+		path := filepath.Join(dir, c.kind+".json")
+		if err := run(c.kind, 4, 64, 2, 80, 1, 3, 0, "", path); err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _, err := fastsched.ReadGraphJSON(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: reload: %v", c.kind, err)
+		}
+		if g.NumNodes() != c.wantV {
+			t.Errorf("%s: v = %d, want %d", c.kind, g.NumNodes(), c.wantV)
+		}
+	}
+}
+
+func TestGenerateWithCCR(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := run("gauss", 8, 0, 0, 0, 1, 0, 2.5, "", path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, _, err := fastsched.ReadGraphJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccr := g.CCR(); ccr < 2.49 || ccr > 2.51 {
+		t.Fatalf("CCR = %v, want 2.5", ccr)
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if err := run("mystery", 4, 64, 2, 80, 1, 0, 0, "", ""); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestGenerateBadParams(t *testing.T) {
+	if err := run("gauss", 0, 0, 0, 0, 1, 0, 0, "", filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("gauss n=0 accepted")
+	}
+	if err := run("fft", 0, 13, 0, 0, 1, 0, 0, "", filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("fft points=13 accepted")
+	}
+}
+
+func TestGenerateNewKinds(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		kind  string
+		wantV int
+	}{
+		{"lu", 9},        // n=4: 4*5/2-1
+		{"cholesky", 10}, // n=4: 4+6
+		{"stencil", 32},  // 4x4 grid, 2 sweeps
+		{"dnc", 22},      // depth 4
+	}
+	for _, c := range cases {
+		path := filepath.Join(dir, c.kind+".json")
+		if err := run(c.kind, 4, 64, 2, 80, 1, 3, 0, "", path); err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _, err := fastsched.ReadGraphJSON(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: reload: %v", c.kind, err)
+		}
+		if g.NumNodes() != c.wantV {
+			t.Errorf("%s: v = %d, want %d", c.kind, g.NumNodes(), c.wantV)
+		}
+	}
+}
+
+func TestGenerateFromProgram(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.prog")
+	if err := os.WriteFile(src, []byte("task a cost 2 writes x\ntask b cost 3 reads x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "p.json")
+	if err := run("program", 0, 0, 0, 0, 1, 0, 0, src, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, _, err := fastsched.ReadGraphJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("graph %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if err := run("program", 0, 0, 0, 0, 1, 0, 0, filepath.Join(dir, "missing.prog"), out); err == nil {
+		t.Error("missing program accepted")
+	}
+}

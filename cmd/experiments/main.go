@@ -1,0 +1,150 @@
+// Command experiments regenerates the tables of the FAST paper's
+// evaluation section (Figures 1–8).
+//
+// Usage:
+//
+//	experiments [-fig all|1|2|5|6|7|8] [-sizes 2000,3000] [-procs 256] [-seed 7]
+//
+// -fig 2 prints the Figure 2–4 schedule walkthrough; -sizes and -procs
+// only affect the Figure-8 random-DAG study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fastsched/internal/experiments"
+	"fastsched/internal/table"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 2, 5, 6, 7, 8, ext, ccr, families, gap, complexity")
+	sizes := flag.String("sizes", "2000,3000,4000,5000", "node counts for the Figure-8 study")
+	procs := flag.Int("procs", 256, "bounded-machine size for the Figure-8 study")
+	seed := flag.Int64("seed", 7, "graph-generation seed for the Figure-8 study")
+	repeats := flag.Int("repeats", 1, "average the Figure-8 study over this many seeded graphs per size")
+	format := flag.String("format", "text", "output format: text or csv (tables only)")
+	flag.Parse()
+
+	if err := run(os.Stdout, *fig, *sizes, *procs, *seed, *repeats, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w *os.File, fig, sizes string, procs int, seed int64, repeats int, format string) error {
+	if format != "text" && format != "csv" {
+		return fmt.Errorf("unknown format %q (want text or csv)", format)
+	}
+	csv := format == "csv"
+	emit := func(tables ...*table.Table) {
+		for _, t := range tables {
+			if csv {
+				fmt.Fprint(w, t.CSV())
+			} else {
+				fmt.Fprintln(w, t.String())
+			}
+		}
+	}
+	want := func(f string) bool { return fig == "all" || fig == f }
+	ran := false
+
+	if want("1") {
+		ran = true
+		out, err := experiments.Figure1()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want("2") || fig == "3" || fig == "4" {
+		ran = true
+		out, err := experiments.Figures2to4()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, out)
+	}
+	apps := map[string]func() *experiments.AppExperiment{
+		"5": experiments.Figure5,
+		"6": experiments.Figure6,
+		"7": experiments.Figure7,
+	}
+	for _, f := range []string{"5", "6", "7"} {
+		if !want(f) {
+			continue
+		}
+		ran = true
+		exp := apps[f]()
+		res, err := exp.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Figure %s: %s\n", f, exp.Name)
+		emit(res.ExecTable(), res.ProcsTable(), res.SchedTimeTable())
+	}
+	if want("ext") {
+		ran = true
+		res, err := experiments.DefaultExtendedStudy().Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Extended comparison (beyond the paper: + HLFET, MCP, LC, EZ, ISH, DCP, DSH)\n%s\n", res.Render())
+	}
+	if want("complexity") {
+		ran = true
+		res, err := experiments.DefaultComplexityStudy().Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Complexity validation (beyond the paper; empirical growth exponents)\n%s\n", res.Render())
+	}
+	if want("gap") {
+		ran = true
+		res, err := experiments.DefaultGapStudy().Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Optimality-gap study (beyond the paper; exact B&B on tiny instances)\n%s\n", res.Render())
+	}
+	if want("families") {
+		ran = true
+		res, err := experiments.DefaultFamilyStudy().Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Workload-family robustness sweep (beyond the paper)\n%s\n", res.Render())
+	}
+	if want("ccr") {
+		ran = true
+		res, err := experiments.DefaultCCRStudy().Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "CCR sensitivity sweep (beyond the paper)\n%s\n", res.Render())
+	}
+	if want("8") {
+		ran = true
+		study := &experiments.RandomStudy{Procs: procs, Seed: seed, Repeats: repeats}
+		for _, s := range strings.Split(sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -sizes entry %q: %v", s, err)
+			}
+			study.Sizes = append(study.Sizes, v)
+		}
+		res, err := study.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Figure 8: random DAGs")
+		emit(res.SLTable(), res.ProcsTable(), res.TimesTable())
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q (want all, 1, 2, 5, 6, 7, 8, ext, ccr, families, gap or complexity)", fig)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected to a temp file (the output can
+// exceed a pipe buffer) and returns everything printed.
+func capture(t *testing.T, fn func(*os.File) error) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := fn(f)
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestFigure1(t *testing.T) {
+	out, err := capture(t, func(f *os.File) error {
+		return run(f, "1", "", 0, 0, 1, "text")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 1(b)") || !strings.Contains(out, "n7*") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	out, err := capture(t, func(f *os.File) error {
+		return run(f, "2", "", 0, 0, 1, "text")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "FAST/initial schedule") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFigure8SmallSizes(t *testing.T) {
+	out, err := capture(t, func(f *os.File) error {
+		return run(f, "8", "150, 250", 16, 3, 2, "text")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 8", "Normalized schedule lengths", "150", "250"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	if _, err := capture(t, func(f *os.File) error {
+		return run(f, "99", "", 0, 0, 1, "text")
+	}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if _, err := capture(t, func(f *os.File) error {
+		return run(f, "8", "abc", 16, 3, 1, "text")
+	}); err == nil {
+		t.Error("bad sizes accepted")
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	out, err := capture(t, func(f *os.File) error {
+		return run(f, "8", "120", 8, 3, 1, "csv")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Algorithm,120") {
+		t.Errorf("csv output missing header:\n%s", out)
+	}
+	if _, err := capture(t, func(f *os.File) error {
+		return run(f, "8", "120", 8, 3, 1, "yaml")
+	}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Command fastsched schedules a task graph with any of the
+// implemented algorithms and prints the resulting Gantt chart, the
+// placement table and summary metrics.
+//
+// Usage:
+//
+//	fastsched -in graph.json [-algo fast] [-procs 8] [-seed 1] [-width 72] [-table] [-dot]
+//	fastsched -demo          # run on the paper's Figure-1 example graph
+//
+// The input format is the JSON produced by dagen (or
+// fastsched.WriteGraphJSON).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastsched"
+	"fastsched/internal/example"
+)
+
+func main() {
+	in := flag.String("in", "", "input task graph (JSON)")
+	demo := flag.Bool("demo", false, "use the paper's Figure-1 example graph")
+	algo := flag.String("algo", "fast", fmt.Sprintf("algorithm: %v", fastsched.AlgorithmNames()))
+	procs := flag.Int("procs", 0, "available processors (<= 0: unbounded)")
+	seed := flag.Int64("seed", 1, "random seed for FAST's local search")
+	width := flag.Int("width", 72, "Gantt chart width in columns")
+	tab := flag.Bool("table", false, "print the placement table as well")
+	dot := flag.Bool("dot", false, "print the graph in Graphviz dot and exit")
+	svg := flag.String("svg", "", "also write the schedule as an SVG Gantt chart to this file")
+	why := flag.Bool("why", false, "explain the makespan: print the schedule's critical chain")
+	flag.Parse()
+
+	if err := run(*in, *demo, *algo, *procs, *seed, *width, *tab, *dot, *svg, *why); err != nil {
+		fmt.Fprintln(os.Stderr, "fastsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, demo bool, algo string, procs int, seed int64, width int, tab, dot bool, svgPath string, why bool) error {
+	var g *fastsched.Graph
+	name := "graph"
+	switch {
+	case demo:
+		g = example.Graph()
+		name = "paper example"
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, name, err = fastsched.ReadGraphJSON(f)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			name = in
+		}
+	default:
+		return fmt.Errorf("need -in <file> or -demo")
+	}
+
+	if dot {
+		fmt.Print(fastsched.GraphDOT(g, name))
+		return nil
+	}
+
+	s, err := fastsched.NewScheduler(algo, seed)
+	if err != nil {
+		return err
+	}
+	schedule, err := s.Schedule(g, procs)
+	if err != nil {
+		return err
+	}
+	if err := fastsched.Validate(g, schedule); err != nil {
+		return fmt.Errorf("produced schedule is invalid: %v", err)
+	}
+
+	l, err := fastsched.ComputeLevels(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d tasks, %d messages, CCR %.2f, CP length %.6g\n\n",
+		name, g.NumNodes(), g.NumEdges(), g.CCR(), l.CPLen)
+	fmt.Print(fastsched.Gantt(g, schedule, width))
+	fmt.Printf("\nschedule length %.6g  processors used %d  speedup %.2f  efficiency %.2f\n",
+		schedule.Length(), schedule.ProcsUsed(), schedule.Speedup(g), schedule.Efficiency(g))
+	if tab {
+		fmt.Println()
+		fmt.Print(fastsched.ScheduleTable(g, schedule))
+	}
+	if why {
+		chain, err := fastsched.CriticalChain(g, schedule)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(fastsched.FormatChain(g, schedule, chain))
+	}
+	if svgPath != "" {
+		if err := os.WriteFile(svgPath, []byte(fastsched.GanttSVG(g, schedule, 900)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", svgPath)
+	}
+	return nil
+}

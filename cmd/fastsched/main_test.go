@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastsched"
+	"fastsched/internal/example"
+)
+
+// capture redirects os.Stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestRunDemo(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", true, "fast", 4, 1, 60, true, false, "", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"paper example", "FAST schedule", "schedule length", "start"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fastsched.WriteGraphJSON(f, example.Graph(), "demo"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out, err := capture(t, func() error {
+		return run(path, false, "dsc", 0, 1, 60, false, false, "", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DSC schedule") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", true, "fast", 4, 1, 60, false, true, "", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "digraph") {
+		t.Errorf("dot output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", false, "fast", 4, 1, 60, false, false, "", false); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run("/nonexistent.json", false, "fast", 4, 1, 60, false, false, "", false); err == nil {
+		t.Error("bad path accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run("", true, "bogus", 4, 1, 60, false, false, "", false)
+	}); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+}
+
+func TestRunWhyAndSVG(t *testing.T) {
+	svgPath := filepath.Join(t.TempDir(), "g.svg")
+	out, err := capture(t, func() error {
+		return run("", true, "fast", 4, 1, 60, false, false, svgPath, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "critical chain") {
+		t.Errorf("missing critical chain:\n%s", out)
+	}
+	data, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Errorf("svg file content: %.40s", data)
+	}
+}

@@ -1,0 +1,43 @@
+// Command report writes the self-contained HTML reproduction report:
+// every paper table plus the example-graph Gantt charts as inline SVG.
+//
+// Usage:
+//
+//	report [-o report.html] [-small]
+//
+// -small renders a reduced-scale report in a few seconds; the default
+// is the full paper-scale run (the Figure-8 study takes a while).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastsched/internal/report"
+)
+
+func main() {
+	out := flag.String("o", "report.html", "output file")
+	small := flag.Bool("small", false, "reduced-scale report (fast)")
+	flag.Parse()
+
+	opts := report.Full()
+	if *small {
+		opts = report.Small()
+	}
+	if err := run(*out, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func run(path string, opts report.Options) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.Write(f, opts)
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastsched/internal/report"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.html")
+	if err := run(path, report.Small()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "reproduction report") {
+		t.Fatalf("report content unexpected: %.100s", data)
+	}
+}
+
+func TestRunBadPath(t *testing.T) {
+	if err := run("/nonexistent-dir/r.html", report.Small()); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}

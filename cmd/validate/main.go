@@ -1,0 +1,68 @@
+// Command validate checks a schedule file against its task graph:
+// completeness, processor-overlap freedom, and every precedence and
+// communication constraint — then reports the schedule's metrics and
+// its gap against the lower bounds.
+//
+// Usage:
+//
+//	validate -graph g.json -schedule s.json [-procs 8]
+//
+// Exit status 1 means the schedule is invalid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastsched"
+)
+
+func main() {
+	graph := flag.String("graph", "", "task graph (JSON)")
+	schedule := flag.String("schedule", "", "schedule (JSON, from fastsched.WriteScheduleJSON)")
+	procs := flag.Int("procs", 0, "processor budget for the area bound (<= 0: processors used)")
+	flag.Parse()
+
+	if err := run(*graph, *schedule, *procs); err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, schedulePath string, procs int) error {
+	if graphPath == "" || schedulePath == "" {
+		return fmt.Errorf("need -graph and -schedule")
+	}
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	g, name, err := fastsched.ReadGraphJSON(gf)
+	if err != nil {
+		return err
+	}
+	sf, err := os.Open(schedulePath)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	s, err := fastsched.ReadScheduleJSON(sf, g) // validates internally
+	if err != nil {
+		return fmt.Errorf("INVALID: %w", err)
+	}
+
+	if procs <= 0 {
+		procs = s.ProcsUsed()
+	}
+	lb, err := fastsched.ComputeBounds(g, procs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("VALID: %s scheduled %q (%d tasks) onto %d processor(s)\n",
+		s.Algorithm, name, g.NumNodes(), s.ProcsUsed())
+	fmt.Printf("length %.6g  speedup %.2f  efficiency %.2f  gap vs lower bound %.2fx (LB %.6g)\n",
+		s.Length(), s.Speedup(g), s.Efficiency(g), lb.Gap(s.Length()), lb.Combined)
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastsched"
+	"fastsched/internal/example"
+)
+
+func writeFiles(t *testing.T, valid bool) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	g := example.Graph()
+	gp := filepath.Join(dir, "g.json")
+	gf, err := os.Create(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fastsched.WriteGraphJSON(gf, g, "ex"); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+
+	s, err := fastsched.FAST().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := filepath.Join(dir, "s.json")
+	sf, err := os.Create(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fastsched.WriteScheduleJSON(sf, s); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+	if !valid {
+		// corrupt: shift one start time backwards
+		data, err := os.ReadFile(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// crude but effective: schedule against a different graph
+		g2 := fastsched.NewGraph(2)
+		g2.AddNode("x", 1)
+		g2.AddNode("y", 1)
+		gf2, _ := os.Create(gp)
+		if err := fastsched.WriteGraphJSON(gf2, g2, "other"); err != nil {
+			t.Fatal(err)
+		}
+		gf2.Close()
+		_ = data
+	}
+	return gp, sp
+}
+
+func TestValidSchedule(t *testing.T) {
+	gp, sp := writeFiles(t, true)
+	if err := run(gp, sp, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(gp, sp, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidSchedule(t *testing.T) {
+	gp, sp := writeFiles(t, false)
+	if err := run(gp, sp, 0); err == nil {
+		t.Fatal("mismatched schedule accepted")
+	}
+}
+
+func TestMissingArgs(t *testing.T) {
+	if err := run("", "", 0); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	if err := run("/nope.json", "/nope2.json", 0); err == nil {
+		t.Fatal("missing files accepted")
+	}
+	gp, _ := writeFiles(t, true)
+	if err := run(gp, "/nope2.json", 0); err == nil {
+		t.Fatal("missing schedule accepted")
+	}
+}

@@ -1,0 +1,31 @@
+// Package fastsched is a from-scratch Go implementation of FAST — Fast
+// Assignment using Search Technique (Kwok, Ahmad, Gu; ICPP 1996) — an
+// O(e) algorithm for scheduling weighted task DAGs onto parallel
+// processors, together with everything needed to reproduce the paper's
+// evaluation:
+//
+//   - the four baseline schedulers it compares against (MD, ETF, DLS,
+//     DSC), all implemented from their original definitions;
+//   - the application task-graph generators of §5.1 (Gaussian
+//     elimination, Laplace equation solver, FFT) with task counts
+//     matching the paper's tables exactly, and the §5.2 layered random
+//     DAG generator;
+//   - a discrete-event machine simulator standing in for the Intel
+//     Paragon testbed (message latency, single-port send contention,
+//     runtime perturbation);
+//   - the CASCH-style measurement pipeline and experiment drivers that
+//     regenerate every table in the paper.
+//
+// # Quick start
+//
+//	g := fastsched.NewGraph(4)
+//	a := g.AddNode("a", 2)
+//	b := g.AddNode("b", 3)
+//	g.MustAddEdge(a, b, 1)
+//	s, err := fastsched.FAST().Schedule(g, 4)
+//	if err != nil { ... }
+//	fmt.Print(fastsched.Gantt(g, s, 60))
+//
+// The github-style package layout keeps the implementation under
+// internal/; this package is the supported public surface.
+package fastsched

@@ -1,0 +1,115 @@
+package fastsched_test
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsched"
+)
+
+// Building a graph by hand and scheduling it with FAST.
+func ExampleFAST() {
+	g := fastsched.NewGraph(3)
+	a := g.AddNode("a", 2)
+	b := g.AddNode("b", 3)
+	c := g.AddNode("c", 1)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, c, 1)
+
+	s, err := fastsched.FAST().Schedule(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("length %.0f on %d processor(s)\n", s.Length(), s.ProcsUsed())
+	// Output: length 6 on 1 processor(s)
+}
+
+// The level attributes behind every scheduling decision.
+func ExampleComputeLevels() {
+	g := fastsched.PaperExampleGraph()
+	l, err := fastsched.ComputeLevels(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("critical path length %.0f\n", l.CPLen)
+	cp := fastsched.CriticalPath(g, l)
+	labels := make([]string, len(cp))
+	for i, n := range cp {
+		labels[i] = g.Label(n)
+	}
+	fmt.Println(strings.Join(labels, " -> "))
+	// Output:
+	// critical path length 23
+	// n1 -> n7 -> n9
+}
+
+// Lowering a sequential program to a task graph via dependence
+// analysis.
+func ExampleParseSeqProgram() {
+	src := `
+task produce cost 5 writes data
+task consume cost 3 reads data
+`
+	p, err := fastsched.ParseSeqProgram(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	g, err := p.BuildDAG()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d tasks, %d dependences\n", g.NumNodes(), g.NumEdges())
+	// Output: 2 tasks, 1 dependences
+}
+
+// Compiling a schedule to per-processor code and executing it.
+func ExampleCompile() {
+	g := fastsched.NewGraph(2)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	g.MustAddEdge(a, b, 4)
+
+	s, err := fastsched.FAST().Schedule(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	p, err := fastsched.Compile(g, s)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := fastsched.ExecuteProgram(g, p, fastsched.SimConfig{})
+	if err != nil {
+		panic(err)
+	}
+	// FAST co-locates the pair rather than paying the message.
+	fmt.Printf("%d messages, time %.0f\n", rep.Messages, rep.Time)
+	// Output: 0 messages, time 2
+}
+
+// Duplication-based scheduling: re-executing a hot producer avoids the
+// message entirely.
+func ExampleDuplicate() {
+	g := fastsched.NewGraph(3)
+	root := g.AddNode("root", 1)
+	l := g.AddNode("left", 4)
+	r := g.AddNode("right", 4)
+	g.MustAddEdge(root, l, 25)
+	g.MustAddEdge(root, r, 25)
+
+	res, err := fastsched.Duplicate(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("length %.0f with %d clone(s)\n", res.Schedule.Length(), res.Clones)
+	// Output: length 5 with 1 clone(s)
+}
+
+// Generating one of the paper's application workloads.
+func ExampleGaussElim() {
+	g, err := fastsched.GaussElim(4, fastsched.ParagonLike())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d tasks (matches the paper's Figure 5 header)\n", g.NumNodes())
+	// Output: 20 tasks (matches the paper's Figure 5 header)
+}

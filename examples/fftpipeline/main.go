@@ -1,0 +1,70 @@
+// FFT pipeline: schedule the blocked-butterfly FFT task graph under
+// three different machine cost models (coarse grain, Paragon-like, fine
+// grain) and watch how the grain size changes which scheduler wins and
+// how many processors are worth using.
+//
+//	go run ./examples/fftpipeline [-points 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fastsched"
+)
+
+func main() {
+	points := flag.Int("points", 64, "FFT size (power of two)")
+	flag.Parse()
+
+	models := []struct {
+		name string
+		db   fastsched.TimingDB
+	}{
+		{"coarse grain (CCR << 1)", fastsched.CoarseGrain()},
+		{"Paragon-like (CCR ~ 1)", fastsched.ParagonLike()},
+		{"fine grain (CCR >> 1)", fastsched.FineGrain()},
+	}
+
+	for _, m := range models {
+		g, err := fastsched.FFT(*points, m.db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := fastsched.ComputeLevels(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %d-point FFT under %s: %d tasks, CCR %.2f, CP %.6g\n",
+			*points, m.name, g.NumNodes(), g.CCR(), l.CPLen)
+
+		for _, name := range []string{"fast", "dsc", "etf", "dls"} {
+			s, err := fastsched.NewScheduler(name, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			schedule, err := s.Schedule(g, 0) // unbounded: let each algorithm pick
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := fastsched.Validate(g, schedule); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-4s schedule length %9.6g  procs %3d  speedup %5.2f\n",
+				schedule.Algorithm, schedule.Length(), schedule.ProcsUsed(), schedule.Speedup(g))
+		}
+		fmt.Println()
+	}
+
+	// For the Paragon model, show FAST's schedule in detail.
+	g, err := fastsched.FFT(*points, fastsched.ParagonLike())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := fastsched.FAST().Schedule(g, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fastsched.Gantt(g, s, 76))
+}

@@ -1,0 +1,70 @@
+// Random-DAG sweep: a scaled-down version of the paper's §5.2
+// scalability study. Generates layered random DAGs of growing size,
+// schedules each with FAST, DSC, ETF and DLS, and prints schedule
+// length, processors used and scheduling wall time — showing the
+// quality/complexity trade-off the paper is about.
+//
+//	go run ./examples/randomsweep [-sizes 500,1000,1500] [-procs 64] [-ccr 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"fastsched"
+)
+
+func main() {
+	sizes := flag.String("sizes", "500,1000,1500", "graph sizes to sweep")
+	procs := flag.Int("procs", 64, "processors for the bounded algorithms")
+	ccr := flag.Float64("ccr", 0, "rescale graphs to this CCR (0 = generator default)")
+	seed := flag.Int64("seed", 7, "generation seed")
+	flag.Parse()
+
+	for _, ss := range strings.Split(*sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(ss))
+		if err != nil {
+			log.Fatalf("bad size %q: %v", ss, err)
+		}
+		g, err := fastsched.RandomDAG(fastsched.RandomDAGOptions{V: v, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *ccr > 0 {
+			fastsched.ScaleCCR(g, *ccr)
+		}
+		fmt.Printf("=== v=%d e=%d CCR %.2f\n", g.NumNodes(), g.NumEdges(), g.CCR())
+
+		var fastLen float64
+		for _, name := range []string{"fast", "dsc", "etf", "dls"} {
+			s, err := fastsched.NewScheduler(name, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := *procs
+			if name == "dsc" {
+				p = 0
+			}
+			begin := time.Now()
+			schedule, err := s.Schedule(g, p)
+			elapsed := time.Since(begin)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := fastsched.Validate(g, schedule); err != nil {
+				log.Fatal(err)
+			}
+			if name == "fast" {
+				fastLen = schedule.Length()
+			}
+			fmt.Printf("  %-4s SL %10.6g (%.2fx FAST)  procs %4d  time %8.1fms\n",
+				schedule.Algorithm, schedule.Length(), schedule.Length()/fastLen,
+				schedule.ProcsUsed(), float64(elapsed.Microseconds())/1000)
+		}
+		fmt.Println()
+	}
+}

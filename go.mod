@@ -1,0 +1,3 @@
+module fastsched
+
+go 1.22

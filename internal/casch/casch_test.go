@@ -1,0 +1,97 @@
+package casch
+
+import (
+	"strings"
+	"testing"
+
+	"fastsched/internal/example"
+	"fastsched/internal/sim"
+	"fastsched/internal/timing"
+	"fastsched/internal/workload"
+)
+
+func TestRunPipeline(t *testing.T) {
+	g := example.Graph()
+	s, err := NewScheduler("fast", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(g, s, 4, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != "FAST" || r.V != 9 || r.E != 14 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.ExecTime <= 0 || r.ExecTime > r.ScheduleLength+1e-9 {
+		t.Fatalf("exec %v vs schedule %v", r.ExecTime, r.ScheduleLength)
+	}
+	if r.ProcsUsed < 1 || r.ProcsUsed > 4 {
+		t.Fatalf("procs used = %d", r.ProcsUsed)
+	}
+	if r.Speedup <= 0 {
+		t.Fatalf("speedup = %v", r.Speedup)
+	}
+	if r.SchedulingTime < 0 {
+		t.Fatal("negative scheduling time")
+	}
+}
+
+func TestRunWithMachineEffects(t *testing.T) {
+	g, err := workload.GaussElim(4, timing.ParagonLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range AlgorithmNames() {
+		if name == "opt" {
+			continue // exponential on this 20-task instance; has its own tests
+		}
+		s, err := NewScheduler(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(g, s, 4, sim.Config{Contention: true, Perturb: 0.1, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.ExecTime <= 0 {
+			t.Fatalf("%s: exec time %v", name, r.ExecTime)
+		}
+	}
+}
+
+func TestNewSchedulerUnknown(t *testing.T) {
+	if _, err := NewScheduler("hype", 0); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAlgorithmNamesSortedAndComplete(t *testing.T) {
+	names := AlgorithmNames()
+	if len(names) != 17 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names unsorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		if _, err := NewScheduler(n, 0); err != nil {
+			t.Fatalf("registered name %q fails: %v", n, err)
+		}
+	}
+}
+
+func TestPaperSchedulersRowOrder(t *testing.T) {
+	want := []string{"FAST", "DSC", "MD", "ETF", "DLS"}
+	scheds := PaperSchedulers(1)
+	if len(scheds) != len(want) {
+		t.Fatalf("%d schedulers", len(scheds))
+	}
+	for i, s := range scheds {
+		if s.Name() != want[i] {
+			t.Fatalf("row %d = %s, want %s", i, s.Name(), want[i])
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package codegen reproduces the back end of the CASCH tool: given a
+// schedule, it "generates the parallel code in a scheduled form" — one
+// instruction sequence per processor, with explicit SEND and RECV
+// operations for every cross-processor edge — and provides an
+// instruction-level interpreter that executes the generated program on
+// the simulated message-passing machine.
+//
+// The interpreter is deliberately independent from package sim's
+// event-driven executor: agreeing runtimes from the two (asserted by
+// the integration tests) cross-validate both models the way running on
+// the real Paragon validated CASCH.
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+)
+
+// OpKind is the instruction type of the generated code.
+type OpKind uint8
+
+const (
+	// OpCompute executes one task.
+	OpCompute OpKind = iota
+	// OpRecv blocks until the message for one incoming edge arrives.
+	OpRecv
+	// OpSend posts the message for one outgoing edge (non-blocking;
+	// the network interface serializes under contention).
+	OpSend
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "COMPUTE"
+	case OpRecv:
+		return "RECV"
+	case OpSend:
+		return "SEND"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Instr is one instruction of the scheduled program.
+type Instr struct {
+	Kind OpKind
+	// Task is the computed task (OpCompute) or the local endpoint of
+	// the message (OpSend: producer; OpRecv: consumer).
+	Task dag.NodeID
+	// Edge is the message's edge for OpSend/OpRecv.
+	Edge dag.Edge
+	// Peer is the remote processor for OpSend/OpRecv.
+	Peer int
+}
+
+// Program is the compiled form of one schedule: an instruction sequence
+// per processor (indexed by the schedule's processor IDs).
+type Program struct {
+	Procs map[int][]Instr
+	// TaskCount is the number of COMPUTE instructions (== v).
+	TaskCount int
+	// MessageCount is the number of SEND instructions (== cross edges).
+	MessageCount int
+}
+
+// Compile lowers a valid schedule to per-processor code. For each task
+// in per-processor start order it emits the RECVs for every remote
+// parent (in deterministic edge order), the COMPUTE, and the SENDs for
+// every remote child. The schedule must be valid for g.
+func Compile(g *dag.Graph, s *sched.Schedule) (*Program, error) {
+	if err := sched.Validate(g, s); err != nil {
+		return nil, fmt.Errorf("codegen: refusing to compile an invalid schedule: %w", err)
+	}
+	p := &Program{Procs: make(map[int][]Instr)}
+	for _, proc := range s.Procs() {
+		var code []Instr
+		for _, n := range s.OnProc(proc) {
+			for _, e := range g.Pred(n) {
+				if s.Proc(e.From) != proc {
+					code = append(code, Instr{Kind: OpRecv, Task: n, Edge: e, Peer: s.Proc(e.From)})
+				}
+			}
+			code = append(code, Instr{Kind: OpCompute, Task: n})
+			p.TaskCount++
+			for _, e := range g.Succ(n) {
+				if s.Proc(e.To) != proc {
+					code = append(code, Instr{Kind: OpSend, Task: n, Edge: e, Peer: s.Proc(e.To)})
+					p.MessageCount++
+				}
+			}
+		}
+		p.Procs[proc] = code
+	}
+	return p, nil
+}
+
+// Listing renders the program as readable pseudo-assembly, labeling
+// tasks with the graph's node labels.
+func (p *Program) Listing(g *dag.Graph) string {
+	label := func(n dag.NodeID) string {
+		if l := g.Label(n); l != "" {
+			return l
+		}
+		return fmt.Sprintf("n%d", n)
+	}
+	var b strings.Builder
+	procs := make([]int, 0, len(p.Procs))
+	for proc := range p.Procs {
+		procs = append(procs, proc)
+	}
+	sortInts(procs)
+	fmt.Fprintf(&b, "scheduled program: %d tasks, %d messages, %d processors\n",
+		p.TaskCount, p.MessageCount, len(p.Procs))
+	for _, proc := range procs {
+		fmt.Fprintf(&b, "PE %d:\n", proc)
+		for _, in := range p.Procs[proc] {
+			switch in.Kind {
+			case OpCompute:
+				fmt.Fprintf(&b, "  COMPUTE %s (%.6g)\n", label(in.Task), g.Weight(in.Task))
+			case OpRecv:
+				fmt.Fprintf(&b, "  RECV    %s<-%s from PE %d (%.6g)\n",
+					label(in.Edge.To), label(in.Edge.From), in.Peer, in.Edge.Weight)
+			case OpSend:
+				fmt.Fprintf(&b, "  SEND    %s->%s to PE %d (%.6g)\n",
+					label(in.Edge.From), label(in.Edge.To), in.Peer, in.Edge.Weight)
+			}
+		}
+	}
+	return b.String()
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

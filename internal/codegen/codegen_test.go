@@ -1,0 +1,185 @@
+package codegen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/dsc"
+	"fastsched/internal/etf"
+	"fastsched/internal/example"
+	"fastsched/internal/fast"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+	"fastsched/internal/sim"
+)
+
+func exampleProgram(t *testing.T) (*dag.Graph, *sched.Schedule, *Program) {
+	t.Helper()
+	g := example.Graph()
+	s, err := fast.Default().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, p
+}
+
+func TestCompileShape(t *testing.T) {
+	g, s, p := exampleProgram(t)
+	if p.TaskCount != g.NumNodes() {
+		t.Fatalf("TaskCount = %d", p.TaskCount)
+	}
+	// every cross-processor edge appears exactly once as SEND and once
+	// as RECV
+	cross := 0
+	for _, e := range g.Edges() {
+		if s.Proc(e.From) != s.Proc(e.To) {
+			cross++
+		}
+	}
+	if p.MessageCount != cross {
+		t.Fatalf("MessageCount = %d, want %d", p.MessageCount, cross)
+	}
+	recvs := 0
+	for _, code := range p.Procs {
+		for _, in := range code {
+			if in.Kind == OpRecv {
+				recvs++
+			}
+		}
+	}
+	if recvs != cross {
+		t.Fatalf("RECVs = %d, want %d", recvs, cross)
+	}
+}
+
+func TestCompileRejectsInvalidSchedule(t *testing.T) {
+	g := example.Graph()
+	bad := sched.New(g.NumNodes())
+	bad.Place(0, 0, 0, 2) // incomplete
+	if _, err := Compile(g, bad); err == nil {
+		t.Fatal("invalid schedule compiled")
+	}
+}
+
+func TestListingReadable(t *testing.T) {
+	g, _, p := exampleProgram(t)
+	out := p.Listing(g)
+	for _, want := range []string{"PE 0:", "COMPUTE n1", "SEND", "RECV", "scheduled program:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpCompute.String() != "COMPUTE" || OpRecv.String() != "RECV" || OpSend.String() != "SEND" {
+		t.Fatal("op kind strings")
+	}
+	if OpKind(9).String() == "" {
+		t.Fatal("unknown op should stringify")
+	}
+}
+
+func TestExecuteMatchesSimOnExample(t *testing.T) {
+	g, s, p := exampleProgram(t)
+	for _, cfg := range []sim.Config{
+		{},
+		{Contention: true},
+		{Perturb: 0.1, Seed: 5},
+		{Contention: true, Perturb: 0.1, Seed: 5},
+	} {
+		want, err := sim.Run(g, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Execute(g, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Time != want.Time {
+			t.Fatalf("cfg %+v: Execute %v != sim.Run %v", cfg, got.Time, want.Time)
+		}
+		if got.Messages != want.Messages {
+			t.Fatalf("cfg %+v: messages %d != %d", cfg, got.Messages, want.Messages)
+		}
+	}
+}
+
+// The load-bearing cross-validation: the instruction-level interpreter
+// and the event-driven simulator must agree on every task's finish time
+// for random graphs, schedulers, processor counts and machine models.
+func TestExecuteEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	schedulers := []sched.Scheduler{fast.Default(), etf.New(), dsc.New()}
+	for trial := 0; trial < 40; trial++ {
+		g := schedtest.RandomLayered(rng, 2+rng.Intn(60))
+		s, err := schedulers[trial%len(schedulers)].Schedule(g, 1+rng.Intn(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Compile(g, s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cfg := sim.Config{
+			Contention: trial%2 == 0,
+			Perturb:    float64(trial%3) * 0.05,
+			Seed:       int64(trial),
+		}
+		if trial%4 == 0 {
+			cfg.Topology = sim.Mesh{Cols: 3, PerHop: 1.5}
+		}
+		want, err := sim.Run(g, s, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := Execute(g, p, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want.Finish {
+			if d := got.Finish[i] - want.Finish[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("trial %d: task %d finish %v != %v (cfg %+v)",
+					trial, i, got.Finish[i], want.Finish[i], cfg)
+			}
+		}
+		if got.Time != want.Time || got.Messages != want.Messages {
+			t.Fatalf("trial %d: report mismatch: %v/%d vs %v/%d",
+				trial, got.Time, got.Messages, want.Time, want.Messages)
+		}
+	}
+}
+
+func TestExecuteDetectsDeadlock(t *testing.T) {
+	// Hand-build a program whose RECV waits for a message that is never
+	// sent.
+	g := dag.New(2)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	g.MustAddEdge(a, b, 1)
+	p := &Program{
+		Procs: map[int][]Instr{
+			0: {{Kind: OpCompute, Task: a}}, // missing SEND
+			1: {{Kind: OpRecv, Task: b, Edge: dag.Edge{From: a, To: b, Weight: 1}, Peer: 0},
+				{Kind: OpCompute, Task: b}},
+		},
+		TaskCount:    2,
+		MessageCount: 0,
+	}
+	if _, err := Execute(g, p, sim.Config{}); err == nil {
+		t.Fatal("deadlocked program executed successfully")
+	}
+}
+
+func TestExecuteRejectsWrongTaskCount(t *testing.T) {
+	g := example.Graph()
+	if _, err := Execute(g, &Program{TaskCount: 1}, sim.Config{}); err == nil {
+		t.Fatal("task-count mismatch accepted")
+	}
+}

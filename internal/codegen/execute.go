@@ -1,0 +1,121 @@
+package codegen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sim"
+)
+
+// Execute runs the compiled program on an instruction-level interpreter
+// of the message-passing machine, under the same machine model as
+// sim.Run (contention and perturbation via sim.Config). For any valid
+// program the result agrees with sim.Run on the source schedule — the
+// cross-validation the tests assert.
+//
+// Each processor executes its instruction list in order: COMPUTE
+// advances the local clock by the (possibly perturbed) task duration,
+// RECV blocks until its message has arrived, SEND posts a message that
+// arrives after the edge's communication delay (serialized through a
+// single port per processor when contention is on).
+func Execute(g *dag.Graph, p *Program, cfg sim.Config) (*sim.Report, error) {
+	if p.TaskCount != g.NumNodes() {
+		return nil, fmt.Errorf("codegen: program has %d tasks, graph has %d", p.TaskCount, g.NumNodes())
+	}
+	duration := durations(g, cfg)
+
+	type msgKey struct{ from, to dag.NodeID }
+	arrival := make(map[msgKey]float64, p.MessageCount)
+
+	pc := make(map[int]int, len(p.Procs))
+	clock := make(map[int]float64, len(p.Procs))
+	portFree := make(map[int]float64, len(p.Procs))
+	busy := make(map[int]float64, len(p.Procs))
+	finish := make([]float64, g.NumNodes())
+	messages := 0
+
+	// Round-robin progress loop: keep sweeping processors, executing
+	// every instruction that can proceed, until a full sweep makes no
+	// progress. RECV of an unsent message is the only blocking point, so
+	// the loop terminates in O(instructions) sweeps.
+	procs := make([]int, 0, len(p.Procs))
+	for proc := range p.Procs {
+		procs = append(procs, proc)
+	}
+	sortInts(procs)
+
+	for {
+		progress := false
+		for _, proc := range procs {
+			code := p.Procs[proc]
+			for pc[proc] < len(code) {
+				in := code[pc[proc]]
+				if in.Kind == OpRecv {
+					t, ok := arrival[msgKey{in.Edge.From, in.Edge.To}]
+					if !ok {
+						break // message not sent yet: block this processor
+					}
+					if t > clock[proc] {
+						clock[proc] = t
+					}
+				} else if in.Kind == OpCompute {
+					d := duration[in.Task]
+					clock[proc] += d
+					busy[proc] += d
+					finish[in.Task] = clock[proc]
+				} else { // OpSend
+					depart := clock[proc]
+					if cfg.Contention {
+						if pf := portFree[proc]; pf > depart {
+							depart = pf
+						}
+						portFree[proc] = depart + in.Edge.Weight
+					}
+					arrive := depart + in.Edge.Weight + cfg.Topology.Delay(proc, in.Peer)
+					arrival[msgKey{in.Edge.From, in.Edge.To}] = arrive
+					messages++
+				}
+				pc[proc]++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for _, proc := range procs {
+		if pc[proc] < len(p.Procs[proc]) {
+			return nil, errors.New("codegen: program deadlocked on an unsatisfied RECV")
+		}
+	}
+
+	var makespan float64
+	for _, f := range finish {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	return &sim.Report{Time: makespan, Finish: finish, BusyTime: busy, Messages: messages}, nil
+}
+
+// durations mirrors sim's perturbation model exactly (same seed, same
+// draw order) so that Execute and sim.Run agree configuration for
+// configuration.
+func durations(g *dag.Graph, cfg sim.Config) []float64 {
+	v := g.NumNodes()
+	d := make([]float64, v)
+	if cfg.Perturb <= 0 {
+		for i := 0; i < v; i++ {
+			d[i] = g.Weight(dag.NodeID(i))
+		}
+		return d
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < v; i++ {
+		factor := 1 + cfg.Perturb*(2*rng.Float64()-1)
+		d[i] = g.Weight(dag.NodeID(i)) * factor
+	}
+	return d
+}

@@ -1,0 +1,388 @@
+// Package dag implements the node- and edge-weighted directed acyclic
+// graph model used by static multiprocessor scheduling: tasks with
+// computation costs connected by messages with communication costs.
+//
+// The package provides construction and validation, topological
+// ordering, the level attributes used by scheduling heuristics
+// (t-level, b-level, static level, ASAP and ALAP times), critical-path
+// extraction, and the CPN/IBN/OBN node classification introduced by the
+// FAST algorithm (Kwok, Ahmad, Gu; ICPP 1996).
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a Graph. IDs are dense: a graph with v
+// nodes uses IDs 0..v-1, which lets attribute tables be flat slices.
+type NodeID int
+
+// None is the sentinel "no node" value.
+const None NodeID = -1
+
+// Node is a task: a unit of work executed sequentially on one processor.
+type Node struct {
+	ID     NodeID
+	Label  string  // human-readable name, e.g. "n7" or "update(3,5)"
+	Weight float64 // computation cost w(n)
+}
+
+// Edge is a message (and precedence constraint) between two tasks.
+type Edge struct {
+	From, To NodeID
+	Weight   float64 // communication cost c(from,to); zeroed when co-located
+}
+
+// Graph is a weighted DAG. The zero value is an empty graph ready to use.
+// Graphs are mutable during construction; scheduling algorithms treat
+// them as read-only.
+type Graph struct {
+	nodes []Node
+	// adjacency, indexed by NodeID
+	succ [][]Edge // outgoing edges of each node
+	pred [][]Edge // incoming edges of each node
+	ne   int      // edge count
+}
+
+// New returns an empty graph with capacity hints for n nodes.
+func New(n int) *Graph {
+	return &Graph{
+		nodes: make([]Node, 0, n),
+		succ:  make([][]Edge, 0, n),
+		pred:  make([][]Edge, 0, n),
+	}
+}
+
+// AddNode appends a node with the given label and computation cost and
+// returns its ID.
+func (g *Graph) AddNode(label string, weight float64) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Label: label, Weight: weight})
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// AddEdge inserts a directed edge from -> to with the given
+// communication cost. It panics on out-of-range IDs and returns an error
+// on self-loops or duplicate edges.
+func (g *Graph) AddEdge(from, to NodeID, weight float64) error {
+	if !g.valid(from) || !g.valid(to) {
+		panic(fmt.Sprintf("dag: edge endpoint out of range: %d -> %d (v=%d)", from, to, len(g.nodes)))
+	}
+	if from == to {
+		return fmt.Errorf("dag: self-loop on node %d", from)
+	}
+	for _, e := range g.succ[from] {
+		if e.To == to {
+			return fmt.Errorf("dag: duplicate edge %d -> %d", from, to)
+		}
+	}
+	e := Edge{From: from, To: to, Weight: weight}
+	g.succ[from] = append(g.succ[from], e)
+	g.pred[to] = append(g.pred[to], e)
+	g.ne++
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; for literals in tests and
+// generators where duplicates indicate a programming bug.
+func (g *Graph) MustAddEdge(from, to NodeID, weight float64) {
+	if err := g.AddEdge(from, to, weight); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }
+
+// NumNodes returns v, the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns e, the number of edges.
+func (g *Graph) NumEdges() int { return g.ne }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Nodes returns the node table in ID order. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Weight returns the computation cost of node id.
+func (g *Graph) Weight(id NodeID) float64 { return g.nodes[id].Weight }
+
+// Label returns the label of node id.
+func (g *Graph) Label(id NodeID) string { return g.nodes[id].Label }
+
+// SetWeight replaces the computation cost of node id.
+func (g *Graph) SetWeight(id NodeID, w float64) { g.nodes[id].Weight = w }
+
+// SetEdgeWeight replaces the communication cost of edge from->to.
+// It reports whether the edge exists.
+func (g *Graph) SetEdgeWeight(from, to NodeID, w float64) bool {
+	found := false
+	for i := range g.succ[from] {
+		if g.succ[from][i].To == to {
+			g.succ[from][i].Weight = w
+			found = true
+		}
+	}
+	for i := range g.pred[to] {
+		if g.pred[to][i].From == from {
+			g.pred[to][i].Weight = w
+		}
+	}
+	return found
+}
+
+// Succ returns the outgoing edges of id. Shared storage; read-only.
+func (g *Graph) Succ(id NodeID) []Edge { return g.succ[id] }
+
+// Pred returns the incoming edges of id. Shared storage; read-only.
+func (g *Graph) Pred(id NodeID) []Edge { return g.pred[id] }
+
+// InDegree returns the number of parents of id.
+func (g *Graph) InDegree(id NodeID) int { return len(g.pred[id]) }
+
+// OutDegree returns the number of children of id.
+func (g *Graph) OutDegree(id NodeID) int { return len(g.succ[id]) }
+
+// EdgeWeight returns the communication cost of edge from->to and whether
+// the edge exists.
+func (g *Graph) EdgeWeight(from, to NodeID) (float64, bool) {
+	for _, e := range g.succ[from] {
+		if e.To == to {
+			return e.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// Edges returns all edges in (From, To) order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.ne)
+	for _, es := range g.succ {
+		out = append(out, es...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// EntryNodes returns all nodes with no parents, in ID order.
+func (g *Graph) EntryNodes() []NodeID {
+	var out []NodeID
+	for i := range g.nodes {
+		if len(g.pred[i]) == 0 {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// ExitNodes returns all nodes with no children, in ID order.
+func (g *Graph) ExitNodes() []NodeID {
+	var out []NodeID
+	for i := range g.nodes {
+		if len(g.succ[i]) == 0 {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// TotalWork returns the sum of all computation costs (the sequential
+// execution time of the program).
+func (g *Graph) TotalWork() float64 {
+	var s float64
+	for _, n := range g.nodes {
+		s += n.Weight
+	}
+	return s
+}
+
+// TotalComm returns the sum of all communication costs.
+func (g *Graph) TotalComm() float64 {
+	var s float64
+	for _, es := range g.succ {
+		for _, e := range es {
+			s += e.Weight
+		}
+	}
+	return s
+}
+
+// CCR returns the communication-to-computation ratio: average edge cost
+// divided by average node cost. It returns 0 for a graph with no edges.
+func (g *Graph) CCR() float64 {
+	if g.ne == 0 || len(g.nodes) == 0 {
+		return 0
+	}
+	avgC := g.TotalComm() / float64(g.ne)
+	avgW := g.TotalWork() / float64(len(g.nodes))
+	if avgW == 0 {
+		return 0
+	}
+	return avgC / avgW
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes: append([]Node(nil), g.nodes...),
+		succ:  make([][]Edge, len(g.succ)),
+		pred:  make([][]Edge, len(g.pred)),
+		ne:    g.ne,
+	}
+	for i := range g.succ {
+		c.succ[i] = append([]Edge(nil), g.succ[i]...)
+		c.pred[i] = append([]Edge(nil), g.pred[i]...)
+	}
+	return c
+}
+
+// TopologicalOrder returns the node IDs in a topological order (Kahn's
+// algorithm, smallest-ID-first for determinism), or an error if the
+// graph contains a cycle.
+func (g *Graph) TopologicalOrder() ([]NodeID, error) {
+	v := len(g.nodes)
+	indeg := make([]int, v)
+	for i := range g.nodes {
+		indeg[i] = len(g.pred[i])
+	}
+	// min-heap on NodeID for deterministic order
+	h := &idHeap{}
+	for i := 0; i < v; i++ {
+		if indeg[i] == 0 {
+			h.push(NodeID(i))
+		}
+	}
+	order := make([]NodeID, 0, v)
+	for h.len() > 0 {
+		n := h.pop()
+		order = append(order, n)
+		for _, e := range g.succ[n] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				h.push(e.To)
+			}
+		}
+	}
+	if len(order) != v {
+		return nil, fmt.Errorf("dag: graph contains a cycle (%d of %d nodes ordered)", len(order), v)
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: acyclicity and adjacency
+// consistency. Generators and loaders call it before handing a graph to
+// a scheduler.
+func (g *Graph) Validate() error {
+	if _, err := g.TopologicalOrder(); err != nil {
+		return err
+	}
+	for i := range g.nodes {
+		for _, e := range g.succ[i] {
+			if e.From != NodeID(i) {
+				return fmt.Errorf("dag: corrupt succ list at node %d", i)
+			}
+			w, ok := g.EdgeWeight(e.From, e.To)
+			if !ok || w != e.Weight {
+				return fmt.Errorf("dag: succ/pred mismatch on edge %d->%d", e.From, e.To)
+			}
+		}
+		for _, n := range g.nodes {
+			if n.Weight < 0 {
+				return fmt.Errorf("dag: negative weight on node %d", n.ID)
+			}
+		}
+	}
+	for i := range g.nodes {
+		for _, e := range g.pred[i] {
+			if e.To != NodeID(i) {
+				return fmt.Errorf("dag: corrupt pred list at node %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// IsWeaklyConnected reports whether the graph is connected when edge
+// directions are ignored. The empty graph is considered connected.
+func (g *Graph) IsWeaklyConnected() bool {
+	v := len(g.nodes)
+	if v == 0 {
+		return true
+	}
+	seen := make([]bool, v)
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.succ[n] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+		for _, e := range g.pred[n] {
+			if !seen[e.From] {
+				seen[e.From] = true
+				count++
+				stack = append(stack, e.From)
+			}
+		}
+	}
+	return count == v
+}
+
+// idHeap is a tiny binary min-heap of NodeIDs (avoids container/heap
+// interface overhead on the hot topological-sort path).
+type idHeap struct{ a []NodeID }
+
+func (h *idHeap) len() int { return len(h.a) }
+
+func (h *idHeap) push(x NodeID) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *idHeap) pop() NodeID {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.a) && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < len(h.a) && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

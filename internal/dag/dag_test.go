@@ -1,0 +1,261 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// diamond builds the four-node diamond a -> {b,c} -> d used across tests.
+//
+//	a(1) --2--> b(2) --1--> d(4)
+//	a(1) --3--> c(3) --5--> d(4)
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 2)
+	c := g.AddNode("c", 3)
+	d := g.AddNode("d", 4)
+	g.MustAddEdge(a, b, 2)
+	g.MustAddEdge(a, c, 3)
+	g.MustAddEdge(b, d, 1)
+	g.MustAddEdge(c, d, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("diamond invalid: %v", err)
+	}
+	return g
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New(0)
+	for i := 0; i < 5; i++ {
+		if id := g.AddNode("", 1); int(id) != i {
+			t.Fatalf("node %d got id %d", i, id)
+		}
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+}
+
+func TestAddEdgeRejectsSelfLoop(t *testing.T) {
+	g := New(1)
+	a := g.AddNode("a", 1)
+	if err := g.AddEdge(a, a, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestAddEdgeRejectsDuplicate(t *testing.T) {
+	g := New(2)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	g.MustAddEdge(a, b, 1)
+	if err := g.AddEdge(a, b, 2); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestAddEdgePanicsOnBadEndpoint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range endpoint")
+		}
+	}()
+	g := New(1)
+	a := g.AddNode("a", 1)
+	_ = g.AddEdge(a, NodeID(7), 1)
+}
+
+func TestDegreesAndAdjacency(t *testing.T) {
+	g := diamond(t)
+	if g.InDegree(0) != 0 || g.OutDegree(0) != 2 {
+		t.Fatalf("a degrees = in %d out %d", g.InDegree(0), g.OutDegree(0))
+	}
+	if g.InDegree(3) != 2 || g.OutDegree(3) != 0 {
+		t.Fatalf("d degrees = in %d out %d", g.InDegree(3), g.OutDegree(3))
+	}
+	if w, ok := g.EdgeWeight(1, 3); !ok || w != 1 {
+		t.Fatalf("EdgeWeight(b,d) = %v,%v", w, ok)
+	}
+	if _, ok := g.EdgeWeight(3, 0); ok {
+		t.Fatal("nonexistent edge reported present")
+	}
+}
+
+func TestEntryExitNodes(t *testing.T) {
+	g := diamond(t)
+	if e := g.EntryNodes(); len(e) != 1 || e[0] != 0 {
+		t.Fatalf("EntryNodes = %v", e)
+	}
+	if x := g.ExitNodes(); len(x) != 1 || x[0] != 3 {
+		t.Fatalf("ExitNodes = %v", x)
+	}
+}
+
+func TestTotalsAndCCR(t *testing.T) {
+	g := diamond(t)
+	if got := g.TotalWork(); got != 10 {
+		t.Fatalf("TotalWork = %v, want 10", got)
+	}
+	if got := g.TotalComm(); got != 11 {
+		t.Fatalf("TotalComm = %v, want 11", got)
+	}
+	// avg comm 11/4, avg comp 10/4 -> CCR = 11/10
+	if got, want := g.CCR(), 1.1; got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("CCR = %v, want %v", got, want)
+	}
+}
+
+func TestCCREmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.CCR() != 0 {
+		t.Fatal("CCR of empty graph should be 0")
+	}
+}
+
+func TestTopologicalOrderDiamond(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge %d->%d violates order %v", e.From, e.To, order)
+		}
+	}
+	// Kahn with min-heap is deterministic: a,b,c,d
+	want := []NodeID{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopologicalOrderDetectsCycle(t *testing.T) {
+	g := New(3)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	c := g.AddNode("c", 1)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, c, 1)
+	// Force a cycle by editing internals the way a corrupted loader might.
+	g.succ[c] = append(g.succ[c], Edge{From: c, To: a, Weight: 1})
+	g.pred[a] = append(g.pred[a], Edge{From: c, To: a, Weight: 1})
+	g.ne++
+	if _, err := g.TopologicalOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate passed a cyclic graph")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.SetWeight(0, 99)
+	c.SetEdgeWeight(0, 1, 99)
+	if g.Weight(0) != 1 {
+		t.Fatal("clone shares node storage")
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 2 {
+		t.Fatal("clone shares edge storage")
+	}
+}
+
+func TestSetEdgeWeightUpdatesBothDirections(t *testing.T) {
+	g := diamond(t)
+	if !g.SetEdgeWeight(0, 1, 42) {
+		t.Fatal("edge not found")
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 42 {
+		t.Fatalf("succ weight = %v", w)
+	}
+	for _, e := range g.Pred(1) {
+		if e.From == 0 && e.Weight != 42 {
+			t.Fatalf("pred weight = %v", e.Weight)
+		}
+	}
+	if g.SetEdgeWeight(3, 0, 1) {
+		t.Fatal("SetEdgeWeight invented an edge")
+	}
+}
+
+func TestIsWeaklyConnected(t *testing.T) {
+	g := diamond(t)
+	if !g.IsWeaklyConnected() {
+		t.Fatal("diamond should be connected")
+	}
+	g.AddNode("island", 1)
+	if g.IsWeaklyConnected() {
+		t.Fatal("island not detected")
+	}
+	if !New(0).IsWeaklyConnected() {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+// RandomLayered builds a random layered DAG for property tests. Exported
+// to sibling test packages via export_test-style helper below.
+func randomLayered(rng *rand.Rand, v int) *Graph {
+	g := New(v)
+	layers := make([][]NodeID, 0)
+	placed := 0
+	for placed < v {
+		width := 1 + rng.Intn(4)
+		if placed+width > v {
+			width = v - placed
+		}
+		layer := make([]NodeID, 0, width)
+		for i := 0; i < width; i++ {
+			layer = append(layer, g.AddNode("", 1+float64(rng.Intn(9))))
+			placed++
+		}
+		layers = append(layers, layer)
+	}
+	for li := 1; li < len(layers); li++ {
+		for _, n := range layers[li] {
+			// connect to 1..3 nodes in earlier layers
+			k := 1 + rng.Intn(3)
+			for j := 0; j < k; j++ {
+				src := layers[rng.Intn(li)]
+				p := src[rng.Intn(len(src))]
+				_ = g.AddEdge(p, n, float64(rng.Intn(20))) // dup edges ignored
+			}
+		}
+	}
+	return g
+}
+
+func TestRandomGraphsTopoOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		g := randomLayered(rng, 2+rng.Intn(60))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		order, err := g.TopologicalOrder()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		pos := make([]int, g.NumNodes())
+		for i, n := range order {
+			pos[n] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("trial %d: edge %d->%d out of order", trial, e.From, e.To)
+			}
+		}
+	}
+}

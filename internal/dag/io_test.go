@@ -1,0 +1,90 @@
+package dag
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g, "diamond"); err != nil {
+		t.Fatal(err)
+	}
+	g2, name, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "diamond" {
+		t.Fatalf("name = %q", name)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for _, n := range g.Nodes() {
+		n2 := g2.Node(n.ID)
+		if n2.Label != n.Label || n2.Weight != n.Weight {
+			t.Fatalf("node %d mismatch: %+v vs %+v", n.ID, n2, n)
+		}
+	}
+	for _, e := range g.Edges() {
+		w, ok := g2.EdgeWeight(e.From, e.To)
+		if !ok || w != e.Weight {
+			t.Fatalf("edge %d->%d mismatch", e.From, e.To)
+		}
+	}
+}
+
+func TestJSONRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		g := randomLayered(rng, 2+rng.Intn(40))
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, g, ""); err != nil {
+			t.Fatal(err)
+		}
+		g2, _, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+	}
+}
+
+func TestReadJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      `{{{`,
+		"dup node":     `{"nodes":[{"id":0,"weight":1},{"id":0,"weight":1}],"edges":[]}`,
+		"id range":     `{"nodes":[{"id":5,"weight":1}],"edges":[]}`,
+		"edge range":   `{"nodes":[{"id":0,"weight":1}],"edges":[{"from":0,"to":9,"weight":1}]}`,
+		"self loop":    `{"nodes":[{"id":0,"weight":1}],"edges":[{"from":0,"to":0,"weight":1}]}`,
+		"dup edge":     `{"nodes":[{"id":0,"weight":1},{"id":1,"weight":1}],"edges":[{"from":0,"to":1,"weight":1},{"from":0,"to":1,"weight":2}]}`,
+		"negative wgt": `{"nodes":[{"id":0,"weight":-3}],"edges":[]}`,
+	}
+	for name, in := range cases {
+		if _, _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := diamond(t)
+	dot := DOT(g, "diamond")
+	for _, want := range []string{"digraph \"diamond\"", "0 -> 1", "2 -> 3", "label=\"a\\n1\""} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// unnamed graphs get a default name and unlabeled nodes a default label
+	g2 := New(1)
+	g2.AddNode("", 2)
+	dot2 := DOT(g2, "")
+	if !strings.Contains(dot2, "digraph \"G\"") || !strings.Contains(dot2, "n0") {
+		t.Errorf("default naming broken:\n%s", dot2)
+	}
+}

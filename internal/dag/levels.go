@@ -1,0 +1,193 @@
+package dag
+
+import "fmt"
+
+// Levels holds the per-node attributes used by scheduling heuristics.
+// All tables are indexed by NodeID.
+type Levels struct {
+	TLevel []float64 // length of the longest path from an entry node to n, excluding w(n); the ASAP start time
+	BLevel []float64 // length of the longest path from n to an exit node, including w(n)
+	Static []float64 // static b-level: b-level with communication costs ignored
+	ALAP   []float64 // as-late-as-possible start time: CP - b-level
+	CPLen  float64   // critical-path length: max over nodes of t-level + b-level
+	Order  []NodeID  // the topological order the levels were computed in
+}
+
+// ASAP returns the as-soon-as-possible start time of n (an alias of the
+// t-level, as defined in the paper).
+func (l *Levels) ASAP(n NodeID) float64 { return l.TLevel[n] }
+
+// IsCPN reports whether n is a critical-path node, i.e. whether its
+// ASAP and ALAP times coincide (equivalently t-level + b-level = CP).
+func (l *Levels) IsCPN(n NodeID) bool {
+	return l.TLevel[n]+l.BLevel[n] >= l.CPLen-cpEps(l.CPLen)
+}
+
+// cpEps is the tolerance for float comparisons against the CP length,
+// scaled to the magnitude of the values involved.
+func cpEps(cp float64) float64 {
+	const rel = 1e-9
+	if cp < 1 {
+		return rel
+	}
+	return cp * rel
+}
+
+// ComputeLevels computes the t-level, b-level, static level and ALAP
+// time of every node in O(v + e) time. It returns an error if the graph
+// is cyclic or empty.
+func ComputeLevels(g *Graph) (*Levels, error) {
+	v := g.NumNodes()
+	if v == 0 {
+		return nil, fmt.Errorf("dag: cannot compute levels of an empty graph")
+	}
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	l := &Levels{
+		TLevel: make([]float64, v),
+		BLevel: make([]float64, v),
+		Static: make([]float64, v),
+		ALAP:   make([]float64, v),
+		Order:  order,
+	}
+	// t-level: forward pass. t(n) = max over parents p of t(p)+w(p)+c(p,n).
+	for _, n := range order {
+		t := 0.0
+		for _, e := range g.Pred(n) {
+			cand := l.TLevel[e.From] + g.Weight(e.From) + e.Weight
+			if cand > t {
+				t = cand
+			}
+		}
+		l.TLevel[n] = t
+	}
+	// b-level and static level: backward pass.
+	// b(n) = w(n) + max over children c of c(n,c)+b(c).
+	for i := v - 1; i >= 0; i-- {
+		n := order[i]
+		b, s := 0.0, 0.0
+		for _, e := range g.Succ(n) {
+			if cand := e.Weight + l.BLevel[e.To]; cand > b {
+				b = cand
+			}
+			if cand := l.Static[e.To]; cand > s {
+				s = cand
+			}
+		}
+		l.BLevel[n] = g.Weight(n) + b
+		l.Static[n] = g.Weight(n) + s
+	}
+	for _, n := range order {
+		if sum := l.TLevel[n] + l.BLevel[n]; sum > l.CPLen {
+			l.CPLen = sum
+		}
+	}
+	for _, n := range order {
+		l.ALAP[n] = l.CPLen - l.BLevel[n]
+	}
+	return l, nil
+}
+
+// CriticalPath returns one critical path of the graph as a sequence of
+// nodes from an entry node to an exit node, chosen deterministically
+// (smallest ID among ties). The path's nodes are all CPNs.
+func CriticalPath(g *Graph, l *Levels) []NodeID {
+	// Start at the entry CPN with the largest b-level (== CPLen).
+	start := None
+	for _, n := range g.EntryNodes() {
+		if l.IsCPN(n) && (start == None || l.BLevel[n] > l.BLevel[start]) {
+			start = n
+		}
+	}
+	if start == None {
+		return nil
+	}
+	path := []NodeID{start}
+	cur := start
+	for g.OutDegree(cur) > 0 {
+		next := None
+		for _, e := range g.Succ(cur) {
+			// The CP successor continues the longest path:
+			// b(cur) = w(cur) + c(cur,next) + b(next), and next is a CPN.
+			if !l.IsCPN(e.To) {
+				continue
+			}
+			cont := g.Weight(cur) + e.Weight + l.BLevel[e.To]
+			if cont >= l.BLevel[cur]-cpEps(l.CPLen) && (next == None || e.To < next) {
+				next = e.To
+			}
+		}
+		if next == None {
+			break
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// Class is the FAST node classification.
+type Class uint8
+
+const (
+	// CPN: a node on a critical path (t-level + b-level == CP length).
+	CPN Class = iota
+	// IBN (in-branch node): not a CPN, but some path from it reaches a CPN.
+	IBN
+	// OBN (out-branch node): neither a CPN nor an IBN.
+	OBN
+)
+
+// String returns the conventional abbreviation of the class.
+func (c Class) String() string {
+	switch c {
+	case CPN:
+		return "CPN"
+	case IBN:
+		return "IBN"
+	default:
+		return "OBN"
+	}
+}
+
+// Classify partitions the nodes into CPNs, IBNs and OBNs in O(v + e)
+// time: a reverse topological sweep marks every node that can reach a
+// CPN.
+func Classify(g *Graph, l *Levels) []Class {
+	v := g.NumNodes()
+	cls := make([]Class, v)
+	reaches := make([]bool, v) // reaches[n]: some path n ->* CPN exists
+	for i := v - 1; i >= 0; i-- {
+		n := l.Order[i]
+		if l.IsCPN(n) {
+			reaches[n] = true
+			cls[n] = CPN
+			continue
+		}
+		for _, e := range g.Succ(n) {
+			if reaches[e.To] {
+				reaches[n] = true
+				break
+			}
+		}
+		if reaches[n] {
+			cls[n] = IBN
+		} else {
+			cls[n] = OBN
+		}
+	}
+	return cls
+}
+
+// NodesOfClass returns the IDs with the given class, in ID order.
+func NodesOfClass(cls []Class, want Class) []NodeID {
+	var out []NodeID
+	for i, c := range cls {
+		if c == want {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}

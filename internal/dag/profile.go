@@ -1,0 +1,87 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Profile characterizes a task graph's structure — the quantities that
+// predict how schedulable it is.
+type Profile struct {
+	Nodes, Edges int
+	// Height is the number of precedence levels (longest node chain).
+	Height int
+	// MaxWidth is the largest number of nodes on one precedence level —
+	// an upper bound on exploitable parallelism.
+	MaxWidth int
+	// AvgDegree is edges per node.
+	AvgDegree float64
+	// CCR is the communication-to-computation ratio.
+	CCR float64
+	// SequentialTime is the total computation.
+	SequentialTime float64
+	// CPLength is the critical-path length (with communication).
+	CPLength float64
+	// Parallelism is SequentialTime / computation-only CP: the average
+	// software parallelism available.
+	Parallelism float64
+}
+
+// ComputeProfile analyzes g in O(v + e).
+func ComputeProfile(g *Graph) (Profile, error) {
+	l, err := ComputeLevels(g)
+	if err != nil {
+		return Profile{}, err
+	}
+	p := Profile{
+		Nodes:          g.NumNodes(),
+		Edges:          g.NumEdges(),
+		CCR:            g.CCR(),
+		SequentialTime: g.TotalWork(),
+		CPLength:       l.CPLen,
+	}
+	if p.Nodes > 0 {
+		p.AvgDegree = float64(p.Edges) / float64(p.Nodes)
+	}
+	// Precedence levels: level(n) = 1 + max level of parents.
+	level := make([]int, g.NumNodes())
+	width := map[int]int{}
+	for _, n := range l.Order {
+		lv := 0
+		for _, e := range g.Pred(n) {
+			if level[e.From] > lv {
+				lv = level[e.From]
+			}
+		}
+		level[n] = lv + 1
+		width[lv+1]++
+		if lv+1 > p.Height {
+			p.Height = lv + 1
+		}
+	}
+	for _, w := range width {
+		if w > p.MaxWidth {
+			p.MaxWidth = w
+		}
+	}
+	compCP := 0.0
+	for i := 0; i < g.NumNodes(); i++ {
+		if s := l.Static[NodeID(i)]; s > compCP {
+			compCP = s
+		}
+	}
+	if compCP > 0 {
+		p.Parallelism = p.SequentialTime / compCP
+	}
+	return p, nil
+}
+
+// String renders the profile as a one-block summary.
+func (p Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v=%d e=%d height=%d maxwidth=%d avgdeg=%.2f\n",
+		p.Nodes, p.Edges, p.Height, p.MaxWidth, p.AvgDegree)
+	fmt.Fprintf(&b, "CCR=%.2f serial=%.6g CP=%.6g parallelism=%.2f",
+		p.CCR, p.SequentialTime, p.CPLength, p.Parallelism)
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package dag
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestProfileDiamond(t *testing.T) {
+	g := diamond(t) // a(1) -> b(2),c(3) -> d(4)
+	p, err := ComputeProfile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes != 4 || p.Edges != 4 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.Height != 3 || p.MaxWidth != 2 {
+		t.Fatalf("shape: height %d width %d", p.Height, p.MaxWidth)
+	}
+	if p.SequentialTime != 10 || p.CPLength != 16 {
+		t.Fatalf("times: %+v", p)
+	}
+	// computation-only CP = 1+3+4 = 8; parallelism = 10/8
+	if p.Parallelism < 1.24 || p.Parallelism > 1.26 {
+		t.Fatalf("parallelism = %v", p.Parallelism)
+	}
+	if !strings.Contains(p.String(), "v=4 e=4") {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestProfileChainAndIndependent(t *testing.T) {
+	chain := New(3)
+	a := chain.AddNode("", 1)
+	b := chain.AddNode("", 1)
+	c := chain.AddNode("", 1)
+	chain.MustAddEdge(a, b, 0)
+	chain.MustAddEdge(b, c, 0)
+	p, err := ComputeProfile(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Height != 3 || p.MaxWidth != 1 || p.Parallelism != 1 {
+		t.Fatalf("chain profile = %+v", p)
+	}
+
+	ind := New(4)
+	for i := 0; i < 4; i++ {
+		ind.AddNode("", 2)
+	}
+	p, err = ComputeProfile(ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Height != 1 || p.MaxWidth != 4 || p.Parallelism != 4 {
+		t.Fatalf("independent profile = %+v", p)
+	}
+}
+
+// Property: height * maxwidth >= v, parallelism in [1, v], CP >=
+// computation-only CP >= max node weight.
+func TestProfileInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		g := randomLayered(rng, 2+rng.Intn(60))
+		p, err := ComputeProfile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Height*p.MaxWidth < p.Nodes {
+			t.Fatalf("trial %d: height %d * width %d < v %d", trial, p.Height, p.MaxWidth, p.Nodes)
+		}
+		if p.Parallelism < 1-1e-9 || p.Parallelism > float64(p.Nodes)+1e-9 {
+			t.Fatalf("trial %d: parallelism %v out of range", trial, p.Parallelism)
+		}
+		if p.CPLength < p.SequentialTime/p.Parallelism-1e-9 {
+			t.Fatalf("trial %d: CP below computation CP", trial)
+		}
+	}
+}
+
+func TestProfileEmpty(t *testing.T) {
+	if _, err := ComputeProfile(New(0)); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadSTG drives the STG loader with arbitrary text: it must never
+// panic, and accepted graphs must validate.
+func FuzzReadSTG(f *testing.F) {
+	f.Add("3\n0 1 0\n1 2 1 0\n2 3 1 1\n")
+	f.Add("1\n0 0 0\n")
+	f.Add("# comment\n2\n0 1 0\n1 1 1 0\n")
+	f.Add("")
+	f.Add("not-a-number\n")
+	f.Add("2\n0 1 0\n1 1 1 1\n") // self-predecessor
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadSTG(strings.NewReader(input), 1)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted STG fails validation: %v", err)
+		}
+	})
+}

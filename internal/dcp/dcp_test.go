@@ -1,0 +1,101 @@
+package dcp
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/example"
+	"fastsched/internal/fast"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conformance(t, New(), true)
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "DCP" {
+		t.Fatal("name")
+	}
+}
+
+func TestExampleGraphQuality(t *testing.T) {
+	g := example.Graph()
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	// DCP is the quality-oriented algorithm of the same authors: it must
+	// land within the band the other algorithms produce on the example
+	// graph (18..23 across FAST/DSC/ETF/DLS/MD).
+	if s.Length() > 23 {
+		t.Fatalf("DCP length %v worse than MD's 23", s.Length())
+	}
+}
+
+// The zero-mobility chain stays on one processor at zero cost.
+func TestChainTight(t *testing.T) {
+	g := schedtest.Chain(7, 9)
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() != 1 || s.Length() != 7 {
+		t.Fatalf("chain: %d procs, length %v", s.ProcsUsed(), s.Length())
+	}
+}
+
+// The lookahead keeps a hot parent-child pair together: with one heavy
+// child and an expensive edge, parent and critical child co-locate.
+func TestLookaheadCoLocatesCriticalChild(t *testing.T) {
+	g := dag.New(3)
+	a := g.AddNode("a", 2)
+	b := g.AddNode("b", 6) // critical child, expensive message
+	c := g.AddNode("c", 1)
+	g.MustAddEdge(a, b, 50)
+	g.MustAddEdge(a, c, 1)
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Proc(a) != s.Proc(b) {
+		t.Fatal("critical child not co-located despite 50-unit message")
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DCP spends O(v^3); on random graphs it should at least keep pace with
+// FAST's median quality. Assert it stays within 25% of FAST across a
+// seeded sample (a loose band: both are heuristics).
+func TestQualityBandVsFAST(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	worseCount := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		g := schedtest.RandomLayered(rng, 20+rng.Intn(50))
+		d, err := New().Schedule(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Validate(g, d); err != nil {
+			t.Fatal(err)
+		}
+		f, err := fast.Default().Schedule(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Length() > 1.25*f.Length() {
+			worseCount++
+		}
+	}
+	if worseCount > trials/2 {
+		t.Fatalf("DCP worse than 1.25x FAST on %d/%d graphs — implementation suspect", worseCount, trials)
+	}
+}

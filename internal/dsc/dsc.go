@@ -1,0 +1,163 @@
+// Package dsc implements the DSC (Dominant Sequence Clustering)
+// algorithm of Yang and Gerasoulis (IEEE TPDS, 1994).
+//
+// DSC clusters the nodes of the DAG onto an unbounded set of virtual
+// processors. Nodes are examined in priority order (t-level + b-level,
+// which tracks the dominant sequence — the critical path of the
+// partially scheduled graph); each examined node either merges into a
+// parent's cluster (zeroing the incoming edges from that cluster) when
+// that strictly reduces its start time, or starts a cluster of its own.
+// The b-levels are computed once up front and the t-levels maintained
+// incrementally, giving O((e + v)·log v) time.
+//
+// This implementation follows the basic DSC examination loop without
+// the DSRW (dominant-sequence reduction warranty) refinement for
+// partially free nodes; the refinement only affects tie-heavy graphs
+// and none of the paper's qualitative results depend on it.
+package dsc
+
+import (
+	"container/heap"
+	"errors"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+)
+
+// Scheduler implements sched.Scheduler with the DSC algorithm.
+type Scheduler struct{}
+
+// New returns a DSC scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements sched.Scheduler.
+func (*Scheduler) Name() string { return "DSC" }
+
+// Schedule implements sched.Scheduler. DSC assumes an unbounded number
+// of processors and ignores procs entirely (the paper's experiments do
+// the same: DSC "in general uses O(v) processors").
+func (*Scheduler) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
+	v := g.NumNodes()
+	if v == 0 {
+		return nil, errors.New("dsc: empty graph")
+	}
+	l, err := dag.ComputeLevels(g)
+	if err != nil {
+		return nil, err
+	}
+
+	cluster := make([]int, v) // -1 while unexamined
+	for i := range cluster {
+		cluster[i] = -1
+	}
+	var clusterReady []float64 // finish time of the last node per cluster
+	start := make([]float64, v)
+	tlevel := append([]float64(nil), l.TLevel...) // incrementally updated
+	unexaminedParents := make([]int, v)
+	s := sched.New(v)
+	s.Algorithm = "DSC"
+
+	// Free list: nodes whose parents are all examined, max-priority first.
+	fl := &freeList{priority: func(n dag.NodeID) float64 { return tlevel[n] + l.BLevel[n] }}
+	for i := 0; i < v; i++ {
+		unexaminedParents[i] = g.InDegree(dag.NodeID(i))
+		if unexaminedParents[i] == 0 {
+			heap.Push(fl, dag.NodeID(i))
+		}
+	}
+
+	for examined := 0; examined < v; examined++ {
+		if fl.Len() == 0 {
+			return nil, errors.New("dsc: no free node (cyclic graph?)")
+		}
+		n := heap.Pop(fl).(dag.NodeID)
+
+		// Staying alone costs the full-communication arrival time, which
+		// is exactly the current t-level.
+		bestCluster, bestEST := -1, tlevel[n]
+		// Merging into a parent's cluster zeroes the edges from every
+		// parent already in that cluster but must wait for the cluster to
+		// drain and for messages from parents outside it.
+		seen := map[int]bool{}
+		for _, e := range g.Pred(n) {
+			c := cluster[e.From]
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			est := clusterReady[c]
+			for _, pe := range g.Pred(n) {
+				arr := start[pe.From] + g.Weight(pe.From)
+				if cluster[pe.From] != c {
+					arr += pe.Weight
+				}
+				if arr > est {
+					est = arr
+				}
+			}
+			if est < bestEST-1e-12 {
+				bestCluster, bestEST = c, est
+			}
+		}
+		if bestCluster == -1 {
+			bestCluster = len(clusterReady)
+			clusterReady = append(clusterReady, 0)
+		}
+		cluster[n] = bestCluster
+		start[n] = bestEST
+		finish := bestEST + g.Weight(n)
+		clusterReady[bestCluster] = finish
+		s.Place(n, bestCluster, bestEST, finish)
+
+		for _, e := range g.Succ(n) {
+			// The child's t-level estimate assumes full communication from
+			// every examined parent; merging decisions may lower it later,
+			// which DSC accounts for at the child's own examination.
+			if arr := finish + e.Weight; arr > tlevel[e.To] {
+				tlevel[e.To] = arr
+			}
+			unexaminedParents[e.To]--
+			if unexaminedParents[e.To] == 0 {
+				heap.Push(fl, e.To)
+			}
+		}
+	}
+	return s, nil
+}
+
+// freeList is a max-heap of node IDs ordered by the priority function,
+// with smaller IDs first among ties for determinism. Priorities are
+// fixed at push time (a node's t-level is final once it becomes free).
+type freeList struct {
+	nodes    []dag.NodeID
+	prio     []float64
+	priority func(dag.NodeID) float64
+}
+
+func (f *freeList) Len() int { return len(f.nodes) }
+
+func (f *freeList) Less(i, j int) bool {
+	if f.prio[i] != f.prio[j] {
+		return f.prio[i] > f.prio[j]
+	}
+	return f.nodes[i] < f.nodes[j]
+}
+
+func (f *freeList) Swap(i, j int) {
+	f.nodes[i], f.nodes[j] = f.nodes[j], f.nodes[i]
+	f.prio[i], f.prio[j] = f.prio[j], f.prio[i]
+}
+
+func (f *freeList) Push(x any) {
+	n := x.(dag.NodeID)
+	f.nodes = append(f.nodes, n)
+	f.prio = append(f.prio, f.priority(n))
+}
+
+func (f *freeList) Pop() any {
+	last := len(f.nodes) - 1
+	n := f.nodes[last]
+	f.nodes = f.nodes[:last]
+	f.prio = f.prio[:last]
+	return n
+}

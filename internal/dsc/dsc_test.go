@@ -1,0 +1,130 @@
+package dsc
+
+import (
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/example"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conformance(t, New(), false) // DSC is unbounded by definition
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "DSC" {
+		t.Fatal("name")
+	}
+}
+
+func TestExampleGraphValid(t *testing.T) {
+	g := example.Graph()
+	s, err := New().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DSC's defining move: zeroing the edge into a chain child when that
+// reduces its start time, collapsing linear chains into one cluster.
+func TestChainCollapsesToOneCluster(t *testing.T) {
+	g := schedtest.Chain(12, 7)
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() != 1 {
+		t.Fatalf("chain split across %d clusters", s.ProcsUsed())
+	}
+	if s.Length() != 12 {
+		t.Fatalf("length = %v, want 12 (all comm zeroed)", s.Length())
+	}
+}
+
+// With cheap computation and free processors DSC leaves independent
+// branches in separate clusters — the O(v) processor usage the paper
+// criticises.
+func TestIndependentTasksGetOwnClusters(t *testing.T) {
+	g := dag.New(6)
+	for i := 0; i < 6; i++ {
+		g.AddNode("", 5)
+	}
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() != 6 {
+		t.Fatalf("independent tasks share clusters: %d used", s.ProcsUsed())
+	}
+	if s.Length() != 5 {
+		t.Fatalf("length = %v, want 5", s.Length())
+	}
+}
+
+// A fork with communication cheaper than waiting keeps children
+// remote; with expensive communication DSC pulls the dominant child
+// into the parent's cluster.
+func TestMergeOnlyWhenItHelps(t *testing.T) {
+	// expensive comm: child merges with parent
+	g := dag.New(2)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	g.MustAddEdge(a, b, 50)
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Proc(a) != s.Proc(b) {
+		t.Fatal("expensive edge not zeroed")
+	}
+	if s.Length() != 2 {
+		t.Fatalf("length = %v, want 2", s.Length())
+	}
+
+	// free comm: merging cannot strictly improve, so b stays alone
+	g2 := dag.New(3)
+	a2 := g2.AddNode("a", 1)
+	b2 := g2.AddNode("b", 1)
+	c2 := g2.AddNode("c", 1)
+	g2.MustAddEdge(a2, b2, 0)
+	g2.MustAddEdge(a2, c2, 0)
+	s2, err := New().Schedule(g2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g2, s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Length() != 2 {
+		t.Fatalf("length = %v, want 2 (both children parallel at t=1)", s2.Length())
+	}
+	if s2.Proc(b2) == s2.Proc(c2) {
+		t.Fatal("children serialized without benefit")
+	}
+}
+
+// The fork-join with heavy middle tasks and light messages: DSC should
+// get the join's messages from remote clusters without stretching the
+// makespan beyond the obvious bound.
+func TestForkJoinBound(t *testing.T) {
+	g := schedtest.ForkJoin(4, 1)
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	// lower bound 1+2+1 = 4, upper bound: paying one message each way = 6
+	if s.Length() < 4 || s.Length() > 6 {
+		t.Fatalf("fork-join length = %v, want within [4,6]", s.Length())
+	}
+}

@@ -1,0 +1,284 @@
+// Package dup implements duplication-based scheduling — the third
+// classic family in the DAG-scheduling taxonomy alongside list
+// scheduling and clustering — in the style of DSH (Duplication
+// Scheduling Heuristic; Kruatrachue & Lewis, 1988): when a join task
+// would wait on a remote message, its critical parent is re-executed
+// (duplicated) on the join's processor if that starts the join earlier.
+//
+// Duplication breaks the one-placement-per-task schedule model, so the
+// scheduler returns a *derived* graph in which every executed copy is a
+// node of its own, wired to the specific copies that feed it; the
+// ordinary validator and machine simulator then apply unchanged.
+package dup
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+)
+
+// Result is a duplication schedule: a derived graph (originals plus
+// clones) with a conventional schedule over it.
+type Result struct {
+	// Derived is the executed graph; nodes beyond the first copies are
+	// duplicates.
+	Derived *dag.Graph
+	// Schedule places every derived node.
+	Schedule *sched.Schedule
+	// CloneOf maps each derived node to its original node in the input
+	// graph.
+	CloneOf []dag.NodeID
+	// Clones counts the duplicated executions (derived nodes beyond v).
+	Clones int
+}
+
+// Scheduler implements the DSH-style single-level parent duplication.
+type Scheduler struct{}
+
+// New returns a duplication scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name identifies the algorithm.
+func (*Scheduler) Name() string { return "DSH" }
+
+// placedCopy is one executed copy of an original task.
+type placedCopy struct {
+	derived       int // index into the derived node list
+	proc          int
+	start, finish float64
+	// servedBy[q] is the derived index of the copy of original parent q
+	// that this copy's start time was justified by.
+	servedBy map[dag.NodeID]int
+}
+
+// Schedule runs the heuristic on procs processors (procs <= 0: one per
+// node) and returns the duplication schedule.
+func (d *Scheduler) Schedule(g *dag.Graph, procs int) (*Result, error) {
+	v := g.NumNodes()
+	if v == 0 {
+		return nil, errors.New("dup: empty graph")
+	}
+	if procs <= 0 {
+		procs = v
+	}
+	l, err := dag.ComputeLevels(g)
+	if err != nil {
+		return nil, err
+	}
+
+	copies := make([][]placedCopy, v) // per original node
+	var placedOrder []struct {
+		orig dag.NodeID
+		copy placedCopy
+	}
+	ready := make([]float64, procs)
+
+	// bestArr returns the earliest arrival of original parent q's value
+	// on processor p, over q's existing copies, plus the serving copy.
+	bestArr := func(q dag.NodeID, comm float64, p int) (float64, int) {
+		arr, serving := math.Inf(1), -1
+		for _, c := range copies[q] {
+			a := c.finish
+			if c.proc != p {
+				a += comm
+			}
+			if a < arr {
+				arr, serving = a, c.derived
+			}
+		}
+		return arr, serving
+	}
+
+	// datOn computes the data arrival time of original node n on p and
+	// the serving copies per parent.
+	datOn := func(n dag.NodeID, p int) (float64, map[dag.NodeID]int, dag.Edge, float64) {
+		dat := 0.0
+		served := make(map[dag.NodeID]int, g.InDegree(n))
+		var critical dag.Edge
+		criticalArr := -1.0
+		for _, e := range g.Pred(n) {
+			arr, serving := bestArr(e.From, e.Weight, p)
+			served[e.From] = serving
+			if arr > dat {
+				dat = arr
+			}
+			// The critical message: the latest REMOTE arrival.
+			if servingProc := findProc(copies[e.From], serving); servingProc != p && arr > criticalArr {
+				criticalArr = arr
+				critical = e
+			}
+		}
+		return dat, served, critical, criticalArr
+	}
+
+	commit := func(orig dag.NodeID, p int, start float64, served map[dag.NodeID]int) placedCopy {
+		c := placedCopy{
+			derived:  len(placedOrder),
+			proc:     p,
+			start:    start,
+			finish:   start + g.Weight(orig),
+			servedBy: served,
+		}
+		copies[orig] = append(copies[orig], c)
+		placedOrder = append(placedOrder, struct {
+			orig dag.NodeID
+			copy placedCopy
+		}{orig, c})
+		ready[p] = c.finish
+		return c
+	}
+
+	unplacedParents := make([]int, v)
+	isReady := make([]bool, v)
+	readyCount := 0
+	for i := 0; i < v; i++ {
+		unplacedParents[i] = g.InDegree(dag.NodeID(i))
+		if unplacedParents[i] == 0 {
+			isReady[i] = true
+			readyCount++
+		}
+	}
+
+	for placed := 0; placed < v; placed++ {
+		if readyCount == 0 {
+			return nil, errors.New("dup: no ready node (cyclic graph?)")
+		}
+		// HLFET-style selection: highest static level among ready nodes.
+		n := dag.None
+		for i := 0; i < v; i++ {
+			if isReady[i] && (n == dag.None || l.Static[dag.NodeID(i)] > l.Static[n]) {
+				n = dag.NodeID(i)
+			}
+		}
+
+		// Evaluate every processor, with an optional duplication of the
+		// critical parent.
+		type plan struct {
+			proc      int
+			start     float64
+			served    map[dag.NodeID]int
+			dupParent dag.NodeID // None when no duplication
+			dupStart  float64
+			dupServed map[dag.NodeID]int
+		}
+		var best plan
+		bestStart := math.Inf(1)
+		for p := 0; p < procs; p++ {
+			dat, served, critical, criticalArr := datOn(n, p)
+			start := math.Max(dat, ready[p])
+			cand := plan{proc: p, start: start, served: served, dupParent: dag.None}
+
+			// Try duplicating the critical parent onto p (criticalArr < 0
+			// means no remote message constrains n here).
+			if criticalArr >= 0 && criticalArr > ready[p] {
+				q := critical.From
+				qDat, qServed, _, _ := datOn(q, p)
+				qStart := math.Max(qDat, ready[p])
+				qFinish := qStart + g.Weight(q)
+				// n's start with the duplicate: the clone's finish replaces
+				// q's arrival; other parents unchanged; the processor is
+				// busy until the clone ends.
+				newDat := 0.0
+				for _, e := range g.Pred(n) {
+					if e.From == q {
+						if qFinish > newDat {
+							newDat = qFinish
+						}
+						continue
+					}
+					arr, _ := bestArr(e.From, e.Weight, p)
+					if arr > newDat {
+						newDat = arr
+					}
+				}
+				if dupStartN := math.Max(newDat, qFinish); dupStartN < start-1e-12 {
+					cand.start = dupStartN
+					cand.dupParent = q
+					cand.dupStart = qStart
+					cand.dupServed = qServed
+				}
+			}
+			if cand.start < bestStart-1e-12 {
+				best, bestStart = cand, cand.start
+			}
+		}
+
+		if best.dupParent != dag.None {
+			clone := commit(best.dupParent, best.proc, best.dupStart, best.dupServed)
+			// Re-derive n's serving map with the clone in place.
+			served := make(map[dag.NodeID]int, g.InDegree(n))
+			for _, e := range g.Pred(n) {
+				if e.From == best.dupParent {
+					served[e.From] = clone.derived
+					continue
+				}
+				_, serving := bestArr(e.From, e.Weight, best.proc)
+				served[e.From] = serving
+			}
+			best.served = served
+		}
+		commit(n, best.proc, best.start, best.served)
+
+		isReady[n] = false
+		readyCount--
+		for _, e := range g.Succ(n) {
+			unplacedParents[e.To]--
+			if unplacedParents[e.To] == 0 {
+				isReady[e.To] = true
+				readyCount++
+			}
+		}
+	}
+
+	// Materialize the derived graph and schedule.
+	derived := dag.New(len(placedOrder))
+	cloneOf := make([]dag.NodeID, len(placedOrder))
+	seen := make(map[dag.NodeID]int, v)
+	for i, pl := range placedOrder {
+		label := g.Label(pl.orig)
+		if label == "" {
+			label = fmt.Sprintf("n%d", pl.orig)
+		}
+		seen[pl.orig]++
+		if seen[pl.orig] > 1 {
+			label = fmt.Sprintf("%s'%d", label, seen[pl.orig]-1)
+		}
+		derived.AddNode(label, g.Weight(pl.orig))
+		cloneOf[i] = pl.orig
+	}
+	s := sched.New(len(placedOrder))
+	s.Algorithm = "DSH"
+	for i, pl := range placedOrder {
+		s.Place(dag.NodeID(i), pl.copy.proc, pl.copy.start, pl.copy.finish)
+		for q, servingDerived := range pl.copy.servedBy {
+			w, ok := g.EdgeWeight(q, pl.orig)
+			if !ok {
+				return nil, fmt.Errorf("dup: internal error: missing edge %d->%d", q, pl.orig)
+			}
+			if err := derived.AddEdge(dag.NodeID(servingDerived), dag.NodeID(i), w); err != nil {
+				return nil, fmt.Errorf("dup: internal error: %w", err)
+			}
+		}
+	}
+	if err := sched.Validate(derived, s); err != nil {
+		return nil, fmt.Errorf("dup: produced an invalid duplication schedule: %w", err)
+	}
+	return &Result{
+		Derived:  derived,
+		Schedule: s,
+		CloneOf:  cloneOf,
+		Clones:   len(placedOrder) - v,
+	}, nil
+}
+
+func findProc(cs []placedCopy, derived int) int {
+	for _, c := range cs {
+		if c.derived == derived {
+			return c.proc
+		}
+	}
+	return -1
+}

@@ -1,0 +1,152 @@
+package dup
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/etf"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+	"fastsched/internal/sim"
+	"fastsched/internal/workload"
+)
+
+func TestName(t *testing.T) {
+	if New().Name() != "DSH" {
+		t.Fatal("name")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	if _, err := New().Schedule(dag.New(0), 2); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+// The canonical duplication win: an out-tree with expensive messages.
+// Without duplication every child waits for the root's message; with
+// the root re-executed on each processor the children start at w(root).
+func TestOutTreeDuplicationWin(t *testing.T) {
+	g := dag.New(5)
+	root := g.AddNode("root", 2)
+	for i := 0; i < 4; i++ {
+		c := g.AddNode("", 6)
+		g.MustAddEdge(root, c, 20)
+	}
+	res, err := New().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// duplication should replicate the root so children run in parallel:
+	// makespan = 2 + 6 = 8 on four processors.
+	if res.Schedule.Length() != 8 {
+		t.Fatalf("DSH length = %v, want 8", res.Schedule.Length())
+	}
+	if res.Clones == 0 {
+		t.Fatal("no clones created on a duplication-friendly graph")
+	}
+	// compare against a non-duplicating baseline
+	etfS, err := etf.New().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Length() >= etfS.Length() {
+		t.Fatalf("DSH (%v) did not beat ETF (%v) on the out-tree", res.Schedule.Length(), etfS.Length())
+	}
+}
+
+func TestCloneBookkeeping(t *testing.T) {
+	g := dag.New(3)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 5)
+	c := g.AddNode("c", 5)
+	g.MustAddEdge(a, b, 30)
+	g.MustAddEdge(a, c, 30)
+	res, err := New().Schedule(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Derived.NumNodes() != 3+res.Clones {
+		t.Fatalf("derived %d nodes, clones %d", res.Derived.NumNodes(), res.Clones)
+	}
+	// every derived node maps to an original
+	counts := map[dag.NodeID]int{}
+	for _, o := range res.CloneOf {
+		counts[o]++
+	}
+	for i := 0; i < 3; i++ {
+		if counts[dag.NodeID(i)] < 1 {
+			t.Fatalf("original %d has no copy", i)
+		}
+	}
+	// clone labels get a tick
+	if res.Clones > 0 {
+		found := false
+		for _, n := range res.Derived.Nodes() {
+			if strings.Contains(n.Label, "'") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("no ticked clone label")
+		}
+	}
+}
+
+// The derived schedule must execute correctly on the machine simulator
+// (the whole point of the derived-graph representation).
+func TestDerivedScheduleExecutes(t *testing.T) {
+	g := workload.ForkJoin(6, 2, 5, 2, 15)
+	res, err := New().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(res.Derived, res.Schedule, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Time != res.Schedule.Length() {
+		t.Fatalf("executed %v != scheduled %v", rep.Time, res.Schedule.Length())
+	}
+	under, err := sim.Run(res.Derived, res.Schedule, sim.Config{Contention: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under.Time < rep.Time-1e-9 {
+		t.Fatal("contention sped things up")
+	}
+}
+
+// Property: over random graphs the duplication schedule is always a
+// valid execution of its derived graph, covers every original exactly
+// once or more, and never uses more processors than granted.
+func TestDuplicationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 30; trial++ {
+		g := schedtest.RandomLayered(rng, 2+rng.Intn(50))
+		procs := 1 + rng.Intn(5)
+		res, err := New().Schedule(g, procs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Validate(res.Derived, res.Schedule); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Schedule.ProcsUsed() > procs {
+			t.Fatalf("trial %d: used %d of %d procs", trial, res.Schedule.ProcsUsed(), procs)
+		}
+		covered := map[dag.NodeID]bool{}
+		for _, o := range res.CloneOf {
+			covered[o] = true
+		}
+		if len(covered) != g.NumNodes() {
+			t.Fatalf("trial %d: %d of %d originals executed", trial, len(covered), g.NumNodes())
+		}
+		// duplication must never hurt relative to the serial bound
+		if res.Schedule.Length() > g.TotalWork()+g.TotalComm()+1e-9 {
+			t.Fatalf("trial %d: length %v absurd", trial, res.Schedule.Length())
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package etf
+
+import (
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/example"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conformance(t, New(), true)
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "ETF" {
+		t.Fatal("name")
+	}
+}
+
+func TestExampleGraphValid(t *testing.T) {
+	g := example.Graph()
+	s, err := New().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Algorithm != "ETF" {
+		t.Fatalf("Algorithm = %q", s.Algorithm)
+	}
+}
+
+// ETF's defining move: among simultaneously-ready nodes it always takes
+// the one that can start earliest, regardless of downstream importance.
+func TestPicksGloballyEarliestStart(t *testing.T) {
+	// Two independent entry nodes a (w=5) and b (w=1): with 2 procs both
+	// start at 0; then child of b (needing comm 10 from a? no) ...
+	// Build: a->c with comm 0, b->d with comm 0. All can start asap. The
+	// test asserts every node starts at its earliest possible time given
+	// the machine: entry nodes at 0 on distinct processors.
+	g := dag.New(4)
+	a := g.AddNode("a", 5)
+	b := g.AddNode("b", 1)
+	c := g.AddNode("c", 1)
+	d := g.AddNode("d", 1)
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, d, 0)
+	s, err := New().Schedule(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start(a) != 0 || s.Start(b) != 0 {
+		t.Fatalf("entry nodes not at t=0: a=%v b=%v", s.Start(a), s.Start(b))
+	}
+	if s.Proc(a) == s.Proc(b) {
+		t.Fatal("entry nodes share a processor despite a free one")
+	}
+	// d becomes ready at 1 and must run right then (b's proc is free).
+	if s.Start(d) != 1 {
+		t.Fatalf("d starts at %v, want 1", s.Start(d))
+	}
+}
+
+// The static-level tie-break from the paper: equal earliest start times
+// resolve in favour of the higher static level.
+func TestStaticLevelTieBreak(t *testing.T) {
+	// x and y both ready at t=0 on one processor. y has the longer
+	// computation chain below it (higher SL), so ETF runs y first.
+	g := dag.New(4)
+	x := g.AddNode("x", 2)
+	y := g.AddNode("y", 2)
+	yc := g.AddNode("yc", 10)
+	xc := g.AddNode("xc", 1)
+	g.MustAddEdge(y, yc, 0)
+	g.MustAddEdge(x, xc, 0)
+	s, err := New().Schedule(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start(y) != 0 {
+		t.Fatalf("y (higher SL) should start first; y=%v x=%v", s.Start(y), s.Start(x))
+	}
+	if s.Start(x) < s.Finish(y) {
+		t.Fatalf("x overlaps y on single processor")
+	}
+}
+
+func TestUnboundedProcsDefault(t *testing.T) {
+	g := schedtest.ForkJoin(6, 0)
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	// with zero comm and free processors, the fan-out runs fully parallel
+	if got := s.Length(); got != 4 {
+		t.Fatalf("fork-join length = %v, want 4 (1+2+1)", got)
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Table(t *testing.T) {
+	out, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the three CPNs carry asterisks; the CP length is 23
+	for _, want := range []string{"n1*", "n7*", "n9*", "Critical path length: 23"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure1 missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "n2*") || strings.Contains(out, "n5*") {
+		t.Errorf("non-CPN marked as CPN:\n%s", out)
+	}
+}
+
+func TestFigures2to4AllAlgorithms(t *testing.T) {
+	out, err := Figures2to4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"FAST", "DSC", "MD", "ETF", "DLS", "FAST/initial"} {
+		if !strings.Contains(out, alg+" schedule") {
+			t.Errorf("missing %s schedule:\n%s", alg, out)
+		}
+	}
+}
+
+// A scaled-down Figure 5 run: verifies the pipeline end to end and the
+// headline shape claims that do not depend on scale (DSC unbounded
+// processor appetite; FAST competitive execution time).
+func TestGaussStudySmall(t *testing.T) {
+	res, err := GaussStudy([]int{4, 8}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 || len(res.Rows[0]) != 2 {
+		t.Fatalf("result shape %dx%d", len(res.Rows), len(res.Rows[0]))
+	}
+	if res.TaskCounts[0] != 20 || res.TaskCounts[1] != 54 {
+		t.Fatalf("task counts = %v, want [20 54]", res.TaskCounts)
+	}
+	// FAST normalizes to 1.00 by construction.
+	for j := range res.Exp.Params {
+		if res.Rows[0][j].Algorithm != "FAST" {
+			t.Fatalf("row 0 is %s, want FAST", res.Rows[0][j].Algorithm)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"(a) Normalized", "(b) Number of processors", "(c) Scheduling times", "FAST", "DSC", "MD", "ETF", "DLS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// every algorithm's normalized exec time is positive and sane
+	for i := range res.Rows {
+		for j := range res.Rows[i] {
+			r := res.Rows[i][j]
+			if r.ExecTime <= 0 || r.ProcsUsed < 1 {
+				t.Fatalf("row %s param %d: %+v", res.Algorithms[i], res.Exp.Params[j], r)
+			}
+		}
+	}
+}
+
+func TestLaplaceAndFFTStudiesSmall(t *testing.T) {
+	for _, exp := range []*AppExperiment{LaplaceStudy([]int{4}), FFTStudy([]int{16})} {
+		res, err := exp.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", exp.Name, err)
+		}
+		if got := res.Rows[0][0].V; got != res.TaskCounts[0] {
+			t.Fatalf("%s: V mismatch", exp.Name)
+		}
+		if out := res.Render(); !strings.Contains(out, exp.Name) {
+			t.Fatalf("%s: render missing study name", exp.Name)
+		}
+	}
+}
+
+// A scaled-down Figure 8: checks the DSC-uses-many-processors shape and
+// that all rows are populated.
+func TestRandomStudySmall(t *testing.T) {
+	st := &RandomStudy{Sizes: []int{200, 300}, Procs: 32, Seed: 3}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (MD excluded)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Algorithm == "MD" {
+			t.Fatal("MD must be excluded from the random study")
+		}
+		if len(row.SL) != 2 || len(row.Procs) != 2 || len(row.Times) != 2 {
+			t.Fatalf("row %s incomplete", row.Algorithm)
+		}
+	}
+	// DSC (row 1) uses far more processors than the bounded algorithms.
+	fastProcs, dscProcs := res.Rows[0].Procs[0], res.Rows[1].Procs[0]
+	if dscProcs <= fastProcs {
+		t.Errorf("DSC used %d procs, FAST %d — expected DSC to use more", dscProcs, fastProcs)
+	}
+	out := res.Render()
+	for _, want := range []string{"(a) Normalized schedule lengths", "(b) Number of processors", "(c) Scheduling times", "DSC", "DLS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestRandomStudyRepeats(t *testing.T) {
+	st := &RandomStudy{Sizes: []int{120}, Procs: 16, Seed: 3, Repeats: 3}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if len(row.SL) != 1 || len(row.SLStd) != 1 {
+			t.Fatalf("row %s shape: %+v", row.Algorithm, row)
+		}
+		if row.SL[0] <= 0 {
+			t.Fatalf("row %s mean SL = %v", row.Algorithm, row.SL[0])
+		}
+		if row.SLStd[0] < 0 {
+			t.Fatalf("row %s std = %v", row.Algorithm, row.SLStd[0])
+		}
+	}
+	// three distinct graphs: at least one algorithm should see variance
+	anyStd := false
+	for _, row := range res.Rows {
+		if row.SLStd[0] > 0 {
+			anyStd = true
+		}
+	}
+	if !anyStd {
+		t.Fatal("no variance across three differently-seeded graphs — repeats not wired")
+	}
+}
+
+func TestMachineConfigStable(t *testing.T) {
+	m := Machine()
+	if !m.Contention || m.Perturb != 0.05 || m.Seed != 42 {
+		t.Fatalf("machine config drifted: %+v", m)
+	}
+}

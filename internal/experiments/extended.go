@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fastsched/internal/casch"
+	"fastsched/internal/dag"
+	"fastsched/internal/dup"
+	"fastsched/internal/sched"
+	"fastsched/internal/sim"
+	"fastsched/internal/stats"
+	"fastsched/internal/table"
+	"fastsched/internal/timing"
+	"fastsched/internal/workload"
+)
+
+// ExtendedStudy compares the paper's five algorithms plus the wider
+// classical suite (HLFET, MCP, LC, EZ — the algorithms of the authors'
+// companion survey, reference [1] of the paper) on one instance of each
+// application workload. It is an extension beyond the paper's own
+// tables; EXPERIMENTS.md reports it under "ablations and extensions".
+type ExtendedStudy struct {
+	// GaussN, LaplaceN, FFTPoints select the workload sizes.
+	GaussN, LaplaceN, FFTPoints int
+	// Procs is the grant for bounded algorithms.
+	Procs int
+}
+
+// DefaultExtendedStudy uses mid-sized instances of the three paper
+// applications.
+func DefaultExtendedStudy() *ExtendedStudy {
+	return &ExtendedStudy{GaussN: 16, LaplaceN: 16, FFTPoints: 128, Procs: 16}
+}
+
+// ExtendedRow is one algorithm's results across the three workloads.
+type ExtendedRow struct {
+	Algorithm string
+	Exec      []float64 // simulated execution time per workload
+	Procs     []int
+	Times     []time.Duration
+	GeoMean   float64 // geometric mean of exec normalized to FAST
+}
+
+// ExtendedResults holds one study run.
+type ExtendedResults struct {
+	Workloads []string
+	Rows      []*ExtendedRow
+}
+
+// Run executes the study across all nine algorithms.
+func (st *ExtendedStudy) Run() (*ExtendedResults, error) {
+	type wl struct {
+		name string
+		g    *dag.Graph
+	}
+	db := timing.ParagonLike()
+	gauss, err := workload.GaussElim(st.GaussN, db)
+	if err != nil {
+		return nil, err
+	}
+	laplace, err := workload.Laplace(st.LaplaceN, db)
+	if err != nil {
+		return nil, err
+	}
+	fft, err := workload.FFT(st.FFTPoints, db)
+	if err != nil {
+		return nil, err
+	}
+	workloads := []wl{
+		{fmt.Sprintf("gauss-%d", st.GaussN), gauss},
+		{fmt.Sprintf("laplace-%d", st.LaplaceN), laplace},
+		{fmt.Sprintf("fft-%d", st.FFTPoints), fft},
+	}
+
+	res := &ExtendedResults{}
+	for _, w := range workloads {
+		res.Workloads = append(res.Workloads, w.name)
+	}
+	var fastExec []float64
+	for _, s := range casch.ExtendedSchedulers(Seed) {
+		row := &ExtendedRow{Algorithm: s.Name()}
+		for _, w := range workloads {
+			procs := st.Procs
+			if casch.Unbounded(s.Name()) {
+				procs = 0
+			}
+			r, err := casch.Run(w.g, s, procs, Machine())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: extended %s on %s: %w", s.Name(), w.name, err)
+			}
+			row.Exec = append(row.Exec, r.ExecTime)
+			row.Procs = append(row.Procs, r.ProcsUsed)
+			row.Times = append(row.Times, r.SchedulingTime)
+		}
+		if row.Algorithm == "FAST" {
+			fastExec = row.Exec
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	// DSH closes the taxonomy (duplication family). Its result carries a
+	// derived graph, so it runs outside the casch pipeline: schedule,
+	// then execute the derived graph under the same machine model.
+	dshRow := &ExtendedRow{Algorithm: "DSH"}
+	dsh := dup.New()
+	for _, w := range workloads {
+		begin := time.Now()
+		r, err := dsh.Schedule(w.g, st.Procs)
+		elapsed := time.Since(begin)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: extended DSH on %s: %w", w.name, err)
+		}
+		rep, err := sim.Run(r.Derived, r.Schedule, Machine())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: extended DSH exec on %s: %w", w.name, err)
+		}
+		dshRow.Exec = append(dshRow.Exec, rep.Time)
+		dshRow.Procs = append(dshRow.Procs, r.Schedule.ProcsUsed())
+		dshRow.Times = append(dshRow.Times, elapsed)
+	}
+	res.Rows = append(res.Rows, dshRow)
+	for _, row := range res.Rows {
+		row.GeoMean = stats.GeoMean(stats.Normalize(row.Exec, fastExec))
+	}
+	return res, nil
+}
+
+// Render returns the study as one table: normalized execution time per
+// workload, the cross-workload geometric mean, and scheduling time.
+func (r *ExtendedResults) Render() string {
+	h := []string{"Algorithm"}
+	h = append(h, r.Workloads...)
+	h = append(h, "geomean", "sched ms (total)")
+	t := table.New("Extended comparison: simulated execution times normalized to FAST", h...)
+	var fastExec []float64
+	for _, row := range r.Rows {
+		if row.Algorithm == "FAST" {
+			fastExec = row.Exec
+		}
+	}
+	for _, row := range r.Rows {
+		cells := []string{row.Algorithm}
+		for i, e := range row.Exec {
+			cells = append(cells, fmt.Sprintf("%.2f", e/fastExec[i]))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", row.GeoMean))
+		var total time.Duration
+		for _, d := range row.Times {
+			total += d
+		}
+		cells = append(cells, fmt.Sprintf("%.3f", float64(total.Microseconds())/1000))
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// Schedulers returns the nine algorithms in the study's row order —
+// exposed so benches can iterate the same set.
+func (st *ExtendedStudy) Schedulers() []sched.Scheduler {
+	return casch.ExtendedSchedulers(Seed)
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtendedStudySmall(t *testing.T) {
+	st := &ExtendedStudy{GaussN: 4, LaplaceN: 4, FFTPoints: 16, Procs: 4}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(res.Rows))
+	}
+	wantOrder := []string{"FAST", "DSC", "MD", "ETF", "DLS", "HLFET", "MCP", "LC", "EZ", "ISH", "DCP", "DSH"}
+	for i, row := range res.Rows {
+		if row.Algorithm != wantOrder[i] {
+			t.Fatalf("row %d = %s, want %s", i, row.Algorithm, wantOrder[i])
+		}
+		if len(row.Exec) != 3 || len(row.Procs) != 3 || len(row.Times) != 3 {
+			t.Fatalf("row %s incomplete: %+v", row.Algorithm, row)
+		}
+		for _, e := range row.Exec {
+			if e <= 0 {
+				t.Fatalf("row %s has nonpositive exec time", row.Algorithm)
+			}
+		}
+		if row.GeoMean <= 0 {
+			t.Fatalf("row %s geomean = %v", row.Algorithm, row.GeoMean)
+		}
+	}
+	// FAST's normalized geomean is exactly 1 by construction.
+	if res.Rows[0].GeoMean != 1 {
+		t.Fatalf("FAST geomean = %v", res.Rows[0].GeoMean)
+	}
+	out := res.Render()
+	for _, want := range []string{"Extended comparison", "HLFET", "MCP", "LC", "EZ", "geomean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if got := len(st.Schedulers()); got != 11 {
+		t.Fatalf("Schedulers() = %d entries", got)
+	}
+}
+
+func TestFamilyStudySmall(t *testing.T) {
+	st := &FamilyStudy{Procs: 8, Scale: 1}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Families) != 8 || len(res.SL) != 5 {
+		t.Fatalf("shape: %d families, %d algorithms", len(res.Families), len(res.SL))
+	}
+	for i := range res.SL {
+		if len(res.SL[i]) != 8 {
+			t.Fatalf("row %s has %d cells", res.Algorithms[i], len(res.SL[i]))
+		}
+		if res.GeoMean[i] <= 0 {
+			t.Fatalf("row %s geomean = %v", res.Algorithms[i], res.GeoMean[i])
+		}
+	}
+	if res.GeoMean[0] != 1 {
+		t.Fatalf("FAST geomean = %v", res.GeoMean[0])
+	}
+	out := res.Render()
+	for _, want := range []string{"robustness", "gauss", "cholesky", "stencil", "dnc", "geomean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestCCRStudySmall(t *testing.T) {
+	st := &CCRStudy{V: 60, CCRs: []float64{0.2, 1, 5}, Procs: 8, Seed: 2}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SL) != 5 || len(res.SL[0]) != 3 {
+		t.Fatalf("shape %dx%d", len(res.SL), len(res.SL[0]))
+	}
+	// Higher CCR must not shrink FAST's schedule length: more expensive
+	// communication can only hurt (the graph is otherwise identical).
+	fast := res.SL[0]
+	for j := 1; j < len(fast); j++ {
+		if fast[j] < fast[j-1]-1e-9 {
+			t.Fatalf("FAST SL decreased as CCR grew: %v", fast)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"CCR sweep", "CCR 0.2", "CCR 5.0", "FAST", "DLS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGapStudySmall(t *testing.T) {
+	st := &GapStudy{Instances: 8, MaxV: 8, Procs: 2, Seed: 4}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved == 0 {
+		t.Fatal("no instances solved")
+	}
+	for i, alg := range res.Algorithms {
+		for _, gap := range res.Gaps[i] {
+			if gap < 1-1e-9 {
+				t.Fatalf("%s gap %v below 1 — heuristic beat the exact solver", alg, gap)
+			}
+		}
+		if res.Optimal[i] > res.Solved {
+			t.Fatalf("%s optimal count %d > solved %d", alg, res.Optimal[i], res.Solved)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Optimality gaps", "mean gap", "max gap", "FAST", "MCP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComplexityStudySmall(t *testing.T) {
+	st := &ComplexityStudy{Sizes: []int{100, 200, 400}, Procs: 8, Reps: 1, Seed: 9}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) != 4 || len(res.Times[0]) != 3 || len(res.Exponent) != 4 {
+		t.Fatalf("shape: %d algos, %d sizes", len(res.Times), len(res.Times[0]))
+	}
+	for i, alg := range res.Algorithms {
+		for j, d := range res.Times[i] {
+			if d <= 0 {
+				t.Fatalf("%s time[%d] = %v", alg, j, d)
+			}
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Complexity validation", "exponent", "FAST", "DLS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fastsched/internal/dls"
+	"fastsched/internal/etf"
+	"fastsched/internal/fast"
+	"fastsched/internal/hlfet"
+	"fastsched/internal/mcp"
+	"fastsched/internal/optimal"
+	"fastsched/internal/sched"
+	"fastsched/internal/stats"
+	"fastsched/internal/table"
+	"fastsched/internal/workload"
+)
+
+// GapStudy measures heuristic optimality gaps against the exact
+// branch-and-bound solver on small random instances — an extension the
+// paper could not run (exact solving was and is exponential; it is
+// feasible here only because the instances are tiny).
+type GapStudy struct {
+	// Instances is the number of random graphs.
+	Instances int
+	// MaxV bounds the instance size (nodes); the solver is exponential.
+	MaxV int
+	// Procs is the machine size.
+	Procs int
+	// Seed drives instance generation.
+	Seed int64
+}
+
+// DefaultGapStudy measures 25 instances of up to 9 nodes on 2 procs.
+func DefaultGapStudy() *GapStudy {
+	return &GapStudy{Instances: 25, MaxV: 9, Procs: 2, Seed: 13}
+}
+
+// GapResults holds per-heuristic gap statistics (schedule length over
+// the exact optimum).
+type GapResults struct {
+	Study      *GapStudy
+	Algorithms []string
+	// Gaps[i] holds algorithm i's per-instance ratios.
+	Gaps [][]float64
+	// Optimal counts how often each algorithm matched the optimum.
+	Optimal []int
+	// Solved is the number of instances the exact solver finished.
+	Solved int
+}
+
+// Run generates the instances, solves each exactly, and scores the
+// heuristics.
+func (st *GapStudy) Run() (*GapResults, error) {
+	scheds := []sched.Scheduler{
+		fast.Default(), etf.New(), dls.New(), mcp.New(), hlfet.New(),
+	}
+	res := &GapResults{Study: st}
+	for _, s := range scheds {
+		res.Algorithms = append(res.Algorithms, s.Name())
+	}
+	res.Gaps = make([][]float64, len(scheds))
+	res.Optimal = make([]int, len(scheds))
+
+	solver := optimal.New()
+	for i := 0; i < st.Instances; i++ {
+		g, err := workload.Random(workload.RandomOpts{
+			V:             4 + (i*3)%(st.MaxV-3),
+			Seed:          st.Seed + int64(i),
+			MeanInDegree:  2,
+			MaxNodeWeight: 8,
+			MaxEdgeWeight: 8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opt, err := solver.Schedule(g, st.Procs)
+		if err != nil {
+			continue // budget exceeded: skip the instance
+		}
+		res.Solved++
+		for si, s := range scheds {
+			hs, err := s.Schedule(g, st.Procs)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: gap %s: %w", s.Name(), err)
+			}
+			ratio := hs.Length() / opt.Length()
+			res.Gaps[si] = append(res.Gaps[si], ratio)
+			if ratio <= 1+1e-9 {
+				res.Optimal[si]++
+			}
+		}
+	}
+	if res.Solved == 0 {
+		return nil, fmt.Errorf("experiments: gap study solved no instances")
+	}
+	return res, nil
+}
+
+// Render returns the gap table: mean/max gap and how often each
+// heuristic found an optimal schedule.
+func (r *GapResults) Render() string {
+	t := table.New(
+		fmt.Sprintf("Optimality gaps on %d small instances (<= %d nodes, %d processors)",
+			r.Solved, r.Study.MaxV, r.Study.Procs),
+		"Algorithm", "mean gap", "max gap", "optimal")
+	for i, alg := range r.Algorithms {
+		sum := stats.Summarize(r.Gaps[i])
+		t.AddRow(alg,
+			fmt.Sprintf("%.3f", sum.Mean),
+			fmt.Sprintf("%.3f", sum.Max),
+			fmt.Sprintf("%d/%d", r.Optimal[i], r.Solved))
+	}
+	return t.String()
+}

@@ -1,0 +1,67 @@
+package ez
+
+import (
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/example"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conformance(t, New(), false) // unbounded, like DSC
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "EZ" {
+		t.Fatal("name")
+	}
+}
+
+func TestExampleGraphValid(t *testing.T) {
+	g := example.Graph()
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// EZ's defining move: the heaviest edge gets zeroed first whenever that
+// does not hurt the makespan.
+func TestHeaviestEdgeZeroed(t *testing.T) {
+	g := dag.New(3)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	c := g.AddNode("c", 1)
+	g.MustAddEdge(a, b, 100) // heavy: must be zeroed
+	g.MustAddEdge(a, c, 1)   // light: parallel on its own processor
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Proc(a) != s.Proc(b) {
+		t.Fatal("heavy edge not zeroed")
+	}
+	if s.Length() != 3 {
+		// a(1), b(2) co-located; c at 1+1=2..3 remote
+		t.Fatalf("length = %v, want 3", s.Length())
+	}
+}
+
+// Merges never increase the makespan, so EZ is never worse than the
+// fully-spread clustering it starts from, whose makespan on the example
+// graph is the full-communication critical path (23).
+func TestNeverWorseThanNoClustering(t *testing.T) {
+	g := example.Graph()
+	ez, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ez.Length() > 23+1e-9 {
+		t.Fatalf("EZ length %v exceeds the no-clustering bound 23", ez.Length())
+	}
+}

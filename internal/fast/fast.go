@@ -1,0 +1,382 @@
+// Package fast implements FAST — Fast Assignment using Search Technique
+// (Kwok, Ahmad, Gu; ICPP 1996) — the paper's contribution: an O(e) DAG
+// scheduling algorithm with two phases:
+//
+//  1. an initial schedule built by list scheduling over the
+//     CPN-Dominate list, placing each node at the ready time of the
+//     best candidate processor (the parents' processors plus one fresh
+//     processor);
+//  2. a random local search over the blocking-node list (the IBNs and
+//     OBNs) that transfers one node at a time to a random processor and
+//     keeps the move only when the schedule length strictly improves.
+//
+// The package also provides the ablation switches called out in
+// DESIGN.md (alternative list orders, insertion-based phase 1, search
+// on/off) and PFAST, a parallel multi-start variant of phase 2.
+package fast
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+)
+
+// ListOrder selects the priority list used by phase 1.
+type ListOrder int
+
+const (
+	// CPNDominate is the paper's list (default).
+	CPNDominate ListOrder = iota
+	// BLevelOrder is the classical static list sorted by decreasing
+	// b-level; an ablation baseline.
+	BLevelOrder
+	// StaticLevelOrder sorts by decreasing static level (computation
+	// costs only); an ablation baseline.
+	StaticLevelOrder
+)
+
+func (o ListOrder) String() string {
+	switch o {
+	case CPNDominate:
+		return "cpn-dominate"
+	case BLevelOrder:
+		return "b-level"
+	case StaticLevelOrder:
+		return "static-level"
+	default:
+		return fmt.Sprintf("ListOrder(%d)", int(o))
+	}
+}
+
+// DefaultMaxSteps is the paper's MAXSTEP constant: "for the results to
+// be presented in the next section, the value of MAXSTEP is fixed at 64".
+const DefaultMaxSteps = 64
+
+// Strategy selects the phase-2 search strategy. The paper's algorithm
+// is the greedy random walk; the alternatives address its stated
+// limitation ("the local search process may get stuck in a poor local
+// minimum point") at higher per-step cost.
+type Strategy int
+
+const (
+	// Greedy is the paper's strategy: random single-node transfers,
+	// keeping only strict improvements.
+	Greedy Strategy = iota
+	// SteepestDescent examines every (blocking node, processor) move
+	// each round and applies the best strict improvement, stopping at a
+	// local minimum. Each round costs O(|blocking|·p·e).
+	SteepestDescent
+	// Annealing accepts worsening moves with probability exp(-Δ/T)
+	// under a geometric cooling schedule and returns the best schedule
+	// seen, escaping the local minima the paper's conclusion worries
+	// about.
+	Annealing
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Greedy:
+		return "greedy"
+	case SteepestDescent:
+		return "steepest"
+	case Annealing:
+		return "annealing"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures a FAST scheduler.
+type Options struct {
+	// MaxSteps is the number of local-search iterations (MAXSTEP).
+	// Zero means DefaultMaxSteps; negative disables the search.
+	MaxSteps int
+	// Seed seeds the search's random number generator. The same seed
+	// always yields the same schedule.
+	Seed int64
+	// NoSearch skips phase 2 entirely, returning the initial schedule
+	// (the paper's InitialSchedule(); also the MaxSteps<0 behaviour).
+	NoSearch bool
+	// Order selects the phase-1 priority list (default CPNDominate).
+	Order ListOrder
+	// Insertion makes phase 1 search idle slots between already-placed
+	// tasks instead of scheduling at processor ready times. The paper
+	// deliberately avoids this to stay O(e); it is here as an ablation.
+	Insertion bool
+	// Parallelism > 1 enables PFAST: that many independent search
+	// goroutines run from the same initial schedule with distinct
+	// seeds, and the best final schedule wins. Each searcher still
+	// performs MaxSteps steps.
+	Parallelism int
+	// Strategy selects the phase-2 search strategy (default: the
+	// paper's greedy random walk).
+	Strategy Strategy
+	// MultiStart (with Parallelism > 1) additionally diversifies phase
+	// 1: workers cycle through the available list orders and search
+	// their own initial schedules — the structure of the authors'
+	// follow-up FASTEST algorithm.
+	MultiStart bool
+	// Budget, when positive, makes the greedy search anytime: it keeps
+	// searching (ignoring MaxSteps) until the wall-clock budget is
+	// spent, returning the best schedule found. Only the serial greedy
+	// strategy honours it.
+	Budget time.Duration
+}
+
+// Scheduler implements sched.Scheduler with the FAST algorithm.
+type Scheduler struct {
+	opts Options
+}
+
+// New returns a FAST scheduler with the given options.
+func New(opts Options) *Scheduler { return &Scheduler{opts: opts} }
+
+// Default returns a FAST scheduler with the paper's configuration
+// (CPN-Dominate list, ready-time placement, MAXSTEP=64, seed 1).
+func Default() *Scheduler { return New(Options{Seed: 1}) }
+
+// Name implements sched.Scheduler.
+func (f *Scheduler) Name() string {
+	switch {
+	case f.opts.NoSearch || f.opts.MaxSteps < 0:
+		return "FAST/initial"
+	case f.opts.Parallelism > 1:
+		return "PFAST"
+	default:
+		return "FAST"
+	}
+}
+
+// Schedule implements sched.Scheduler. procs <= 0 is treated as "more
+// than enough processors": one per node.
+func (f *Scheduler) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
+	if g.NumNodes() == 0 {
+		return nil, errors.New("fast: empty graph")
+	}
+	if procs <= 0 {
+		procs = g.NumNodes()
+	}
+	l, err := dag.ComputeLevels(g)
+	if err != nil {
+		return nil, err
+	}
+	cls := dag.Classify(g, l)
+
+	maxSteps := f.opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	if f.opts.MultiStart && f.opts.Parallelism > 1 && !f.opts.NoSearch && maxSteps > 0 {
+		st := f.multiStart(g, l, cls, procs, maxSteps)
+		s := st.buildSchedule()
+		s.Algorithm = f.Name()
+		return s, nil
+	}
+
+	list := f.priorityList(g, l, cls)
+	st := newState(g, list, procs)
+	if f.opts.Insertion {
+		st.initialInsertion()
+	} else {
+		st.initialReadyTime()
+	}
+
+	if !f.opts.NoSearch && maxSteps > 0 {
+		blocking := blockingList(cls)
+		switch {
+		case f.opts.Parallelism > 1:
+			st.searchParallel(blocking, maxSteps, f.opts.Seed, f.opts.Parallelism, f.opts.Strategy)
+		case f.opts.Strategy == SteepestDescent:
+			st.searchSteepest(blocking, maxSteps)
+		case f.opts.Strategy == Annealing:
+			st.searchAnnealing(blocking, maxSteps, rand.New(rand.NewSource(f.opts.Seed)))
+		case f.opts.Budget > 0:
+			st.searchBudget(blocking, f.opts.Budget, rand.New(rand.NewSource(f.opts.Seed)))
+		default:
+			st.search(blocking, maxSteps, rand.New(rand.NewSource(f.opts.Seed)))
+		}
+	}
+
+	s := st.buildSchedule()
+	s.Algorithm = f.Name()
+	return s, nil
+}
+
+// multiStart runs Parallelism workers, each building its own initial
+// schedule (cycling through the list orders) and searching it with a
+// distinct seed; the shortest result wins deterministically.
+func (f *Scheduler) multiStart(g *dag.Graph, l *dag.Levels, cls []dag.Class, procs, maxSteps int) *state {
+	orders := []ListOrder{CPNDominate, BLevelOrder, StaticLevelOrder}
+	blocking := blockingList(cls)
+	workers := f.opts.Parallelism
+	results := make([]*state, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			variant := *f
+			variant.opts.Order = orders[w%len(orders)]
+			list := variant.priorityList(g, l, cls)
+			st := newState(g, list, procs)
+			if f.opts.Insertion {
+				st.initialInsertion()
+			} else {
+				st.initialReadyTime()
+			}
+			rng := rand.New(rand.NewSource(f.opts.Seed + int64(w)))
+			switch f.opts.Strategy {
+			case SteepestDescent:
+				st.searchSteepest(blocking, maxSteps)
+			case Annealing:
+				st.searchAnnealing(blocking, maxSteps, rng)
+			default:
+				st.search(blocking, maxSteps, rng)
+			}
+			results[w] = st
+		}(w)
+	}
+	wg.Wait()
+	best := results[0]
+	for _, st := range results[1:] {
+		if st.length < best.length-1e-12 {
+			best = st
+		}
+	}
+	return best
+}
+
+// priorityList builds the phase-1 list for the configured order.
+func (f *Scheduler) priorityList(g *dag.Graph, l *dag.Levels, cls []dag.Class) []dag.NodeID {
+	switch f.opts.Order {
+	case BLevelOrder:
+		return levelSortedList(g, l, func(n dag.NodeID) float64 { return l.BLevel[n] })
+	case StaticLevelOrder:
+		return levelSortedList(g, l, func(n dag.NodeID) float64 { return l.Static[n] })
+	default:
+		return CPNDominateList(g, l, cls)
+	}
+}
+
+// levelSortedList returns the nodes sorted by decreasing key, with ties
+// broken by topological position so the list stays a valid topological
+// order even with zero-weight nodes.
+func levelSortedList(g *dag.Graph, l *dag.Levels, key func(dag.NodeID) float64) []dag.NodeID {
+	pos := make([]int, g.NumNodes())
+	for i, n := range l.Order {
+		pos[n] = i
+	}
+	list := append([]dag.NodeID(nil), l.Order...)
+	sort.SliceStable(list, func(i, j int) bool {
+		ki, kj := key(list[i]), key(list[j])
+		if ki != kj {
+			return ki > kj
+		}
+		return pos[list[i]] < pos[list[j]]
+	})
+	return list
+}
+
+// CPNDominateList constructs the paper's CPN-Dominate list: critical
+// path nodes in path order, each preceded by its yet-unlisted ancestors
+// (larger b-levels first, ties by smaller t-level), followed by the
+// out-branch nodes in decreasing b-level order.
+//
+// Note: the paper's §4.1 prose says OBNs are ordered by *increasing*
+// b-level while the normative step (9) says *decreasing*. Decreasing is
+// the only choice that keeps the list a topological order (a parent's
+// b-level strictly exceeds its child's when node weights are positive),
+// so decreasing is what we implement.
+func CPNDominateList(g *dag.Graph, l *dag.Levels, cls []dag.Class) []dag.NodeID {
+	v := g.NumNodes()
+	list := make([]dag.NodeID, 0, v)
+	inList := make([]bool, v)
+	appendNode := func(n dag.NodeID) {
+		list = append(list, n)
+		inList[n] = true
+	}
+
+	// Pre-sort each node's parents by decreasing b-level, ties by
+	// smaller t-level, then smaller ID: the order step (5) examines them.
+	parentOrder := make([][]dag.NodeID, v)
+	for i := 0; i < v; i++ {
+		preds := g.Pred(dag.NodeID(i))
+		ps := make([]dag.NodeID, len(preds))
+		for j, e := range preds {
+			ps[j] = e.From
+		}
+		sort.Slice(ps, func(a, b int) bool {
+			if l.BLevel[ps[a]] != l.BLevel[ps[b]] {
+				return l.BLevel[ps[a]] > l.BLevel[ps[b]]
+			}
+			if l.TLevel[ps[a]] != l.TLevel[ps[b]] {
+				return l.TLevel[ps[a]] < l.TLevel[ps[b]]
+			}
+			return ps[a] < ps[b]
+		})
+		parentOrder[i] = ps
+	}
+
+	// include places n after recursively placing its unlisted ancestors,
+	// larger b-levels first.
+	var include func(n dag.NodeID)
+	include = func(n dag.NodeID) {
+		if inList[n] {
+			return
+		}
+		for _, p := range parentOrder[n] {
+			include(p)
+		}
+		appendNode(n)
+	}
+
+	// CPNs in ascending t-level order; for a unique critical path this
+	// is exactly the path order (entry CPN first).
+	cpns := dag.NodesOfClass(cls, dag.CPN)
+	sort.Slice(cpns, func(a, b int) bool {
+		if l.TLevel[cpns[a]] != l.TLevel[cpns[b]] {
+			return l.TLevel[cpns[a]] < l.TLevel[cpns[b]]
+		}
+		return cpns[a] < cpns[b]
+	})
+	for _, n := range cpns {
+		include(n)
+	}
+
+	// Step (9): append the OBNs in decreasing b-level order.
+	obns := dag.NodesOfClass(cls, dag.OBN)
+	sort.Slice(obns, func(a, b int) bool {
+		if l.BLevel[obns[a]] != l.BLevel[obns[b]] {
+			return l.BLevel[obns[a]] > l.BLevel[obns[b]]
+		}
+		if l.TLevel[obns[a]] != l.TLevel[obns[b]] {
+			return l.TLevel[obns[a]] < l.TLevel[obns[b]]
+		}
+		return obns[a] < obns[b]
+	})
+	for _, n := range obns {
+		// An OBN may still have unlisted OBN ancestors when b-levels tie;
+		// include handles that while preserving step (9)'s intent.
+		include(n)
+	}
+	return list
+}
+
+// blockingList returns the paper's blocking-node list: all IBNs and
+// OBNs, i.e. every node that is not a CPN.
+func blockingList(cls []dag.Class) []dag.NodeID {
+	var out []dag.NodeID
+	for i, c := range cls {
+		if c != dag.CPN {
+			out = append(out, dag.NodeID(i))
+		}
+	}
+	return out
+}

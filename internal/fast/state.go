@@ -1,0 +1,392 @@
+package fast
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/listsched"
+	"fastsched/internal/sched"
+)
+
+// state holds the mutable scheduling state shared by phase 1 and the
+// local search: a processor assignment per node plus scratch tables for
+// the O(v+e+p) schedule evaluation.
+type state struct {
+	g     *dag.Graph
+	list  []dag.NodeID // topological priority order (phase-1 list)
+	procs int
+
+	assign []int // processor of each node
+	start  []float64
+	finish []float64
+	ready  []float64 // scratch: per-processor ready time
+	length float64
+}
+
+func newState(g *dag.Graph, list []dag.NodeID, procs int) *state {
+	v := g.NumNodes()
+	return &state{
+		g:      g,
+		list:   list,
+		procs:  procs,
+		assign: make([]int, v),
+		start:  make([]float64, v),
+		finish: make([]float64, v),
+		ready:  make([]float64, procs),
+	}
+}
+
+// initialReadyTime runs the paper's InitialSchedule(): walk the list,
+// placing each node on whichever of its candidate processors (parents'
+// processors plus one fresh processor) gives the earliest start time,
+// where a processor's availability is its ready time (no gap search).
+func (st *state) initialReadyTime() {
+	g := st.g
+	for i := range st.ready {
+		st.ready[i] = 0
+	}
+	used := 0 // processors 0..used-1 have at least one task
+	for _, n := range st.list {
+		bestProc, bestStart := -1, 0.0
+		consider := func(p int) {
+			s := st.datOn(n, p)
+			if r := st.ready[p]; r > s {
+				s = r
+			}
+			if bestProc == -1 || s < bestStart {
+				bestProc, bestStart = p, s
+			}
+		}
+		seen := false
+		for _, e := range g.Pred(n) {
+			p := st.assign[e.From]
+			// Parent processors can repeat; consider handles duplicates
+			// harmlessly (same candidate, same value).
+			consider(p)
+			seen = true
+		}
+		if used < st.procs {
+			consider(used) // the fresh processor
+			seen = true
+		}
+		if !seen {
+			// Entry node with every processor in use: consider them all.
+			for p := 0; p < used; p++ {
+				consider(p)
+			}
+		}
+		st.place(n, bestProc, bestStart)
+		if bestProc == used {
+			used++
+		}
+	}
+	st.length = st.maxFinish()
+}
+
+// initialInsertion is the ablation variant of phase 1: like
+// initialReadyTime but each candidate processor is searched for the
+// earliest idle slot that fits the node (insertion scheduling).
+func (st *state) initialInsertion() {
+	g := st.g
+	m := listsched.NewMachine(st.procs)
+	sc := sched.New(g.NumNodes())
+	for _, n := range st.list {
+		w := g.Weight(n)
+		bestProc := -1
+		bestStart := 0.0
+		consider := func(p int) {
+			dat := listsched.DAT(g, sc, n, p)
+			s := m.Proc(p).EarliestStart(dat, w)
+			if bestProc == -1 || s < bestStart {
+				bestProc, bestStart = p, s
+			}
+		}
+		cands := listsched.CandidateProcs(g, sc, m, n)
+		for _, p := range cands {
+			consider(p)
+		}
+		m.Proc(bestProc).Insert(n, bestStart, w)
+		sc.Place(n, bestProc, bestStart, bestStart+w)
+		st.assign[n] = bestProc
+		st.start[n] = bestStart
+		st.finish[n] = bestStart + w
+	}
+	st.length = st.maxFinish()
+}
+
+func (st *state) place(n dag.NodeID, p int, s float64) {
+	st.assign[n] = p
+	st.start[n] = s
+	st.finish[n] = s + st.g.Weight(n)
+	st.ready[p] = st.finish[n]
+}
+
+// datOn computes the data arrival time of n on processor p from the
+// start/finish tables (parents are guaranteed earlier in the list).
+func (st *state) datOn(n dag.NodeID, p int) float64 {
+	var dat float64
+	for _, e := range st.g.Pred(n) {
+		arr := st.finish[e.From]
+		if st.assign[e.From] != p {
+			arr += e.Weight
+		}
+		if arr > dat {
+			dat = arr
+		}
+	}
+	return dat
+}
+
+func (st *state) maxFinish() float64 {
+	var m float64
+	for _, n := range st.list {
+		if st.finish[n] > m {
+			m = st.finish[n]
+		}
+	}
+	return m
+}
+
+// evaluate recomputes every start/finish from the current assignment by
+// replaying the list in order with ready-time semantics, returning the
+// schedule length. This is the O(e) "re-visit all the edges once" step
+// of the paper's search loop.
+func (st *state) evaluate() float64 {
+	for i := range st.ready {
+		st.ready[i] = 0
+	}
+	var length float64
+	for _, n := range st.list {
+		p := st.assign[n]
+		s := st.datOn(n, p)
+		if st.ready[p] > s {
+			s = st.ready[p]
+		}
+		st.start[n] = s
+		f := s + st.g.Weight(n)
+		st.finish[n] = f
+		st.ready[p] = f
+		if f > length {
+			length = f
+		}
+	}
+	st.length = length
+	return length
+}
+
+// search runs the paper's local search: MaxSteps random transfer
+// attempts of blocking nodes to random processors, keeping only strict
+// improvements of the schedule length.
+func (st *state) search(blocking []dag.NodeID, maxSteps int, rng *rand.Rand) {
+	if len(blocking) == 0 || st.procs < 2 {
+		// With one processor or no movable node the neighborhood is empty.
+		st.evaluate()
+		return
+	}
+	best := st.evaluate()
+	for step := 0; step < maxSteps; step++ {
+		n := blocking[rng.Intn(len(blocking))]
+		p := rng.Intn(st.procs)
+		old := st.assign[n]
+		if p == old {
+			continue
+		}
+		st.assign[n] = p
+		if cand := st.evaluate(); cand < best-1e-12 {
+			best = cand
+		} else {
+			st.assign[n] = old
+		}
+	}
+	st.evaluate()
+}
+
+// searchBudget is the anytime variant of the greedy search: random
+// transfer attempts until the wall-clock budget expires, checking the
+// clock every few steps to keep the loop cheap.
+func (st *state) searchBudget(blocking []dag.NodeID, budget time.Duration, rng *rand.Rand) {
+	if len(blocking) == 0 || st.procs < 2 {
+		st.evaluate()
+		return
+	}
+	deadline := time.Now().Add(budget)
+	best := st.evaluate()
+	for step := 0; ; step++ {
+		if step%32 == 0 && !time.Now().Before(deadline) {
+			break
+		}
+		n := blocking[rng.Intn(len(blocking))]
+		p := rng.Intn(st.procs)
+		old := st.assign[n]
+		if p == old {
+			continue
+		}
+		st.assign[n] = p
+		if cand := st.evaluate(); cand < best-1e-12 {
+			best = cand
+		} else {
+			st.assign[n] = old
+		}
+	}
+	st.evaluate()
+}
+
+// searchSteepest applies best-improvement local search: each round
+// evaluates every (blocking node, processor) transfer and commits the
+// one with the largest strict improvement, stopping early at a local
+// minimum. rounds bounds the number of committed moves.
+func (st *state) searchSteepest(blocking []dag.NodeID, rounds int) {
+	if len(blocking) == 0 || st.procs < 2 {
+		st.evaluate()
+		return
+	}
+	best := st.evaluate()
+	for round := 0; round < rounds; round++ {
+		bestNode := dag.None
+		bestProc := -1
+		bestLen := best
+		for _, n := range blocking {
+			old := st.assign[n]
+			for p := 0; p < st.procs; p++ {
+				if p == old {
+					continue
+				}
+				st.assign[n] = p
+				if cand := st.evaluate(); cand < bestLen-1e-12 {
+					bestNode, bestProc, bestLen = n, p, cand
+				}
+			}
+			st.assign[n] = old
+		}
+		if bestNode == dag.None {
+			break // local minimum
+		}
+		st.assign[bestNode] = bestProc
+		best = bestLen
+	}
+	st.evaluate()
+}
+
+// searchAnnealing runs simulated annealing over the same neighborhood:
+// random transfers, accepting worsening moves with probability
+// exp(-Δ/T) under geometric cooling, and finishing on the best
+// assignment seen. This addresses the paper's stated limitation that
+// greedy search "may get stuck in a poor local minimum".
+func (st *state) searchAnnealing(blocking []dag.NodeID, maxSteps int, rng *rand.Rand) {
+	if len(blocking) == 0 || st.procs < 2 {
+		st.evaluate()
+		return
+	}
+	cur := st.evaluate()
+	bestAssign := append([]int(nil), st.assign...)
+	best := cur
+	// Initial temperature: a move that worsens the schedule by 5% is
+	// accepted with probability 1/e; cool to 1/1000 of that.
+	t0 := 0.05 * cur
+	if t0 <= 0 {
+		t0 = 1
+	}
+	tEnd := t0 / 1000
+	cooling := math.Pow(tEnd/t0, 1/math.Max(1, float64(maxSteps-1)))
+	temp := t0
+	for step := 0; step < maxSteps; step++ {
+		n := blocking[rng.Intn(len(blocking))]
+		p := rng.Intn(st.procs)
+		old := st.assign[n]
+		if p == old {
+			temp *= cooling
+			continue
+		}
+		st.assign[n] = p
+		cand := st.evaluate()
+		delta := cand - cur
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			cur = cand
+			if cand < best-1e-12 {
+				best = cand
+				copy(bestAssign, st.assign)
+			}
+		} else {
+			st.assign[n] = old
+		}
+		temp *= cooling
+	}
+	copy(st.assign, bestAssign)
+	st.evaluate()
+}
+
+// searchParallel is PFAST: `workers` independent searchers start from the
+// same phase-1 assignment with seeds seed, seed+1, ...; the shortest
+// final schedule wins (ties broken by lowest worker index so the result
+// is deterministic). Each worker runs the configured search strategy.
+func (st *state) searchParallel(blocking []dag.NodeID, maxSteps int, seed int64, workers int, strategy Strategy) {
+	type result struct {
+		assign []int
+		length float64
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := st.cloneForSearch()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			switch strategy {
+			case SteepestDescent:
+				local.searchSteepest(blocking, maxSteps)
+			case Annealing:
+				local.searchAnnealing(blocking, maxSteps, rng)
+			default:
+				local.search(blocking, maxSteps, rng)
+			}
+			results[w] = result{assign: local.assign, length: local.length}
+		}(w)
+	}
+	wg.Wait()
+	best := 0
+	for w := 1; w < workers; w++ {
+		if results[w].length < results[best].length-1e-12 {
+			best = w
+		}
+	}
+	copy(st.assign, results[best].assign)
+	st.evaluate()
+}
+
+// cloneForSearch copies the state deeply enough for an independent
+// searcher: the graph and list are shared read-only, all mutable tables
+// are duplicated.
+func (st *state) cloneForSearch() *state {
+	return &state{
+		g:      st.g,
+		list:   st.list,
+		procs:  st.procs,
+		assign: append([]int(nil), st.assign...),
+		start:  append([]float64(nil), st.start...),
+		finish: append([]float64(nil), st.finish...),
+		ready:  make([]float64, st.procs),
+		length: st.length,
+	}
+}
+
+// buildSchedule converts the state tables into a sched.Schedule with
+// compact processor numbering (processors renumbered 0..k-1 in order of
+// first use, so reports show contiguous PE indices).
+func (st *state) buildSchedule() *sched.Schedule {
+	s := sched.New(st.g.NumNodes())
+	renumber := make(map[int]int)
+	for _, n := range st.list {
+		p := st.assign[n]
+		id, ok := renumber[p]
+		if !ok {
+			id = len(renumber)
+			renumber[p] = id
+		}
+		s.Place(n, id, st.start[n], st.finish[n])
+	}
+	return s
+}

@@ -1,0 +1,132 @@
+// Package frontend reproduces the front half of the CASCH tool: it
+// "generates a task graph from a sequential program". A program here is
+// a sequence of tasks with declared read and write sets over named
+// variables; dependence analysis turns it into the weighted DAG the
+// schedulers consume:
+//
+//   - a flow (read-after-write) dependence becomes a communication edge
+//     weighted by the variable's message cost;
+//   - anti (write-after-read) and output (write-after-write) hazards
+//     become zero-cost precedence edges, the conservative treatment for
+//     a static task graph (CASCH's compiler renames where it can; we
+//     don't claim to).
+//
+// Programs can be built through the API or parsed from a small text
+// format (see Parse).
+package frontend
+
+import (
+	"fmt"
+
+	"fastsched/internal/dag"
+)
+
+// Stmt is one task of the sequential program.
+type Stmt struct {
+	// Name labels the task (unique within the program).
+	Name string
+	// Reads and Writes are the variable names the task consumes and
+	// produces.
+	Reads, Writes []string
+	// Cost is the task's computation cost.
+	Cost float64
+}
+
+// Program is a sequential program: an ordered statement list plus the
+// message cost of each variable (the communication weight of shipping
+// it between processors). Variables without an entry cost DefaultSize.
+type Program struct {
+	Stmts       []Stmt
+	VarCost     map[string]float64
+	DefaultSize float64
+}
+
+// NewProgram returns an empty program with the given default variable
+// message cost.
+func NewProgram(defaultSize float64) *Program {
+	return &Program{VarCost: make(map[string]float64), DefaultSize: defaultSize}
+}
+
+// Task appends a statement and returns the program for chaining.
+func (p *Program) Task(name string, cost float64, reads, writes []string) *Program {
+	p.Stmts = append(p.Stmts, Stmt{Name: name, Reads: reads, Writes: writes, Cost: cost})
+	return p
+}
+
+// Var sets the message cost of one variable.
+func (p *Program) Var(name string, cost float64) *Program {
+	p.VarCost[name] = cost
+	return p
+}
+
+func (p *Program) costOf(variable string) float64 {
+	if c, ok := p.VarCost[variable]; ok {
+		return c
+	}
+	return p.DefaultSize
+}
+
+// BuildDAG runs the dependence analysis and returns the task graph.
+// Statement order defines program order; the graph has one node per
+// statement in that order.
+func (p *Program) BuildDAG() (*dag.Graph, error) {
+	if len(p.Stmts) == 0 {
+		return nil, fmt.Errorf("frontend: empty program")
+	}
+	seen := make(map[string]int, len(p.Stmts))
+	for i, s := range p.Stmts {
+		if s.Name == "" {
+			return nil, fmt.Errorf("frontend: statement %d has no name", i)
+		}
+		if j, dup := seen[s.Name]; dup {
+			return nil, fmt.Errorf("frontend: duplicate task name %q (statements %d and %d)", s.Name, j, i)
+		}
+		seen[s.Name] = i
+		if s.Cost <= 0 {
+			return nil, fmt.Errorf("frontend: task %q has non-positive cost %v", s.Name, s.Cost)
+		}
+	}
+
+	g := dag.New(len(p.Stmts))
+	for _, s := range p.Stmts {
+		g.AddNode(s.Name, s.Cost)
+	}
+
+	lastWrite := make(map[string]int) // variable -> statement index
+	readersSince := make(map[string][]int)
+	addEdge := func(from, to int, w float64) {
+		// Duplicate dependences between the same pair keep the largest
+		// weight (one message carries everything).
+		if cur, ok := g.EdgeWeight(dag.NodeID(from), dag.NodeID(to)); ok {
+			if w > cur {
+				g.SetEdgeWeight(dag.NodeID(from), dag.NodeID(to), w)
+			}
+			return
+		}
+		g.MustAddEdge(dag.NodeID(from), dag.NodeID(to), w)
+	}
+	for i, s := range p.Stmts {
+		for _, v := range s.Reads {
+			if w, ok := lastWrite[v]; ok {
+				addEdge(w, i, p.costOf(v)) // flow dependence
+			}
+			readersSince[v] = append(readersSince[v], i)
+		}
+		for _, v := range s.Writes {
+			if w, ok := lastWrite[v]; ok && w != i {
+				addEdge(w, i, 0) // output dependence
+			}
+			for _, r := range readersSince[v] {
+				if r != i {
+					addEdge(r, i, 0) // anti dependence
+				}
+			}
+			lastWrite[v] = i
+			readersSince[v] = nil
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("frontend: produced graph invalid: %w", err)
+	}
+	return g, nil
+}

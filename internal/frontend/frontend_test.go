@@ -1,0 +1,191 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/fast"
+	"fastsched/internal/sched"
+)
+
+// The diamond program: load writes a; f1/f2 read a and write b/c;
+// merge reads b and c.
+func diamondProgram() *Program {
+	return NewProgram(1).
+		Var("a", 3).
+		Var("b", 2).
+		Task("load", 4, nil, []string{"a"}).
+		Task("f1", 10, []string{"a"}, []string{"b"}).
+		Task("f2", 9, []string{"a"}, []string{"c"}).
+		Task("merge", 5, []string{"b", "c"}, []string{"out"})
+}
+
+func TestFlowDependences(t *testing.T) {
+	g, err := diamondProgram().BuildDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// load -> f1 and load -> f2 carry a's cost (3); f1 -> merge carries
+	// b's cost (2); f2 -> merge carries the default (1).
+	cases := []struct {
+		from, to int
+		w        float64
+	}{
+		{0, 1, 3}, {0, 2, 3}, {1, 3, 2}, {2, 3, 1},
+	}
+	for _, c := range cases {
+		w, ok := g.EdgeWeight(dag.NodeID(c.from), dag.NodeID(c.to))
+		if !ok || w != c.w {
+			t.Errorf("edge %d->%d = %v,%v want %v", c.from, c.to, w, ok, c.w)
+		}
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", g.NumEdges())
+	}
+}
+
+func TestAntiAndOutputDependences(t *testing.T) {
+	// s1 reads x; s2 writes x (anti); s3 writes x again (output).
+	p := NewProgram(1).
+		Task("init", 1, nil, []string{"x"}).
+		Task("s1", 1, []string{"x"}, nil).
+		Task("s2", 1, nil, []string{"x"}).
+		Task("s3", 1, nil, []string{"x"})
+	g, err := p.BuildDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// anti: s1 -> s2 with weight 0
+	if w, ok := g.EdgeWeight(1, 2); !ok || w != 0 {
+		t.Fatalf("anti dependence missing: %v %v", w, ok)
+	}
+	// output: init -> s2? No: s2's lastWrite is init; edge init->s2 w 0
+	if w, ok := g.EdgeWeight(0, 2); !ok || w != 0 {
+		t.Fatalf("output dependence init->s2 missing: %v %v", w, ok)
+	}
+	// output: s2 -> s3
+	if w, ok := g.EdgeWeight(2, 3); !ok || w != 0 {
+		t.Fatalf("output dependence s2->s3 missing: %v %v", w, ok)
+	}
+}
+
+func TestFlowBeatsZeroWeightOnSamePair(t *testing.T) {
+	// a task both reads a variable from and has an output hazard with
+	// the same predecessor: the single edge keeps the message weight.
+	p := NewProgram(1).
+		Var("v", 7).
+		Task("w1", 1, nil, []string{"v"}).
+		Task("w2", 1, []string{"v"}, []string{"v"})
+	g, err := p.BuildDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 7 {
+		t.Fatalf("edge w1->w2 = %v,%v want 7", w, ok)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := NewProgram(1).BuildDAG(); err == nil {
+		t.Error("empty program accepted")
+	}
+	if _, err := NewProgram(1).Task("", 1, nil, nil).BuildDAG(); err == nil {
+		t.Error("unnamed task accepted")
+	}
+	if _, err := NewProgram(1).Task("a", 1, nil, nil).Task("a", 1, nil, nil).BuildDAG(); err == nil {
+		t.Error("duplicate task accepted")
+	}
+	if _, err := NewProgram(1).Task("a", 0, nil, nil).BuildDAG(); err == nil {
+		t.Error("zero-cost task accepted")
+	}
+}
+
+func TestGeneratedGraphSchedules(t *testing.T) {
+	g, err := diamondProgram().BuildDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := fast.Default().Schedule(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	// serial work is 28; two processors with cheap messages must beat it
+	if s.Length() >= 28 {
+		t.Fatalf("no parallelism extracted: %v", s.Length())
+	}
+}
+
+const demoSource = `
+# tiny pipeline
+default 2
+var a 3
+task load  cost 4  writes a b
+task f1    cost 10 reads a writes x
+task f2    cost 9  reads b writes y
+task merge cost 5  reads x y writes out
+`
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Parse(strings.NewReader(demoSource))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stmts) != 4 {
+		t.Fatalf("stmts = %d", len(p.Stmts))
+	}
+	if p.DefaultSize != 2 || p.VarCost["a"] != 3 {
+		t.Fatalf("costs: default %v a %v", p.DefaultSize, p.VarCost["a"])
+	}
+	g, err := p.BuildDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("graph %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 3 { // load->f1 ships a
+		t.Fatalf("load->f1 = %v", w)
+	}
+	if w, _ := g.EdgeWeight(0, 2); w != 2 { // load->f2 ships b (default)
+		t.Fatalf("load->f2 = %v", w)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          ``,
+		"unknown":        `frobnicate x`,
+		"default arity":  `default`,
+		"default value":  `default wat`,
+		"var arity":      `var x`,
+		"var value":      `var x wat`,
+		"task short":     `task t`,
+		"task no cost":   `task t reads a`,
+		"task bad cost":  `task t cost zebra`,
+		"task cost miss": `task t cost`,
+		"stray token":    `task t x cost 1`,
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := "# all comments\n\n   \ntask only cost 1 # trailing\n"
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stmts) != 1 || p.Stmts[0].Name != "only" {
+		t.Fatalf("stmts = %+v", p.Stmts)
+	}
+}

@@ -1,0 +1,33 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the program parser with arbitrary text: it must
+// never panic, and anything it accepts must lower to a valid DAG.
+func FuzzParse(f *testing.F) {
+	f.Add("task a cost 1\n")
+	f.Add("default 2\nvar x 3\ntask a cost 1 writes x\ntask b cost 2 reads x\n")
+	f.Add("# comment only\n")
+	f.Add("task t cost 1 reads a b c writes d e\n")
+	f.Add("task t cost -1\n")
+	f.Add("bogus line\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		g, err := p.BuildDAG()
+		if err != nil {
+			return // e.g. duplicate names or non-positive costs
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted program built invalid DAG: %v", err)
+		}
+		if g.NumNodes() != len(p.Stmts) {
+			t.Fatalf("node count %d != statements %d", g.NumNodes(), len(p.Stmts))
+		}
+	})
+}

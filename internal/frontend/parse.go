@@ -1,0 +1,116 @@
+package frontend
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a program from its text form: one directive per line,
+// '#' comments, blank lines ignored.
+//
+//	var a 16              # message cost of variable a (optional)
+//	task load cost 4 writes a b
+//	task f1 cost 10 reads a writes x
+//	task merge cost 5 reads x y
+//
+// A `task` line takes the task name, then `cost <float>`, then optional
+// `reads <vars...>` and `writes <vars...>` sections in either order.
+// The default message cost for undeclared variables is set with
+// `default <float>` (initially 1).
+func Parse(r io.Reader) (*Program, error) {
+	p := NewProgram(1)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "default":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("frontend: line %d: default takes one value", lineNo)
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("frontend: line %d: %v", lineNo, err)
+			}
+			p.DefaultSize = v
+		case "var":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("frontend: line %d: var takes a name and a cost", lineNo)
+			}
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("frontend: line %d: %v", lineNo, err)
+			}
+			p.Var(fields[1], v)
+		case "task":
+			if err := parseTask(p, fields[1:], lineNo); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("frontend: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(p.Stmts) == 0 {
+		return nil, fmt.Errorf("frontend: no tasks in program")
+	}
+	return p, nil
+}
+
+func parseTask(p *Program, fields []string, lineNo int) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("frontend: line %d: task needs a name and a cost", lineNo)
+	}
+	name := fields[0]
+	var cost float64
+	var reads, writes []string
+	mode := ""
+	haveCost := false
+	for i := 1; i < len(fields); i++ {
+		switch fields[i] {
+		case "cost":
+			if i+1 >= len(fields) {
+				return fmt.Errorf("frontend: line %d: cost needs a value", lineNo)
+			}
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return fmt.Errorf("frontend: line %d: %v", lineNo, err)
+			}
+			cost = v
+			haveCost = true
+			i++
+			mode = ""
+		case "reads":
+			mode = "r"
+		case "writes":
+			mode = "w"
+		default:
+			switch mode {
+			case "r":
+				reads = append(reads, fields[i])
+			case "w":
+				writes = append(writes, fields[i])
+			default:
+				return fmt.Errorf("frontend: line %d: unexpected token %q", lineNo, fields[i])
+			}
+		}
+	}
+	if !haveCost {
+		return fmt.Errorf("frontend: line %d: task %q has no cost", lineNo, name)
+	}
+	p.Task(name, cost, reads, writes)
+	return nil
+}

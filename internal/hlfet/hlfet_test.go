@@ -1,0 +1,67 @@
+package hlfet
+
+import (
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/example"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conformance(t, New(), true)
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "HLFET" {
+		t.Fatal("name")
+	}
+}
+
+func TestExampleGraphValid(t *testing.T) {
+	g := example.Graph()
+	s, err := New().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// HLFET's defining move: the ready node with the highest static level
+// goes first, even when another ready node could start just as early.
+func TestHighestStaticLevelFirst(t *testing.T) {
+	g := dag.New(4)
+	x := g.AddNode("x", 2)
+	y := g.AddNode("y", 2)
+	yc := g.AddNode("yc", 20) // makes SL(y) big
+	xc := g.AddNode("xc", 1)
+	g.MustAddEdge(y, yc, 0)
+	g.MustAddEdge(x, xc, 0)
+	s, err := New().Schedule(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start(y) != 0 {
+		t.Fatalf("y should start first (SL 22 vs 3), got y=%v x=%v", s.Start(y), s.Start(x))
+	}
+}
+
+// HLFET ignores communication when prioritizing but not when placing:
+// a child is still co-located with its parent when the message is
+// expensive.
+func TestPlacementAvoidsComm(t *testing.T) {
+	g := dag.New(2)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	g.MustAddEdge(a, b, 100)
+	s, err := New().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Proc(a) != s.Proc(b) || s.Length() != 2 {
+		t.Fatalf("placement paid the message: %v", s.Length())
+	}
+}

@@ -1,0 +1,92 @@
+package lc
+
+import (
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/example"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conformance(t, New(), false) // unbounded, like DSC
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "LC" {
+		t.Fatal("name")
+	}
+}
+
+func TestExampleGraphValid(t *testing.T) {
+	g := example.Graph()
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// LC's defining move: the whole critical path lands in one cluster, so
+// a chain collapses to a single processor with zero communication.
+func TestChainIsOneCluster(t *testing.T) {
+	g := schedtest.Chain(8, 50)
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() != 1 {
+		t.Fatalf("chain split over %d clusters", s.ProcsUsed())
+	}
+	if s.Length() != 8 {
+		t.Fatalf("length = %v, want 8", s.Length())
+	}
+}
+
+// Two independent heavy chains: each is a linear cluster of its own and
+// they run fully in parallel.
+func TestParallelChainsSeparate(t *testing.T) {
+	g := dag.New(6)
+	var prev [2]dag.NodeID
+	prev[0], prev[1] = dag.None, dag.None
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 3; i++ {
+			id := g.AddNode("", 5)
+			if prev[c] != dag.None {
+				g.MustAddEdge(prev[c], id, 2)
+			}
+			prev[c] = id
+		}
+	}
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() != 2 {
+		t.Fatalf("procs = %d, want 2", s.ProcsUsed())
+	}
+	if s.Length() != 15 {
+		t.Fatalf("length = %v, want 15", s.Length())
+	}
+}
+
+// On the example graph the first peeled path must be the critical path
+// n1 -> n7 -> n9, so those three nodes share a processor.
+func TestCriticalPathPeeledFirst(t *testing.T) {
+	g := example.Graph()
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Proc(example.N(1))
+	if s.Proc(example.N(7)) != p || s.Proc(example.N(9)) != p {
+		t.Fatalf("CP not co-clustered: n1@%d n7@%d n9@%d",
+			s.Proc(example.N(1)), s.Proc(example.N(7)), s.Proc(example.N(9)))
+	}
+}

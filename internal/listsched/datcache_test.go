@@ -1,0 +1,47 @@
+package listsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+)
+
+func TestDATCacheMatchesDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		// random star: k parents on random procs feeding one child
+		k := 1 + rng.Intn(8)
+		g := dag.New(k + 1)
+		s := sched.New(k + 1)
+		child := dag.NodeID(k)
+		for i := 0; i < k; i++ {
+			id := g.AddNode("", 1+float64(rng.Intn(5)))
+			p := rng.Intn(4)
+			start := float64(rng.Intn(10))
+			s.Place(id, p, start, start+g.Weight(id))
+		}
+		g.AddNode("child", 1)
+		for i := 0; i < k; i++ {
+			g.MustAddEdge(dag.NodeID(i), child, float64(rng.Intn(15)))
+		}
+		cache := NewDATCache(g, s, child)
+		for p := 0; p < 6; p++ {
+			want := DAT(g, s, child, p)
+			if got := cache.DAT(p); got != want {
+				t.Fatalf("trial %d: DAT(%d) = %v, want %v", trial, p, got, want)
+			}
+		}
+	}
+}
+
+func TestDATCacheEntryNode(t *testing.T) {
+	g := dag.New(1)
+	n := g.AddNode("solo", 2)
+	s := sched.New(1)
+	c := NewDATCache(g, s, n)
+	if c.DAT(0) != 0 || c.DAT(3) != 0 {
+		t.Fatal("entry node DAT should be 0 everywhere")
+	}
+}

@@ -1,0 +1,188 @@
+// Package listsched provides the machinery shared by the list-scheduling
+// algorithms in this repository: per-processor timelines supporting both
+// append-only "ready time" placement (FAST's phase 1) and
+// insertion-based earliest-slot placement (MD, and the insertion
+// variants of ETF/DLS), plus data-arrival-time computation.
+package listsched
+
+import (
+	"math"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+)
+
+// Slot is one occupied interval on a processor timeline.
+type Slot struct {
+	Node          dag.NodeID
+	Start, Finish float64
+}
+
+// Timeline is the occupied intervals of a single processor, sorted by
+// start time. The zero value is an empty, usable timeline.
+type Timeline struct {
+	slots []Slot
+}
+
+// ReadyTime returns the finish time of the last task on the processor
+// (0 for an idle processor). FAST's phase 1 schedules against this value
+// only, never searching for interior gaps.
+func (t *Timeline) ReadyTime() float64 {
+	if len(t.slots) == 0 {
+		return 0
+	}
+	return t.slots[len(t.slots)-1].Finish
+}
+
+// Len returns the number of tasks on the timeline.
+func (t *Timeline) Len() int { return len(t.slots) }
+
+// Slots returns the occupied intervals in start order. Shared storage;
+// callers must not modify.
+func (t *Timeline) Slots() []Slot { return t.slots }
+
+// EarliestStart returns the earliest time >= dat at which a task of the
+// given duration fits, using insertion: interior idle gaps are
+// considered before the end of the timeline.
+func (t *Timeline) EarliestStart(dat, duration float64) float64 {
+	prevEnd := 0.0
+	for _, s := range t.slots {
+		gapStart := math.Max(prevEnd, dat)
+		if gapStart+duration <= s.Start+1e-12 {
+			return gapStart
+		}
+		prevEnd = math.Max(prevEnd, s.Finish)
+	}
+	return math.Max(prevEnd, dat)
+}
+
+// EarliestStartAppend returns the earliest start without insertion:
+// max(ready time, dat).
+func (t *Timeline) EarliestStartAppend(dat float64) float64 {
+	return math.Max(t.ReadyTime(), dat)
+}
+
+// Insert places node n at [start, start+duration). The interval must be
+// free; Insert panics if it overlaps an existing slot (an algorithmic
+// bug, not an input error).
+func (t *Timeline) Insert(n dag.NodeID, start, duration float64) {
+	finish := start + duration
+	i := 0
+	for i < len(t.slots) && t.slots[i].Start < start {
+		i++
+	}
+	if i > 0 && t.slots[i-1].Finish > start+1e-9 {
+		panic("listsched: insertion overlaps previous slot")
+	}
+	if i < len(t.slots) && t.slots[i].Start < finish-1e-9 {
+		panic("listsched: insertion overlaps next slot")
+	}
+	t.slots = append(t.slots, Slot{})
+	copy(t.slots[i+1:], t.slots[i:])
+	t.slots[i] = Slot{Node: n, Start: start, Finish: finish}
+}
+
+// Remove deletes node n's slot from the timeline and reports whether it
+// was present.
+func (t *Timeline) Remove(n dag.NodeID) bool {
+	for i, s := range t.slots {
+		if s.Node == n {
+			t.slots = append(t.slots[:i], t.slots[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Machine is a growable set of processor timelines. When bounded is
+// true, the machine never grows beyond its initial size; otherwise
+// FreshProc can mint new processors on demand (the unbounded model of
+// MD and DSC).
+type Machine struct {
+	timelines []*Timeline
+	bounded   bool
+}
+
+// NewMachine returns a machine with procs processors; procs <= 0 yields
+// an unbounded machine that starts with one processor.
+func NewMachine(procs int) *Machine {
+	if procs <= 0 {
+		return &Machine{timelines: []*Timeline{{}}, bounded: false}
+	}
+	m := &Machine{timelines: make([]*Timeline, procs), bounded: true}
+	for i := range m.timelines {
+		m.timelines[i] = &Timeline{}
+	}
+	return m
+}
+
+// NumProcs returns the current number of processors.
+func (m *Machine) NumProcs() int { return len(m.timelines) }
+
+// Bounded reports whether the processor set is fixed.
+func (m *Machine) Bounded() bool { return m.bounded }
+
+// Proc returns processor p's timeline.
+func (m *Machine) Proc(p int) *Timeline { return m.timelines[p] }
+
+// FreshProc returns the index of an empty processor, growing the machine
+// if it is unbounded and every processor is busy. It returns -1 when the
+// machine is bounded and has no empty processor.
+func (m *Machine) FreshProc() int {
+	for i, t := range m.timelines {
+		if t.Len() == 0 {
+			return i
+		}
+	}
+	if m.bounded {
+		return -1
+	}
+	m.timelines = append(m.timelines, &Timeline{})
+	return len(m.timelines) - 1
+}
+
+// DAT returns the data-arrival time of node n if it were placed on
+// processor proc, given the partial schedule s: the maximum over the
+// scheduled parents of finish time plus communication cost (zero when
+// the parent sits on proc). Unscheduled parents are an algorithmic bug
+// and cause a panic.
+func DAT(g *dag.Graph, s *sched.Schedule, n dag.NodeID, proc int) float64 {
+	var dat float64
+	for _, e := range g.Pred(n) {
+		pl := s.Of(e.From)
+		arr := pl.Finish
+		if pl.Proc != proc {
+			arr += e.Weight
+		}
+		if arr > dat {
+			dat = arr
+		}
+	}
+	return dat
+}
+
+// CandidateProcs returns the deduplicated processor set the FAST paper
+// examines when placing n: the processors accommodating n's parents plus
+// one fresh processor (if any is available). The result is in ascending
+// order with the fresh processor last when it is not already present.
+func CandidateProcs(g *dag.Graph, s *sched.Schedule, m *Machine, n dag.NodeID) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, e := range g.Pred(n) {
+		p := s.Of(e.From).Proc
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	if f := m.FreshProc(); f >= 0 && !seen[f] {
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		// entry node on a fully-busy bounded machine: consider everything
+		for p := 0; p < m.NumProcs(); p++ {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package md
+
+import (
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/example"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conformance(t, New(), true)
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "MD" {
+		t.Fatal("name")
+	}
+}
+
+func TestExampleGraphValid(t *testing.T) {
+	g := example.Graph()
+	for _, procs := range []int{0, 4} {
+		s, err := New().Schedule(g, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Validate(g, s); err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+	}
+}
+
+// MD packs nodes into the mobility windows of existing processors,
+// which is why the paper's tables show it using far fewer processors
+// than ETF/DLS. A wide fork of short tasks with generous slack must not
+// allocate one processor per task.
+func TestPacksWithinMobilityWindows(t *testing.T) {
+	// entry -> 8 small parallel tasks -> exit via a long critical chain.
+	// The long chain gives the small tasks lots of mobility, so MD fits
+	// them on few processors.
+	g := dag.New(12)
+	entry := g.AddNode("entry", 1)
+	chain1 := g.AddNode("c1", 20)
+	chain2 := g.AddNode("c2", 20)
+	exit := g.AddNode("exit", 1)
+	g.MustAddEdge(entry, chain1, 0)
+	g.MustAddEdge(chain1, chain2, 0)
+	g.MustAddEdge(chain2, exit, 0)
+	for i := 0; i < 8; i++ {
+		m := g.AddNode("", 2)
+		g.MustAddEdge(entry, m, 0)
+		g.MustAddEdge(m, exit, 0)
+	}
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() >= 8 {
+		t.Fatalf("MD used %d processors; should pack slack-rich tasks", s.ProcsUsed())
+	}
+	// The critical chain (42 long) dominates; packing must not stretch it.
+	if s.Length() != 42 {
+		t.Fatalf("length = %v, want 42", s.Length())
+	}
+}
+
+// The critical path has zero mobility, so MD must lay it out first and
+// contiguously when communication is free.
+func TestCriticalPathScheduledTight(t *testing.T) {
+	g := schedtest.Chain(6, 3)
+	s, err := New().Schedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() != 1 {
+		t.Fatalf("chain spread over %d processors", s.ProcsUsed())
+	}
+	if s.Length() != 6 {
+		t.Fatalf("length = %v, want 6", s.Length())
+	}
+}
+
+func TestBoundedFallback(t *testing.T) {
+	// One processor forces the fallback path (no window ever fits after
+	// the processor saturates) and still must produce a valid schedule.
+	g := schedtest.ForkJoin(5, 2)
+	s, err := New().Schedule(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() != 1 {
+		t.Fatalf("used %d procs with 1 available", s.ProcsUsed())
+	}
+	if s.Length() != g.TotalWork() {
+		t.Fatalf("single-processor length %v != total work %v", s.Length(), g.TotalWork())
+	}
+}

@@ -1,0 +1,98 @@
+package mh
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/etf"
+	"fastsched/internal/example"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+	"fastsched/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conformance(t, New(sim.Mesh{}), true)
+}
+
+func TestName(t *testing.T) {
+	if New(sim.Mesh{}).Name() != "MH" {
+		t.Fatal("name")
+	}
+}
+
+func TestExampleGraphValid(t *testing.T) {
+	g := example.Graph()
+	for _, mesh := range []sim.Mesh{{}, {Cols: 2, PerHop: 3}} {
+		s, err := New(mesh).Schedule(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Validate(g, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// MH's defining property: its schedule already budgets for hop latency,
+// so its predicted start times hold up under topology-aware execution,
+// and on hop-dominated machines it does not lose to the topology-blind
+// ETF.
+func TestTopologyAwareExecution(t *testing.T) {
+	mesh := sim.Mesh{Cols: 4, PerHop: 12}
+	cfg := sim.Config{Topology: mesh}
+	rng := rand.New(rand.NewSource(7))
+	mhWins := 0
+	trials := 12
+	for trial := 0; trial < trials; trial++ {
+		g := schedtest.RandomLayered(rng, 20+rng.Intn(40))
+		procs := 8
+
+		mhS, err := New(mesh).Schedule(g, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mhExec, err := sim.Run(g, mhS, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// MH's schedule accounts for every hop, so execution can never
+		// be later than its own prediction.
+		if mhExec.Time > mhS.Length()+1e-9 {
+			t.Fatalf("trial %d: MH execution %v exceeds its prediction %v", trial, mhExec.Time, mhS.Length())
+		}
+
+		etfS, err := etf.New().Schedule(g, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		etfExec, err := sim.Run(g, etfS, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mhExec.Time <= etfExec.Time+1e-9 {
+			mhWins++
+		}
+	}
+	if mhWins < trials/2 {
+		t.Fatalf("MH beat/tied blind ETF on only %d/%d hop-dominated instances", mhWins, trials)
+	}
+}
+
+// With a huge per-hop cost MH keeps communicating tasks on nearby
+// processors.
+func TestPrefersNearbyProcessors(t *testing.T) {
+	mesh := sim.Mesh{Cols: 4, PerHop: 50}
+	g := dag.New(2)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	g.MustAddEdge(a, b, 1)
+	s, err := New(mesh).Schedule(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Proc(a) != s.Proc(b) {
+		t.Fatalf("b placed %d hops away", int(mesh.Delay(s.Proc(a), s.Proc(b))/50))
+	}
+}

@@ -1,0 +1,145 @@
+package optimal
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/dls"
+	"fastsched/internal/etf"
+	"fastsched/internal/example"
+	"fastsched/internal/fast"
+	"fastsched/internal/hlfet"
+	"fastsched/internal/mcp"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+	"fastsched/internal/workload"
+)
+
+func TestName(t *testing.T) {
+	if New().Name() != "OPT" {
+		t.Fatal("name")
+	}
+}
+
+func TestKnownOptima(t *testing.T) {
+	// chain: optimum is serial regardless of processors
+	chain := workload.Chain(5, 2, 7)
+	s, err := New().Schedule(chain, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(chain, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() != 10 {
+		t.Fatalf("chain optimum = %v, want 10", s.Length())
+	}
+
+	// fork-join, zero comm, 2 procs: entry 1 + ceil(4*2/2) + exit 1 = 6
+	fj := workload.ForkJoin(4, 1, 2, 1, 0)
+	s, err = New().Schedule(fj, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() != 6 {
+		t.Fatalf("fork-join optimum = %v, want 6", s.Length())
+	}
+
+	// independent tasks 3,3,2,2 on 2 procs: optimum 5 (3+2 / 3+2)
+	ind := dag.New(4)
+	ind.AddNode("", 3)
+	ind.AddNode("", 3)
+	ind.AddNode("", 2)
+	ind.AddNode("", 2)
+	s, err = New().Schedule(ind, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() != 5 {
+		t.Fatalf("partition optimum = %v, want 5", s.Length())
+	}
+}
+
+// On a diamond with expensive messages the optimum serializes; with
+// cheap ones it parallelizes. The solver must find both.
+func TestDiamondCrossover(t *testing.T) {
+	expensive := workload.Diamond(2, 10)
+	s, err := New().Schedule(expensive, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() != 4 { // all serial: 1+1+1+1
+		t.Fatalf("expensive diamond optimum = %v, want 4", s.Length())
+	}
+	cheap := workload.Diamond(2, 0.5)
+	s, err = New().Schedule(cheap, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry 0-1 on PE0; mid1 1-2 on PE0; mid2 1.5-2.5 on PE1; the exit
+	// joins on PE1 at max(2+0.5, 2.5) = 2.5 and ends 3.5 — beating the
+	// serial 4.
+	if s.Length() != 3.5 {
+		t.Fatalf("cheap diamond optimum = %v, want 3.5", s.Length())
+	}
+}
+
+func TestExampleGraphOptimum(t *testing.T) {
+	g := example.Graph()
+	s, err := (&Solver{MaxExpansions: 20_000_000}).Schedule(g, 2)
+	if err != nil {
+		t.Skipf("budget exceeded on the 9-node example: %v", err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	// FAST reaches 18 on 4 procs; on 2 procs the optimum cannot be
+	// better than the dependence bound 12 (w1+w2+w7+w9 path computation
+	// only = 2+3+4+1=10? static CP is 12) and no worse than serial 29.
+	if s.Length() < 10 || s.Length() > 29 {
+		t.Fatalf("implausible optimum %v", s.Length())
+	}
+}
+
+// The load-bearing property: on tiny random graphs no heuristic beats
+// the solver, and the solver never loses to any heuristic.
+func TestOptimalDominatesHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	heuristics := []sched.Scheduler{
+		fast.Default(), etf.New(), dls.New(), mcp.New(), hlfet.New(),
+	}
+	for trial := 0; trial < 15; trial++ {
+		g := schedtest.RandomLayered(rng, 4+rng.Intn(5)) // 4..8 nodes
+		procs := 2 + rng.Intn(2)
+		opt, err := New().Schedule(g, procs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Validate(g, opt); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, h := range heuristics {
+			hs, err := h.Schedule(g, procs)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, h.Name(), err)
+			}
+			if hs.Length() < opt.Length()-1e-9 {
+				t.Fatalf("trial %d: %s (%v) beats OPT (%v)", trial, h.Name(), hs.Length(), opt.Length())
+			}
+		}
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	g := schedtest.RandomLayered(rand.New(rand.NewSource(1)), 12)
+	if _, err := (&Solver{MaxExpansions: 10}).Schedule(g, 3); err == nil {
+		t.Fatal("tiny budget not enforced")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	if _, err := New().Schedule(dag.New(0), 2); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsched/internal/dag"
+)
+
+// CriticalChainLink is one step of the chain of events that determines
+// a schedule's makespan.
+type CriticalChainLink struct {
+	Node dag.NodeID
+	Proc int
+	// Reason explains why the node starts when it does:
+	// "processor" — it waited for the previous task on its processor;
+	// "message" — it waited for a parent's message (From holds it);
+	// "ready" — it started the moment it appeared (chain start).
+	Reason string
+	// From is the constraining predecessor (the previous task on the
+	// processor, or the message-sending parent), None for "ready".
+	From dag.NodeID
+}
+
+// CriticalChain walks backwards from the last-finishing task and
+// reports why each task on the chain starts when it does — the
+// schedule's own critical path, the answer to "why is my makespan this
+// long". The schedule must be valid for g.
+func CriticalChain(g *dag.Graph, s *Schedule) ([]CriticalChainLink, error) {
+	if err := Validate(g, s); err != nil {
+		return nil, err
+	}
+	const eps = 1e-9
+	// last-finishing task
+	last := dag.None
+	for i := 0; i < s.NumNodes(); i++ {
+		n := dag.NodeID(i)
+		if last == dag.None || s.Finish(n) > s.Finish(last) {
+			last = n
+		}
+	}
+
+	var chain []CriticalChainLink
+	cur := last
+	for {
+		pl := s.Of(cur)
+		link := CriticalChainLink{Node: cur, Proc: pl.Proc, Reason: "ready", From: dag.None}
+		// The binding constraint: a message arriving exactly at start, or
+		// the previous task on the processor finishing exactly at start.
+		for _, e := range g.Pred(cur) {
+			ppl := s.Of(e.From)
+			arr := ppl.Finish
+			if ppl.Proc != pl.Proc {
+				arr += e.Weight
+			}
+			if arr >= pl.Start-eps {
+				link.From = e.From
+				if ppl.Proc != pl.Proc {
+					link.Reason = "message"
+				} else {
+					link.Reason = "processor" // local parent result
+				}
+				break
+			}
+		}
+		if link.From == dag.None {
+			// previous task on the same processor?
+			list := s.OnProc(pl.Proc)
+			for i, n := range list {
+				if n == cur && i > 0 {
+					prev := s.Of(list[i-1])
+					if prev.Finish >= pl.Start-eps {
+						link.From = list[i-1]
+						link.Reason = "processor"
+					}
+					break
+				}
+			}
+		}
+		chain = append(chain, link)
+		if link.From == dag.None {
+			break
+		}
+		cur = link.From
+		if len(chain) > s.NumNodes() {
+			return nil, fmt.Errorf("sched: critical chain did not terminate")
+		}
+	}
+	// reverse into execution order
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}
+
+// FormatChain renders the chain with task labels.
+func FormatChain(g *dag.Graph, s *Schedule, chain []CriticalChainLink) string {
+	label := func(n dag.NodeID) string {
+		if l := g.Label(n); l != "" {
+			return l
+		}
+		return fmt.Sprintf("n%d", n)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical chain (%d tasks, makespan %.6g):\n", len(chain), s.Length())
+	for _, link := range chain {
+		pl := s.Of(link.Node)
+		switch link.Reason {
+		case "message":
+			fmt.Fprintf(&b, "  %-10s PE %-3d [%.6g, %.6g)  waited for message from %s\n",
+				label(link.Node), link.Proc, pl.Start, pl.Finish, label(link.From))
+		case "processor":
+			fmt.Fprintf(&b, "  %-10s PE %-3d [%.6g, %.6g)  waited for %s on the same processor\n",
+				label(link.Node), link.Proc, pl.Start, pl.Finish, label(link.From))
+		default:
+			fmt.Fprintf(&b, "  %-10s PE %-3d [%.6g, %.6g)  started immediately\n",
+				label(link.Node), link.Proc, pl.Start, pl.Finish)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fastsched/internal/dag"
+)
+
+func TestCriticalChainMessageBound(t *testing.T) {
+	g := chainGraph(t) // a(2) --5--> b(3) --1--> c(1)
+	s := New(g.NumNodes())
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 1, 7, 10) // waits for a's message (2+5)
+	s.Place(2, 1, 10, 11)
+	chain, err := CriticalChain(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("chain = %+v", chain)
+	}
+	if chain[0].Reason != "ready" || chain[0].Node != 0 {
+		t.Fatalf("chain[0] = %+v", chain[0])
+	}
+	if chain[1].Reason != "message" || chain[1].From != 0 {
+		t.Fatalf("chain[1] = %+v", chain[1])
+	}
+	if chain[2].Reason != "processor" || chain[2].From != 1 {
+		t.Fatalf("chain[2] = %+v", chain[2])
+	}
+	out := FormatChain(g, s, chain)
+	for _, want := range []string{"critical chain (3 tasks", "waited for message from a", "started immediately"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCriticalChainProcessorBound(t *testing.T) {
+	// two independent tasks serialized on one processor: the second is
+	// processor-bound on the first.
+	g := dag.New(2)
+	g.AddNode("x", 3)
+	g.AddNode("y", 4)
+	s := New(2)
+	s.Place(0, 0, 0, 3)
+	s.Place(1, 0, 3, 7)
+	chain, err := CriticalChain(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[1].Reason != "processor" || chain[1].From != 0 {
+		t.Fatalf("chain = %+v", chain)
+	}
+}
+
+func TestCriticalChainRejectsInvalid(t *testing.T) {
+	g := chainGraph(t)
+	if _, err := CriticalChain(g, New(g.NumNodes())); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}
+
+// Property: the chain is contiguous in time (each link's constraint
+// binds) and starts with a task that begins at its data arrival.
+func TestCriticalChainPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 20; trial++ {
+		// random valid schedule: serialize random graphs on 1-3 procs via
+		// a trivial list placement
+		g := randomScheduleGraph(rng)
+		s := greedySchedule(g, 1+rng.Intn(3))
+		if err := Validate(g, s); err != nil {
+			t.Fatalf("trial %d: setup: %v", trial, err)
+		}
+		chain, err := CriticalChain(g, s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(chain) == 0 {
+			t.Fatalf("trial %d: empty chain", trial)
+		}
+		lastLink := chain[len(chain)-1]
+		if s.Finish(lastLink.Node) != s.Length() {
+			t.Fatalf("trial %d: chain does not end at the makespan", trial)
+		}
+	}
+}
+
+// helpers for the property test (kept local to avoid an import cycle
+// with the scheduler packages).
+func randomScheduleGraph(rng *rand.Rand) *dag.Graph {
+	v := 5 + rng.Intn(20)
+	g := dag.New(v)
+	for i := 0; i < v; i++ {
+		g.AddNode("", 1+float64(rng.Intn(5)))
+	}
+	for i := 1; i < v; i++ {
+		parents := 1 + rng.Intn(2)
+		for j := 0; j < parents; j++ {
+			p := rng.Intn(i)
+			_ = g.AddEdge(dag.NodeID(p), dag.NodeID(i), float64(rng.Intn(6)))
+		}
+	}
+	return g
+}
+
+func greedySchedule(g *dag.Graph, procs int) *Schedule {
+	s := New(g.NumNodes())
+	order, _ := g.TopologicalOrder()
+	ready := make([]float64, procs)
+	for _, n := range order {
+		bestP, bestSt := 0, -1.0
+		for p := 0; p < procs; p++ {
+			dat := 0.0
+			for _, e := range g.Pred(n) {
+				arr := s.Finish(e.From)
+				if s.Proc(e.From) != p {
+					arr += e.Weight
+				}
+				if arr > dat {
+					dat = arr
+				}
+			}
+			st := dat
+			if ready[p] > st {
+				st = ready[p]
+			}
+			if bestSt < 0 || st < bestSt {
+				bestP, bestSt = p, st
+			}
+		}
+		s.Place(n, bestP, bestSt, bestSt+g.Weight(n))
+		ready[bestP] = bestSt + g.Weight(n)
+	}
+	return s
+}

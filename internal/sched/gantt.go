@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastsched/internal/dag"
+)
+
+// Gantt renders the schedule as a text Gantt chart, one line per
+// processor, scaled to width columns. Node labels come from the graph.
+//
+//	PE 0 |n1 ||n3 ........||n7  |
+//	PE 1 |....|n2 |n6 |
+func Gantt(g *dag.Graph, s *Schedule, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	length := s.Length()
+	if length <= 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / length
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s schedule, length %.6g, %d processor(s)\n", algName(s), length, s.ProcsUsed())
+	for _, p := range s.Procs() {
+		fmt.Fprintf(&b, "PE %-3d ", p)
+		cursor := 0
+		for _, n := range s.OnProc(p) {
+			pl := s.Of(n)
+			startCol := int(pl.Start * scale)
+			endCol := int(pl.Finish * scale)
+			if endCol <= startCol {
+				endCol = startCol + 1
+			}
+			for cursor < startCol {
+				b.WriteByte('.')
+				cursor++
+			}
+			label := g.Label(n)
+			if label == "" {
+				label = fmt.Sprintf("n%d", n)
+			}
+			cell := "[" + label
+			for len(cell) < endCol-startCol-1 {
+				cell += " "
+			}
+			if len(cell) > endCol-startCol-1 {
+				cell = cell[:maxInt(endCol-startCol-1, 1)]
+			}
+			cell += "]"
+			b.WriteString(cell)
+			cursor += len(cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func algName(s *Schedule) string {
+	if s.Algorithm == "" {
+		return "(unnamed)"
+	}
+	return s.Algorithm
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table renders the schedule as a start-time-sorted table of
+// placements, useful in example programs and debugging.
+func Table(g *dag.Graph, s *Schedule) string {
+	rows := make([]Placement, 0, s.NumNodes())
+	for i := 0; i < s.NumNodes(); i++ {
+		if s.Assigned(dag.NodeID(i)) {
+			rows = append(rows, s.Of(dag.NodeID(i)))
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Start != rows[j].Start {
+			return rows[i].Start < rows[j].Start
+		}
+		return rows[i].Node < rows[j].Node
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-4s %10s %10s\n", "node", "PE", "start", "finish")
+	for _, r := range rows {
+		label := g.Label(r.Node)
+		if label == "" {
+			label = fmt.Sprintf("n%d", r.Node)
+		}
+		fmt.Fprintf(&b, "%-8s %-4d %10.4g %10.4g\n", label, r.Proc, r.Start, r.Finish)
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"fastsched/internal/dag"
+)
+
+// Metrics summarizes a schedule's quality beyond its length.
+type Metrics struct {
+	Length     float64 // makespan
+	Work       float64 // total computation scheduled
+	Speedup    float64 // Work / Length
+	Efficiency float64 // Speedup / ProcsUsed
+	ProcsUsed  int
+	// LoadImbalance is max processor busy time divided by mean busy
+	// time (1.0 = perfectly balanced).
+	LoadImbalance float64
+	// CrossEdges counts edges whose endpoints sit on different
+	// processors; CommVolume sums their weights (the traffic the
+	// machine must carry).
+	CrossEdges int
+	CommVolume float64
+}
+
+// ComputeMetrics derives the metrics of a complete schedule.
+func ComputeMetrics(g *dag.Graph, s *Schedule) Metrics {
+	m := Metrics{
+		Length:     s.Length(),
+		Work:       g.TotalWork(),
+		ProcsUsed:  s.ProcsUsed(),
+		Speedup:    s.Speedup(g),
+		Efficiency: s.Efficiency(g),
+	}
+	var maxBusy, totalBusy float64
+	for _, p := range s.Procs() {
+		var busy float64
+		for _, n := range s.OnProc(p) {
+			busy += g.Weight(n)
+		}
+		totalBusy += busy
+		if busy > maxBusy {
+			maxBusy = busy
+		}
+	}
+	if m.ProcsUsed > 0 && totalBusy > 0 {
+		mean := totalBusy / float64(m.ProcsUsed)
+		m.LoadImbalance = maxBusy / mean
+	}
+	for _, e := range g.Edges() {
+		if s.Proc(e.From) != s.Proc(e.To) {
+			m.CrossEdges++
+			m.CommVolume += e.Weight
+		}
+	}
+	return m
+}

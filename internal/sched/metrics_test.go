@@ -1,0 +1,43 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeMetrics(t *testing.T) {
+	g := chainGraph(t) // a(2) --5--> b(3) --1--> c(1)
+	s := New(g.NumNodes())
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 1, 7, 10)
+	s.Place(2, 1, 10, 11)
+	m := ComputeMetrics(g, s)
+	if m.Length != 11 || m.Work != 6 || m.ProcsUsed != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if math.Abs(m.Speedup-6.0/11.0) > 1e-9 {
+		t.Fatalf("speedup = %v", m.Speedup)
+	}
+	// busy: PE0 = 2, PE1 = 4; mean 3, max 4 -> imbalance 4/3
+	if math.Abs(m.LoadImbalance-4.0/3.0) > 1e-9 {
+		t.Fatalf("imbalance = %v", m.LoadImbalance)
+	}
+	if m.CrossEdges != 1 || m.CommVolume != 5 {
+		t.Fatalf("cross = %d vol %v", m.CrossEdges, m.CommVolume)
+	}
+}
+
+func TestComputeMetricsSingleProc(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 0, 2, 5)
+	s.Place(2, 0, 5, 6)
+	m := ComputeMetrics(g, s)
+	if m.LoadImbalance != 1 || m.CrossEdges != 0 || m.CommVolume != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Efficiency != 1 {
+		t.Fatalf("efficiency = %v", m.Efficiency)
+	}
+}

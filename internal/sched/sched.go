@@ -1,0 +1,221 @@
+// Package sched defines the schedule produced by the scheduling
+// algorithms — the assignment of every task to a processor and a start
+// time — together with validation against the source DAG, Gantt-chart
+// rendering, and the metrics the paper reports (schedule length,
+// processors used, speedup).
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fastsched/internal/dag"
+)
+
+// Placement records where and when one task runs.
+type Placement struct {
+	Node   dag.NodeID
+	Proc   int
+	Start  float64
+	Finish float64
+}
+
+// Schedule maps every node of a DAG onto processors and time slots. The
+// zero value is unusable; create schedules with New.
+type Schedule struct {
+	Algorithm string // name of the producing algorithm, for reports
+	place     []Placement
+	assigned  []bool
+	procs     map[int][]dag.NodeID // per-processor node lists, kept sorted by start
+	dirty     map[int]bool         // processors whose lists need re-sorting
+}
+
+// New returns an empty schedule for a graph with v nodes.
+func New(v int) *Schedule {
+	return &Schedule{
+		place:    make([]Placement, v),
+		assigned: make([]bool, v),
+		procs:    make(map[int][]dag.NodeID),
+		dirty:    make(map[int]bool),
+	}
+}
+
+// NumNodes returns the number of slots (v of the source graph).
+func (s *Schedule) NumNodes() int { return len(s.place) }
+
+// Place assigns node n to processor proc with the given start time and
+// finish time. Re-placing a node moves it.
+func (s *Schedule) Place(n dag.NodeID, proc int, start, finish float64) {
+	if s.assigned[n] {
+		s.removeFromProc(n)
+	}
+	s.place[n] = Placement{Node: n, Proc: proc, Start: start, Finish: finish}
+	s.assigned[n] = true
+	s.procs[proc] = append(s.procs[proc], n)
+	s.dirty[proc] = true
+}
+
+func (s *Schedule) removeFromProc(n dag.NodeID) {
+	p := s.place[n].Proc
+	list := s.procs[p]
+	for i, m := range list {
+		if m == n {
+			s.procs[p] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(s.procs[p]) == 0 {
+		delete(s.procs, p)
+		delete(s.dirty, p)
+	}
+}
+
+// Assigned reports whether node n has been placed.
+func (s *Schedule) Assigned(n dag.NodeID) bool { return s.assigned[n] }
+
+// Of returns the placement of node n. The node must be assigned.
+func (s *Schedule) Of(n dag.NodeID) Placement {
+	if !s.assigned[n] {
+		panic(fmt.Sprintf("sched: node %d not assigned", n))
+	}
+	return s.place[n]
+}
+
+// Start returns the start time of node n.
+func (s *Schedule) Start(n dag.NodeID) float64 { return s.Of(n).Start }
+
+// Finish returns the finish time of node n.
+func (s *Schedule) Finish(n dag.NodeID) float64 { return s.Of(n).Finish }
+
+// Proc returns the processor of node n.
+func (s *Schedule) Proc(n dag.NodeID) int { return s.Of(n).Proc }
+
+// OnProc returns the nodes assigned to processor p ordered by start
+// time. The returned slice is shared; callers must not modify it.
+func (s *Schedule) OnProc(p int) []dag.NodeID {
+	if s.dirty[p] {
+		list := s.procs[p]
+		sort.Slice(list, func(i, j int) bool {
+			if s.place[list[i]].Start != s.place[list[j]].Start {
+				return s.place[list[i]].Start < s.place[list[j]].Start
+			}
+			return list[i] < list[j]
+		})
+		s.dirty[p] = false
+	}
+	return s.procs[p]
+}
+
+// Procs returns the IDs of the processors that have at least one node,
+// in increasing order.
+func (s *Schedule) Procs() []int {
+	out := make([]int, 0, len(s.procs))
+	for p := range s.procs {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ProcsUsed returns the number of distinct processors with work — the
+// "number of processors used" metric of the paper's tables.
+func (s *Schedule) ProcsUsed() int { return len(s.procs) }
+
+// Length returns the schedule length (makespan): the maximum finish
+// time over all assigned nodes. Unassigned nodes are ignored.
+func (s *Schedule) Length() float64 {
+	var max float64
+	for i, pl := range s.place {
+		if s.assigned[i] && pl.Finish > max {
+			max = pl.Finish
+		}
+	}
+	return max
+}
+
+// Speedup returns sequential work divided by schedule length.
+func (s *Schedule) Speedup(g *dag.Graph) float64 {
+	l := s.Length()
+	if l == 0 {
+		return 0
+	}
+	return g.TotalWork() / l
+}
+
+// Efficiency returns speedup divided by processors used.
+func (s *Schedule) Efficiency(g *dag.Graph) float64 {
+	p := s.ProcsUsed()
+	if p == 0 {
+		return 0
+	}
+	return s.Speedup(g) / float64(p)
+}
+
+// Clone returns a deep copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{
+		Algorithm: s.Algorithm,
+		place:     append([]Placement(nil), s.place...),
+		assigned:  append([]bool(nil), s.assigned...),
+		procs:     make(map[int][]dag.NodeID, len(s.procs)),
+		dirty:     make(map[int]bool, len(s.dirty)),
+	}
+	for p, list := range s.procs {
+		c.procs[p] = append([]dag.NodeID(nil), list...)
+	}
+	for p, d := range s.dirty {
+		c.dirty[p] = d
+	}
+	return c
+}
+
+// Validate checks that the schedule is a legal execution of g:
+//
+//  1. every node is assigned exactly once;
+//  2. finish = start + w(n) for every node;
+//  3. no two nodes overlap on the same processor;
+//  4. every node starts no earlier than each parent's finish time, plus
+//     the edge's communication cost when parent and child are on
+//     different processors.
+func Validate(g *dag.Graph, s *Schedule) error {
+	const eps = 1e-6
+	if s.NumNodes() != g.NumNodes() {
+		return fmt.Errorf("sched: schedule sized for %d nodes, graph has %d", s.NumNodes(), g.NumNodes())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		n := dag.NodeID(i)
+		if !s.Assigned(n) {
+			return fmt.Errorf("sched: node %d unassigned", n)
+		}
+		pl := s.Of(n)
+		if pl.Start < -eps {
+			return fmt.Errorf("sched: node %d starts at %v < 0", n, pl.Start)
+		}
+		if math.Abs(pl.Finish-pl.Start-g.Weight(n)) > eps {
+			return fmt.Errorf("sched: node %d duration %v != weight %v", n, pl.Finish-pl.Start, g.Weight(n))
+		}
+	}
+	for _, p := range s.Procs() {
+		list := s.OnProc(p)
+		for i := 1; i < len(list); i++ {
+			prev, cur := s.Of(list[i-1]), s.Of(list[i])
+			if cur.Start < prev.Finish-eps {
+				return fmt.Errorf("sched: overlap on PE %d: node %d [%v,%v) vs node %d [%v,%v)",
+					p, prev.Node, prev.Start, prev.Finish, cur.Node, cur.Start, cur.Finish)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		from, to := s.Of(e.From), s.Of(e.To)
+		arrival := from.Finish
+		if from.Proc != to.Proc {
+			arrival += e.Weight
+		}
+		if to.Start < arrival-eps {
+			return fmt.Errorf("sched: precedence violated on edge %d->%d: child starts %v, message arrives %v",
+				e.From, e.To, to.Start, arrival)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"fastsched/internal/dag"
+)
+
+// chainGraph: a(2) --5--> b(3) --1--> c(1)
+func chainGraph(t *testing.T) *dag.Graph {
+	t.Helper()
+	g := dag.New(3)
+	a := g.AddNode("a", 2)
+	b := g.AddNode("b", 3)
+	c := g.AddNode("c", 1)
+	g.MustAddEdge(a, b, 5)
+	g.MustAddEdge(b, c, 1)
+	return g
+}
+
+func TestPlaceAndQuery(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 0, 2, 5)
+	s.Place(2, 1, 6, 7)
+	if s.Proc(0) != 0 || s.Start(1) != 2 || s.Finish(2) != 7 {
+		t.Fatal("placement query mismatch")
+	}
+	if s.ProcsUsed() != 2 {
+		t.Fatalf("ProcsUsed = %d", s.ProcsUsed())
+	}
+	if got := s.Length(); got != 7 {
+		t.Fatalf("Length = %v", got)
+	}
+	if err := Validate(g, s); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestReplaceMovesNode(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	s.Place(0, 0, 0, 2)
+	s.Place(0, 3, 1, 3) // move
+	if s.Proc(0) != 3 || s.Start(0) != 1 {
+		t.Fatal("re-place did not move node")
+	}
+	if s.ProcsUsed() != 1 {
+		t.Fatalf("ProcsUsed = %d after move", s.ProcsUsed())
+	}
+	if len(s.OnProc(0)) != 0 {
+		t.Fatal("old processor still lists node")
+	}
+}
+
+func TestOfPanicsOnUnassigned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := New(2)
+	_ = s.Of(1)
+}
+
+func TestOnProcSortedByStart(t *testing.T) {
+	s := New(3)
+	s.Place(2, 0, 5, 6)
+	s.Place(0, 0, 0, 1)
+	s.Place(1, 0, 2, 3)
+	got := s.OnProc(0)
+	want := []dag.NodeID{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OnProc = %v", got)
+		}
+	}
+}
+
+func TestValidateCatchesUnassigned(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	s.Place(0, 0, 0, 2)
+	if err := Validate(g, s); err == nil || !strings.Contains(err.Error(), "unassigned") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateCatchesWrongDuration(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	s.Place(0, 0, 0, 3) // weight is 2
+	s.Place(1, 0, 8, 11)
+	s.Place(2, 0, 11, 12)
+	if err := Validate(g, s); err == nil || !strings.Contains(err.Error(), "duration") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 0, 1, 4) // overlaps a on PE 0
+	s.Place(2, 0, 5, 6)
+	if err := Validate(g, s); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateCatchesPrecedenceLocal(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 0, 1.5, 4.5) // starts before parent finishes... also overlaps;
+	// use separate procs to isolate precedence
+	s = New(g.NumNodes())
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 1, 3, 6) // needs DAT 2+5=7 on remote proc
+	s.Place(2, 1, 6, 7)
+	if err := Validate(g, s); err == nil || !strings.Contains(err.Error(), "precedence") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateAcceptsZeroedLocalComm(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	// same processor: comm is zero, b can start right at a's finish
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 0, 2, 5)
+	s.Place(2, 0, 5, 6)
+	if err := Validate(g, s); err != nil {
+		t.Fatalf("co-located schedule rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesNegativeStart(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	s.Place(0, 0, -1, 1)
+	s.Place(1, 0, 6, 9)
+	s.Place(2, 0, 9, 10)
+	if err := Validate(g, s); err == nil || !strings.Contains(err.Error(), "< 0") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateSizeMismatch(t *testing.T) {
+	g := chainGraph(t)
+	if err := Validate(g, New(2)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestSpeedupEfficiency(t *testing.T) {
+	g := chainGraph(t) // total work 6
+	s := New(g.NumNodes())
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 0, 2, 5)
+	s.Place(2, 0, 5, 6)
+	if sp := s.Speedup(g); sp != 1 {
+		t.Fatalf("Speedup = %v", sp)
+	}
+	if ef := s.Efficiency(g); ef != 1 {
+		t.Fatalf("Efficiency = %v", ef)
+	}
+	empty := New(g.NumNodes())
+	if empty.Speedup(g) != 0 || empty.Efficiency(g) != 0 {
+		t.Fatal("empty schedule metrics should be 0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	s.Algorithm = "X"
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 0, 2, 5)
+	s.Place(2, 0, 5, 6)
+	c := s.Clone()
+	c.Place(2, 7, 100, 101)
+	if s.Proc(2) != 0 || s.Length() != 6 {
+		t.Fatal("clone mutated original")
+	}
+	if c.Algorithm != "X" {
+		t.Fatal("clone lost algorithm name")
+	}
+	if err := Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGanttAndTableRender(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	s.Algorithm = "FAST"
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 1, 7, 10)
+	s.Place(2, 1, 10, 11)
+	out := Gantt(g, s, 40)
+	for _, want := range []string{"FAST", "PE 0", "PE 1", "[a", "[b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, out)
+		}
+	}
+	tab := Table(g, s)
+	if !strings.Contains(tab, "a") || !strings.Contains(tab, "start") {
+		t.Errorf("Table output:\n%s", tab)
+	}
+	if out := Gantt(g, New(g.NumNodes()), 40); !strings.Contains(out, "empty") {
+		t.Errorf("empty gantt = %q", out)
+	}
+}

@@ -1,0 +1,14 @@
+package sched
+
+import "fastsched/internal/dag"
+
+// Scheduler is the interface every algorithm in this repository
+// implements. procs is the number of available processors; a value <= 0
+// means an unbounded processor set (MD and DSC assume one by
+// definition; the others treat it as "as many as needed").
+type Scheduler interface {
+	// Name returns the algorithm's short name (e.g. "FAST", "DSC").
+	Name() string
+	// Schedule assigns every node of g to a processor and time slot.
+	Schedule(g *dag.Graph, procs int) (*Schedule, error)
+}

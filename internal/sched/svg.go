@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsched/internal/dag"
+)
+
+// SVG renders the schedule as a standalone SVG Gantt chart: one lane
+// per processor, one labeled box per task, a time axis underneath.
+// Width is the drawing width in pixels; lane height is fixed.
+func SVG(g *dag.Graph, s *Schedule, width int) string {
+	const (
+		laneH   = 28
+		gap     = 6
+		leftPad = 52
+		topPad  = 26
+		axisH   = 30
+	)
+	if width < 200 {
+		width = 200
+	}
+	length := s.Length()
+	procs := s.Procs()
+	height := topPad + len(procs)*(laneH+gap) + axisH
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16">%s schedule — length %.6g, %d processor(s)</text>`+"\n",
+		leftPad, algName(s), length, s.ProcsUsed())
+	if length <= 0 {
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	scale := float64(width-leftPad-10) / length
+
+	// Color tasks by class-of-work via a small stable palette keyed on
+	// node ID, so re-renders are identical.
+	palette := []string{"#4e79a7", "#f28e2b", "#76b7b2", "#e15759", "#59a14f", "#edc948", "#b07aa1", "#9c755f"}
+
+	for li, p := range procs {
+		y := topPad + li*(laneH+gap)
+		fmt.Fprintf(&b, `<text x="4" y="%d">PE %d</text>`+"\n", y+laneH-9, p)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f4f4f4"/>`+"\n",
+			leftPad, y, width-leftPad-10, laneH)
+		for _, n := range s.OnProc(p) {
+			pl := s.Of(n)
+			x := leftPad + int(pl.Start*scale)
+			w := int((pl.Finish - pl.Start) * scale)
+			if w < 2 {
+				w = 2
+			}
+			color := palette[int(n)%len(palette)]
+			label := g.Label(n)
+			if label == "" {
+				label = fmt.Sprintf("n%d", n)
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#333"><title>%s [%.6g, %.6g)</title></rect>`+"\n",
+				x, y+2, w, laneH-4, color, label, pl.Start, pl.Finish)
+			if w > 7*len(label) {
+				fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#fff">%s</text>`+"\n", x+3, y+laneH-10, label)
+			}
+		}
+	}
+	// Time axis with ~8 ticks.
+	axisY := topPad + len(procs)*(laneH+gap) + 12
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		leftPad, axisY, width-10, axisY)
+	for i := 0; i <= 8; i++ {
+		t := length * float64(i) / 8
+		x := leftPad + int(t*scale)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", x, axisY, x, axisY+4)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%.4g</text>`+"\n", x-8, axisY+16, t)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGRendersAllTasks(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	s.Algorithm = "FAST"
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 1, 7, 10)
+	s.Place(2, 1, 10, 11)
+	out := SVG(g, s, 640)
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatalf("not a complete svg:\n%s", out)
+	}
+	for _, want := range []string{"PE 0", "PE 1", "<title>a [0, 2)</title>", "<title>b [7, 10)</title>", "FAST schedule"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// three task rects + two lane rects
+	if got := strings.Count(out, "<rect"); got != 5 {
+		t.Errorf("rect count = %d, want 5", got)
+	}
+}
+
+func TestSVGEmptyScheduleAndMinWidth(t *testing.T) {
+	g := chainGraph(t)
+	out := SVG(g, New(g.NumNodes()), 10)
+	if !strings.Contains(out, "</svg>") {
+		t.Fatalf("empty svg malformed:\n%s", out)
+	}
+	if !strings.Contains(out, `width="200"`) {
+		t.Errorf("minimum width not applied:\n%s", out)
+	}
+}
+
+func TestSVGDeterministic(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g.NumNodes())
+	s.Place(0, 0, 0, 2)
+	s.Place(1, 0, 2, 5)
+	s.Place(2, 0, 5, 6)
+	if SVG(g, s, 640) != SVG(g, s, 640) {
+		t.Fatal("svg output not deterministic")
+	}
+}

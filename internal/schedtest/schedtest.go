@@ -1,0 +1,221 @@
+// Package schedtest provides a conformance suite shared by the tests of
+// every scheduling algorithm in this repository: random task-graph
+// generation and the invariants any correct scheduler must uphold
+// (validity against the DAG, determinism, processor bounds, sane
+// behaviour on degenerate graphs).
+package schedtest
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+)
+
+// RandomLayered builds a random layered DAG with v nodes: layers of
+// width 1..4, each node wired to 1..3 nodes in earlier layers, node
+// weights in [1,9] and edge weights in [0,19].
+func RandomLayered(rng *rand.Rand, v int) *dag.Graph {
+	g := dag.New(v)
+	var layers [][]dag.NodeID
+	placed := 0
+	for placed < v {
+		width := 1 + rng.Intn(4)
+		if placed+width > v {
+			width = v - placed
+		}
+		layer := make([]dag.NodeID, 0, width)
+		for i := 0; i < width; i++ {
+			layer = append(layer, g.AddNode("", 1+float64(rng.Intn(9))))
+			placed++
+		}
+		layers = append(layers, layer)
+	}
+	for li := 1; li < len(layers); li++ {
+		for _, n := range layers[li] {
+			k := 1 + rng.Intn(3)
+			for j := 0; j < k; j++ {
+				src := layers[rng.Intn(li)]
+				p := src[rng.Intn(len(src))]
+				_ = g.AddEdge(p, n, float64(rng.Intn(20)))
+			}
+		}
+	}
+	return g
+}
+
+// Chain returns a linear chain of n unit-weight nodes with the given
+// communication cost on every edge.
+func Chain(n int, comm float64) *dag.Graph {
+	g := dag.New(n)
+	prev := dag.None
+	for i := 0; i < n; i++ {
+		id := g.AddNode("", 1)
+		if prev != dag.None {
+			g.MustAddEdge(prev, id, comm)
+		}
+		prev = id
+	}
+	return g
+}
+
+// ForkJoin returns an entry node fanning out to width children that all
+// join into one exit node.
+func ForkJoin(width int, comm float64) *dag.Graph {
+	g := dag.New(width + 2)
+	entry := g.AddNode("fork", 1)
+	exit := dag.None
+	mids := make([]dag.NodeID, width)
+	for i := range mids {
+		mids[i] = g.AddNode("", 2)
+		g.MustAddEdge(entry, mids[i], comm)
+	}
+	exit = g.AddNode("join", 1)
+	for _, m := range mids {
+		g.MustAddEdge(m, exit, comm)
+	}
+	return g
+}
+
+// Conformance runs the shared invariant suite against s.
+//
+// bounded states whether the scheduler honours the procs argument (DSC
+// and MD are unbounded by definition and exempt from the processor-cap
+// check).
+func Conformance(t *testing.T, s sched.Scheduler, bounded bool) {
+	t.Helper()
+
+	t.Run("EmptyGraphRejected", func(t *testing.T) {
+		if _, err := s.Schedule(dag.New(0), 2); err == nil {
+			t.Fatal("empty graph accepted")
+		}
+	})
+
+	t.Run("SingleNode", func(t *testing.T) {
+		g := dag.New(1)
+		g.AddNode("solo", 3)
+		out, err := s.Schedule(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Validate(g, out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Length() != 3 {
+			t.Fatalf("length = %v, want 3", out.Length())
+		}
+	})
+
+	t.Run("ChainStaysSequential", func(t *testing.T) {
+		g := Chain(10, 5)
+		out, err := s.Schedule(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Validate(g, out); err != nil {
+			t.Fatal(err)
+		}
+		// A chain cannot beat serial execution; any sane scheduler also
+		// avoids paying communication on every hop, so length must be at
+		// most serial + all comm and at least serial.
+		serial := g.TotalWork()
+		if out.Length() < serial-1e-9 {
+			t.Fatalf("chain scheduled in %v < serial %v", out.Length(), serial)
+		}
+		if out.Length() > serial+g.TotalComm()+1e-9 {
+			t.Fatalf("chain scheduled in %v, worse than maximally-communicating bound", out.Length())
+		}
+	})
+
+	t.Run("ForkJoinValid", func(t *testing.T) {
+		g := ForkJoin(8, 1)
+		out, err := s.Schedule(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Validate(g, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("ZeroCommGraph", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(99))
+		g := RandomLayered(rng, 30)
+		for _, e := range g.Edges() {
+			g.SetEdgeWeight(e.From, e.To, 0)
+		}
+		out, err := s.Schedule(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Validate(g, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("RandomGraphsValid", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(21))
+		for trial := 0; trial < 25; trial++ {
+			g := RandomLayered(rng, 2+rng.Intn(60))
+			procs := 1 + rng.Intn(6)
+			out, err := s.Schedule(g, procs)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := sched.Validate(g, out); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if bounded && out.ProcsUsed() > procs {
+				t.Fatalf("trial %d: used %d of %d procs", trial, out.ProcsUsed(), procs)
+			}
+			if out.Length() > g.TotalWork()+g.TotalComm()+1e-9 {
+				t.Fatalf("trial %d: length %v beyond any reasonable bound", trial, out.Length())
+			}
+			// Two universal lower bounds: the computation-only critical
+			// path (no schedule can shorten a dependence chain) and the
+			// area bound (total work over processors actually used).
+			l, err := dag.ComputeLevels(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compCP := 0.0
+			for i := 0; i < g.NumNodes(); i++ {
+				if l.Static[dag.NodeID(i)] > compCP {
+					compCP = l.Static[dag.NodeID(i)]
+				}
+			}
+			if out.Length() < compCP-1e-9 {
+				t.Fatalf("trial %d: length %v beats the dependence bound %v", trial, out.Length(), compCP)
+			}
+			if used := out.ProcsUsed(); used > 0 && out.Length() < g.TotalWork()/float64(used)-1e-9 {
+				t.Fatalf("trial %d: length %v beats the area bound", trial, out.Length())
+			}
+		}
+	})
+
+	t.Run("Deterministic", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(33))
+		g := RandomLayered(rng, 40)
+		a, err := s.Schedule(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Schedule(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.NumNodes(); i++ {
+			n := dag.NodeID(i)
+			if a.Of(n) != b.Of(n) {
+				t.Fatalf("node %d: %+v vs %+v", n, a.Of(n), b.Of(n))
+			}
+		}
+	})
+
+	t.Run("NameNonEmpty", func(t *testing.T) {
+		if s.Name() == "" {
+			t.Fatal("scheduler has no name")
+		}
+	})
+}

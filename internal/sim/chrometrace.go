@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"fastsched/internal/dag"
+)
+
+// chromeEvent is one record of the Chrome trace_event format ("X" =
+// complete event, "i" = instant event), loadable in chrome://tracing
+// and Perfetto.
+type chromeEvent struct {
+	Name  string `json:"name"`
+	Phase string `json:"ph"`
+	TS    int64  `json:"ts"`            // microseconds
+	Dur   int64  `json:"dur,omitempty"` // microseconds
+	PID   int    `json:"pid"`
+	TID   int    `json:"tid"`
+	Scope string `json:"s,omitempty"`
+}
+
+// WriteChromeTrace converts an execution trace into the Chrome
+// trace_event JSON array: every task becomes a complete ("X") event on
+// its processor's track, every message arrival an instant event. One
+// simulated time unit maps to one microsecond.
+func (t *Tracer) WriteChromeTrace(w io.Writer, g *dag.Graph) error {
+	label := func(n dag.NodeID) string {
+		if l := g.Label(n); l != "" {
+			return l
+		}
+		return fmt.Sprintf("n%d", n)
+	}
+	startAt := map[dag.NodeID]float64{}
+	var out []chromeEvent
+	for _, e := range t.Events() {
+		switch e.Kind {
+		case "start":
+			startAt[e.Node] = e.Time
+		case "finish":
+			out = append(out, chromeEvent{
+				Name:  label(e.Node),
+				Phase: "X",
+				TS:    int64(startAt[e.Node] * 1e6),
+				Dur:   int64((e.Time - startAt[e.Node]) * 1e6),
+				PID:   1,
+				TID:   e.Proc,
+			})
+		case "arrive":
+			out = append(out, chromeEvent{
+				Name:  fmt.Sprintf("msg %s->%s", label(e.From), label(e.Node)),
+				Phase: "i",
+				TS:    int64(e.Time * 1e6),
+				PID:   1,
+				TID:   e.Proc,
+				Scope: "t",
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

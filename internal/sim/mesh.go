@@ -1,0 +1,39 @@
+package sim
+
+// Mesh models the Intel Paragon's 2D-mesh interconnect at the latency
+// level: processors are laid out row-major on a Cols-wide grid and a
+// message pays PerHop extra time per Manhattan hop between source and
+// destination. The zero value (Cols == 0) disables the model, making
+// the network distance-free as in the base configuration.
+//
+// Wormhole routing makes per-hop latency tiny on the real machine; a
+// nonzero PerHop mainly penalizes schedules that scatter communicating
+// tasks across the mesh.
+type Mesh struct {
+	// Cols is the mesh width; 0 disables the topology model.
+	Cols int
+	// PerHop is the extra delivery latency per Manhattan hop.
+	PerHop float64
+}
+
+// Enabled reports whether the topology model is active.
+func (m Mesh) Enabled() bool { return m.Cols > 0 && m.PerHop != 0 }
+
+// Delay returns the extra latency of a message from processor a to
+// processor b.
+func (m Mesh) Delay(a, b int) float64 {
+	if !m.Enabled() || a == b {
+		return 0
+	}
+	ar, ac := a/m.Cols, a%m.Cols
+	br, bc := b/m.Cols, b%m.Cols
+	hops := abs(ar-br) + abs(ac-bc)
+	return m.PerHop * float64(hops)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+)
+
+func TestMeshDelay(t *testing.T) {
+	m := Mesh{Cols: 4, PerHop: 2}
+	if !m.Enabled() {
+		t.Fatal("mesh should be enabled")
+	}
+	cases := []struct {
+		a, b int
+		want float64
+	}{
+		{0, 0, 0},   // same processor
+		{0, 1, 2},   // one hop east
+		{0, 4, 2},   // one hop south
+		{0, 5, 4},   // diagonal: 2 hops
+		{0, 15, 12}, // corner to corner on 4x4: 3+3 hops
+		{7, 8, 8},   // (1,3) -> (2,0): 1+3 hops
+	}
+	for _, c := range cases {
+		if got := m.Delay(c.a, c.b); got != c.want {
+			t.Errorf("Delay(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := m.Delay(c.b, c.a); got != c.want {
+			t.Errorf("Delay symmetric (%d,%d) = %v", c.b, c.a, got)
+		}
+	}
+	if (Mesh{}).Enabled() || (Mesh{Cols: 4}).Enabled() {
+		t.Fatal("zero-value mesh should be disabled")
+	}
+	if (Mesh{}).Delay(0, 9) != 0 {
+		t.Fatal("disabled mesh must add no delay")
+	}
+}
+
+func TestTopologySlowsRemoteMessages(t *testing.T) {
+	// a on PE0 sends to b on PE3 of a 2-wide mesh: (0,0)->(1,1) = 2 hops.
+	g := dag.New(2)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	g.MustAddEdge(a, b, 5)
+	s := sched.New(2)
+	s.Place(a, 0, 0, 1)
+	s.Place(b, 3, 6, 7)
+
+	flat, err := Run(g, s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Time != 7 {
+		t.Fatalf("flat time = %v, want 7", flat.Time)
+	}
+	meshy, err := Run(g, s, Config{Topology: Mesh{Cols: 2, PerHop: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// arrival = 1 + 5 + 2 hops * 3 = 12; b ends at 13
+	if meshy.Time != 13 {
+		t.Fatalf("mesh time = %v, want 13", meshy.Time)
+	}
+}

@@ -1,0 +1,328 @@
+// Package sim is the repository's stand-in for the paper's Intel
+// Paragon testbed: a discrete-event simulator that *executes* a
+// scheduled program instead of merely reading the schedule length off
+// the Gantt chart.
+//
+// Each processor runs its assigned tasks in schedule order; a task
+// begins only when the processor is free and every parent's message has
+// arrived. Messages depart when the producing task finishes and take
+// the edge's communication cost to deliver, with two optional machine
+// effects the static schedulers cannot anticipate:
+//
+//   - single-port contention: each processor serializes its outgoing
+//     messages through one network interface (the Paragon NIC model),
+//     so simultaneous sends queue behind each other;
+//   - runtime perturbation: task durations are scaled by a deterministic
+//     pseudo-random factor, modelling the gap between the timing
+//     database's estimates and real execution.
+//
+// The simulated finish time of the last task is the "application
+// execution time" reported in the paper's tables.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+)
+
+// Config selects the machine effects applied during simulation.
+type Config struct {
+	// Contention enables single-port send serialization per processor.
+	Contention bool
+	// Perturb is the maximum relative deviation of actual task durations
+	// from their static weights (e.g. 0.1 scales each task by a factor
+	// uniform in [0.9, 1.1]). Zero disables perturbation.
+	Perturb float64
+	// Seed drives the perturbation; the same seed replays identically.
+	Seed int64
+	// Topology adds mesh-distance latency to message delivery; the zero
+	// value disables it.
+	Topology Mesh
+}
+
+// Report is the outcome of one simulated execution.
+type Report struct {
+	// Time is the simulated execution time of the program (makespan).
+	Time float64
+	// Finish holds each task's simulated finish time.
+	Finish []float64
+	// BusyTime holds per-processor busy (computing) time, keyed by the
+	// schedule's processor IDs.
+	BusyTime map[int]float64
+	// Messages is the number of inter-processor messages delivered.
+	Messages int
+}
+
+// Utilization returns average processor busy time divided by total time.
+func (r *Report) Utilization() float64 {
+	if r.Time == 0 || len(r.BusyTime) == 0 {
+		return 0
+	}
+	var busy float64
+	for _, b := range r.BusyTime {
+		busy += b
+	}
+	return busy / (r.Time * float64(len(r.BusyTime)))
+}
+
+// Run executes the schedule s of graph g under the machine model cfg.
+// Tasks run in the per-processor order of the schedule; start times in
+// the schedule are *not* trusted (they are the scheduler's prediction),
+// only the assignment and ordering are.
+func Run(g *dag.Graph, s *sched.Schedule, cfg Config) (*Report, error) {
+	return run(g, s, cfg, nil)
+}
+
+func run(g *dag.Graph, s *sched.Schedule, cfg Config, tr *Tracer) (*Report, error) {
+	v := g.NumNodes()
+	if s.NumNodes() != v {
+		return nil, errors.New("sim: schedule does not match graph")
+	}
+	for i := 0; i < v; i++ {
+		if !s.Assigned(dag.NodeID(i)) {
+			return nil, fmt.Errorf("sim: node %d unassigned", i)
+		}
+	}
+
+	duration := actualDurations(g, cfg)
+
+	// Per-processor execution state.
+	procs := s.Procs()
+	queue := make(map[int][]dag.NodeID, len(procs)) // remaining tasks, schedule order
+	nextIdx := make(map[int]int, len(procs))
+	procFree := make(map[int]float64, len(procs)) // time the CPU becomes idle
+	portFree := make(map[int]float64, len(procs)) // time the send port frees up
+	busy := make(map[int]float64, len(procs))
+	for _, p := range procs {
+		queue[p] = s.OnProc(p)
+		procFree[p] = 0
+		busy[p] = 0
+	}
+
+	arrived := make([]int, v) // messages received so far, per task
+	lastArrival := make([]float64, v)
+	finish := make([]float64, v)
+	started := make([]bool, v)
+	done := make([]bool, v)
+	messages := 0
+
+	events := &eventQueue{}
+	// A task with no remote parents can start as soon as the processor
+	// reaches it; seed the simulation by trying to start the head task of
+	// every processor.
+	for _, p := range procs {
+		events.push(event{time: 0, kind: evTryStart, proc: p})
+	}
+
+	completed := 0
+	guard := 0
+	for events.Len() > 0 {
+		guard++
+		if guard > 4*(v+g.NumEdges())+16*len(procs) {
+			return nil, errors.New("sim: event budget exceeded (schedule deadlocked?)")
+		}
+		ev := events.pop()
+		switch ev.kind {
+		case evArrive:
+			n := ev.node
+			arrived[n]++
+			if ev.time > lastArrival[n] {
+				lastArrival[n] = ev.time
+			}
+			tr.add(TraceEvent{Time: ev.time, Kind: "arrive", Node: n, Proc: s.Proc(n), From: ev.from})
+			events.push(event{time: ev.time, kind: evTryStart, proc: s.Proc(n)})
+
+		case evTryStart:
+			p := ev.proc
+			i := nextIdx[p]
+			if i >= len(queue[p]) {
+				continue
+			}
+			n := queue[p][i]
+			if started[n] || arrived[n] < remoteParents(g, s, n) {
+				continue // still waiting for messages
+			}
+			if !localParentsDone(g, s, n, done) {
+				continue // a co-located parent has not produced its result yet
+			}
+			start := maxf(ev.time, maxf(procFree[p], lastArrival[n]))
+			// Local parents must have finished; they precede n on p by
+			// schedule order, so procFree already covers them.
+			started[n] = true
+			tr.add(TraceEvent{Time: start, Kind: "start", Node: n, Proc: p})
+			f := start + duration[n]
+			finish[n] = f
+			procFree[p] = f
+			busy[p] += duration[n]
+			events.push(event{time: f, kind: evFinish, node: n, proc: p})
+
+		case evFinish:
+			n, p := ev.node, ev.proc
+			done[n] = true
+			completed++
+			nextIdx[p]++
+			tr.add(TraceEvent{Time: ev.time, Kind: "finish", Node: n, Proc: p})
+			// Dispatch messages to children; local children need no
+			// message, remote ones pay the edge cost (plus port queuing
+			// under contention).
+			sendAt := ev.time
+			for _, e := range g.Succ(n) {
+				dst := s.Proc(e.To)
+				if dst == p {
+					continue
+				}
+				depart := sendAt
+				if cfg.Contention {
+					depart = maxf(depart, portFree[p])
+					portFree[p] = depart + e.Weight
+				}
+				messages++
+				tr.add(TraceEvent{Time: depart, Kind: "send", Node: e.To, Proc: p, From: n})
+				arrive := depart + e.Weight + cfg.Topology.Delay(p, dst)
+				events.push(event{time: arrive, kind: evArrive, node: e.To, from: n})
+			}
+			events.push(event{time: ev.time, kind: evTryStart, proc: p})
+		}
+	}
+
+	if completed != v {
+		return nil, fmt.Errorf("sim: deadlock — %d of %d tasks completed (schedule order violates precedence)", completed, v)
+	}
+	var makespan float64
+	for _, f := range finish {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	return &Report{Time: makespan, Finish: finish, BusyTime: busy, Messages: messages}, nil
+}
+
+// actualDurations returns the realized task durations under cfg's
+// perturbation model.
+func actualDurations(g *dag.Graph, cfg Config) []float64 {
+	v := g.NumNodes()
+	d := make([]float64, v)
+	if cfg.Perturb <= 0 {
+		for i := 0; i < v; i++ {
+			d[i] = g.Weight(dag.NodeID(i))
+		}
+		return d
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < v; i++ {
+		factor := 1 + cfg.Perturb*(2*rng.Float64()-1)
+		d[i] = g.Weight(dag.NodeID(i)) * factor
+	}
+	return d
+}
+
+// localParentsDone reports whether every co-located parent of n has
+// completed; a schedule that orders a child before its local parent on
+// the same processor is an invalid program and blocks here (surfacing
+// as a deadlock).
+func localParentsDone(g *dag.Graph, s *sched.Schedule, n dag.NodeID, done []bool) bool {
+	for _, e := range g.Pred(n) {
+		if s.Proc(e.From) == s.Proc(n) && !done[e.From] {
+			return false
+		}
+	}
+	return true
+}
+
+// remoteParents counts n's parents on other processors — the messages n
+// must receive before starting.
+func remoteParents(g *dag.Graph, s *sched.Schedule, n dag.NodeID) int {
+	c := 0
+	for _, e := range g.Pred(n) {
+		if s.Proc(e.From) != s.Proc(n) {
+			c++
+		}
+	}
+	return c
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type eventKind uint8
+
+const (
+	evArrive   eventKind = iota // a message reaches its destination task
+	evTryStart                  // a processor re-checks its next task
+	evFinish                    // a task completes
+)
+
+type event struct {
+	time float64
+	kind eventKind
+	node dag.NodeID
+	proc int
+	from dag.NodeID // producing task, for arrival events
+}
+
+// eventQueue is a time-ordered min-heap of events with typed push/pop
+// (container/heap would box every event into an interface — one heap
+// allocation per event, the dominant cost on large simulations). Ties
+// resolve by kind, then node/proc, keeping runs deterministic.
+type eventQueue struct{ ev []event }
+
+func (q *eventQueue) Len() int { return len(q.ev) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.ev[i], q.ev[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.node != b.node {
+		return a.node < b.node
+	}
+	return a.proc < b.proc
+}
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.ev[parent], q.ev[i] = q.ev[i], q.ev[parent]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	last := len(q.ev) - 1
+	q.ev[0] = q.ev[last]
+	q.ev = q.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q.ev) && q.less(l, small) {
+			small = l
+		}
+		if r < len(q.ev) && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.ev[i], q.ev[small] = q.ev[small], q.ev[i]
+		i = small
+	}
+	return top
+}

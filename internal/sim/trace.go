@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+)
+
+// TraceEvent is one record of a simulated execution trace.
+type TraceEvent struct {
+	Time float64 `json:"t"`
+	// Kind is "start", "finish", "send" or "arrive".
+	Kind string `json:"kind"`
+	// Node is the task (start/finish) or the message's destination task
+	// (send/arrive).
+	Node dag.NodeID `json:"node"`
+	// Proc is the processor the event happened on (the sender for
+	// "send", the receiver's processor for "arrive").
+	Proc int `json:"proc"`
+	// From is the producing task for message events.
+	From dag.NodeID `json:"from,omitempty"`
+}
+
+// Tracer collects a time-ordered execution trace. The zero value
+// discards events; use NewTracer to record.
+type Tracer struct {
+	events []TraceEvent
+	on     bool
+}
+
+// NewTracer returns a recording tracer.
+func NewTracer() *Tracer { return &Tracer{on: true} }
+
+func (t *Tracer) add(e TraceEvent) {
+	if t != nil && t.on {
+		t.events = append(t.events, e)
+	}
+}
+
+// Events returns the recorded events in the order they were committed
+// (non-decreasing time for events of one processor).
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// WriteJSON serializes the trace as a JSON array, one event per line
+// group, suitable for downstream timeline tooling.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.Events())
+}
+
+// RunTraced is Run with event recording: the returned tracer holds the
+// start/finish of every task and the send/arrive of every message.
+func RunTraced(g *dag.Graph, s *sched.Schedule, cfg Config) (*Report, *Tracer, error) {
+	tr := NewTracer()
+	rep, err := run(g, s, cfg, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, tr, nil
+}

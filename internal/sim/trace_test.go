@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunTracedRecordsEverything(t *testing.T) {
+	g, s := diamondSetup(t)
+	rep, tr, err := RunTraced(g, s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(g, s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Time != plain.Time {
+		t.Fatalf("tracing changed the result: %v vs %v", rep.Time, plain.Time)
+	}
+	counts := map[string]int{}
+	for _, e := range tr.Events() {
+		counts[e.Kind]++
+	}
+	if counts["start"] != 4 || counts["finish"] != 4 {
+		t.Fatalf("start/finish counts = %v", counts)
+	}
+	if counts["send"] != rep.Messages || counts["arrive"] != rep.Messages {
+		t.Fatalf("message event counts = %v (messages %d)", counts, rep.Messages)
+	}
+	// the final finish event time equals the makespan
+	var last float64
+	for _, e := range tr.Events() {
+		if e.Kind == "finish" && e.Time > last {
+			last = e.Time
+		}
+	}
+	if last != rep.Time {
+		t.Fatalf("last finish %v != makespan %v", last, rep.Time)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	g, s := diamondSetup(t)
+	_, tr, err := RunTraced(g, s, Config{Contention: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []TraceEvent
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(tr.Events()) {
+		t.Fatalf("decoded %d events, recorded %d", len(decoded), len(tr.Events()))
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.add(TraceEvent{}) // must not panic
+	if tr.Events() != nil {
+		t.Fatal("nil tracer returned events")
+	}
+	zero := &Tracer{}
+	zero.add(TraceEvent{Kind: "start"})
+	if len(zero.Events()) != 0 {
+		t.Fatal("zero-value tracer recorded")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	g, s := diamondSetup(t)
+	_, tr, err := RunTraced(g, s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	complete, instant := 0, 0
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			complete++
+			if e["dur"].(float64) <= 0 {
+				t.Fatalf("zero-duration task event: %v", e)
+			}
+		case "i":
+			instant++
+		}
+	}
+	if complete != 4 {
+		t.Fatalf("complete events = %d, want 4", complete)
+	}
+	if instant != 2 { // the diamond's two cross-processor messages
+		t.Fatalf("instant events = %d, want 2", instant)
+	}
+}

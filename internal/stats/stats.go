@@ -1,0 +1,112 @@
+// Package stats provides the small statistical helpers the multi-seed
+// experiment studies need: summary statistics over float64 samples and
+// normalization utilities.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes the summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Normalize returns xs element-wise divided by the corresponding base
+// value. Zero base entries map to zero (rather than Inf) so tables stay
+// printable.
+func Normalize(xs, base []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i := range xs {
+		if i < len(base) && base[i] != 0 {
+			out[i] = xs[i] / base[i]
+		}
+	}
+	return out
+}
+
+// Slope returns the least-squares slope of ys over xs. Paired samples
+// only; mismatched or sub-2-point inputs return 0. Feed it logarithms
+// to estimate a power-law exponent (the growth order of an algorithm's
+// running time).
+func Slope(xs, ys []float64) float64 {
+	n := len(xs)
+	if n < 2 || len(ys) != n {
+		return 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// GeoMean returns the geometric mean of positive samples; entries <= 0
+// are skipped. It returns 0 for an effectively empty sample. Geometric
+// means are the standard way to aggregate normalized ratios across
+// workloads.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}

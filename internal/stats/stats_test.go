@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func feq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !feq(s.Mean, 5) {
+		t.Fatalf("summary = %+v", s)
+	}
+	// sample std of this classic dataset is sqrt(32/7)
+	if !feq(s.Std, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if !feq(s.Median, 4.5) {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeOddMedianAndSingle(t *testing.T) {
+	if m := Summarize([]float64{3, 1, 2}).Median; !feq(m, 2) {
+		t.Fatalf("median = %v", m)
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Mean != 7 || one.Median != 7 {
+		t.Fatalf("single = %+v", one)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty = %+v", z)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 6, 5}, []float64{2, 3, 0})
+	want := []float64{1, 2, 0}
+	for i := range want {
+		if !feq(out[i], want[i]) {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); !feq(g, 2) {
+		t.Fatalf("geomean = %v", g)
+	}
+	if g := GeoMean([]float64{2, 2, -1, 0}); !feq(g, 2) {
+		t.Fatalf("geomean with junk = %v", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{-1}) != 0 {
+		t.Fatal("empty geomean should be 0")
+	}
+}
+
+// Properties: mean lies within [min, max]; std is non-negative;
+// summarizing a constant sample gives std 0 and median == mean.
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6 && s.Std >= 0 &&
+			s.Median >= s.Min-1e-6 && s.Median <= s.Max+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	c := Summarize([]float64{5, 5, 5, 5})
+	if c.Std != 0 || c.Median != 5 {
+		t.Fatalf("constant sample = %+v", c)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	// y = 3x + 2
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 8, 11, 14}
+	if s := Slope(xs, ys); !feq(s, 3) {
+		t.Fatalf("slope = %v, want 3", s)
+	}
+	// log-log of a quadratic: slope 2
+	lx := make([]float64, 5)
+	ly := make([]float64, 5)
+	for i := range lx {
+		x := float64(i + 1)
+		lx[i] = math.Log(x)
+		ly[i] = math.Log(7 * x * x)
+	}
+	if s := Slope(lx, ly); !feq(s, 2) {
+		t.Fatalf("log-log slope = %v, want 2", s)
+	}
+	if Slope([]float64{1}, []float64{1}) != 0 || Slope(xs, ys[:2]) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+	if Slope([]float64{2, 2, 2}, []float64{1, 5, 9}) != 0 {
+		t.Fatal("vertical data should yield 0")
+	}
+}

@@ -1,0 +1,122 @@
+// Package table renders the experiment results as aligned ASCII tables
+// shaped like the tables in the paper: one row per algorithm, one
+// column per workload parameter.
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows of cells under a title and column headers.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends one row; cells beyond the header count are kept and
+// simply widen the table.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row whose first cell is label and whose remaining
+// cells format the values with the given verb (e.g. "%.2f").
+func (t *Table) AddRowf(label, verb string, values ...float64) {
+	cells := make([]string, 0, len(values)+1)
+	cells = append(cells, label)
+	for _, v := range values {
+		cells = append(cells, fmt.Sprintf(verb, v))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// CSV renders the table as comma-separated values (header row first,
+// no title), quoting cells that contain commas or quotes.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		var row strings.Builder
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&row, "%-*s", width[i]+2, c)
+			} else {
+				fmt.Fprintf(&row, "%*s  ", width[i], c)
+			}
+		}
+		// trim trailing spaces for clean golden files
+		b.WriteString(strings.TrimRight(row.String(), " "))
+		b.WriteByte('\n')
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		total := 0
+		for _, w := range width {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRendering(t *testing.T) {
+	tb := New("Normalized times", "Algorithm", "4", "8")
+	tb.AddRow("FAST", "1.00", "1.00")
+	tb.AddRowf("DSC", "%.2f", 1.05, 1.08)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Normalized times" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Algorithm") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[4], "1.05") || !strings.Contains(lines[4], "1.08") {
+		t.Fatalf("DSC row = %q", lines[4])
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Fatalf("trailing space in %q", l)
+		}
+	}
+}
+
+func TestColumnsAlign(t *testing.T) {
+	tb := New("", "A", "value")
+	tb.AddRow("long-algorithm-name", "1")
+	tb.AddRow("x", "123456")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// the numeric column is right-aligned: both data rows end at the
+	// same column
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestUntitledNoHeaders(t *testing.T) {
+	tb := New("")
+	tb.AddRow("only", "row")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Fatalf("rule rendered without headers:\n%s", out)
+	}
+	if !strings.Contains(out, "only") {
+		t.Fatalf("row missing:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("title ignored", "Algorithm", "4", "8")
+	tb.AddRow("FAST", "1.00", "1.00")
+	tb.AddRow(`we"ird, cell`, "x", "y")
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Algorithm,4,8" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != `"we""ird, cell",x,y` {
+		t.Fatalf("quoted row = %q", lines[2])
+	}
+	if strings.Contains(out, "title") {
+		t.Fatal("CSV should not include the title")
+	}
+}
+
+func TestRaggedRowsWiden(t *testing.T) {
+	tb := New("t", "h1")
+	tb.AddRow("a", "b", "c")
+	out := tb.String()
+	if !strings.Contains(out, "c") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,73 @@
+// Package timing is the repository's stand-in for CASCH's timing
+// database: the paper assigned node and edge weights "through a timing
+// database that was obtained through benchmarking" on the Intel
+// Paragon. Here, a DB converts operation counts and message sizes into
+// the task-graph weights consumed by the schedulers, and utilities
+// rescale communication costs to a target CCR.
+package timing
+
+import "fastsched/internal/dag"
+
+// DB holds the primitive costs of the machine model. All costs are in
+// abstract time units; only ratios matter to the schedulers.
+type DB struct {
+	// Flop is the cost of one floating-point operation.
+	Flop float64
+	// Startup is the fixed software overhead of sending one message.
+	Startup float64
+	// PerWord is the transfer cost of one data word.
+	PerWord float64
+}
+
+// ParagonLike returns a cost model with the flavour of the Intel
+// Paragon testbed: message startup dominates short transfers, giving
+// the medium-grained graphs of the paper a CCR near one.
+func ParagonLike() DB {
+	return DB{Flop: 1, Startup: 25, PerWord: 2}
+}
+
+// CoarseGrain returns a model where computation dominates (CCR << 1).
+func CoarseGrain() DB {
+	return DB{Flop: 4, Startup: 2, PerWord: 0.25}
+}
+
+// FineGrain returns a model where communication dominates (CCR >> 1).
+func FineGrain() DB {
+	return DB{Flop: 0.25, Startup: 100, PerWord: 8}
+}
+
+// Compute returns the execution time of a task performing flops
+// floating-point operations. Tasks cost at least one unit so that
+// zero-work bookkeeping nodes remain schedulable.
+func (db DB) Compute(flops int) float64 {
+	c := db.Flop * float64(flops)
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// Message returns the communication time of a words-sized message.
+// Zero-word messages are pure synchronization and cost nothing.
+func (db DB) Message(words int) float64 {
+	if words <= 0 {
+		return 0
+	}
+	return db.Startup + db.PerWord*float64(words)
+}
+
+// ScaleCCR multiplies every edge weight of g by the factor that brings
+// the graph's communication-to-computation ratio to target. A graph
+// with no edges or zero total communication is returned unchanged. The
+// graph is modified in place and also returned for chaining.
+func ScaleCCR(g *dag.Graph, target float64) *dag.Graph {
+	cur := g.CCR()
+	if cur == 0 || target <= 0 {
+		return g
+	}
+	factor := target / cur
+	for _, e := range g.Edges() {
+		g.SetEdgeWeight(e.From, e.To, e.Weight*factor)
+	}
+	return g
+}

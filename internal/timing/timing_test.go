@@ -1,0 +1,70 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"fastsched/internal/dag"
+)
+
+func TestComputeFloorsAtOne(t *testing.T) {
+	db := DB{Flop: 0.01}
+	if db.Compute(5) != 1 {
+		t.Fatalf("tiny task cost = %v, want floor 1", db.Compute(5))
+	}
+	if got := db.Compute(1000); got != 10 {
+		t.Fatalf("Compute(1000) = %v, want 10", got)
+	}
+}
+
+func TestMessageCost(t *testing.T) {
+	db := DB{Startup: 25, PerWord: 2}
+	if db.Message(0) != 0 {
+		t.Fatal("zero-word message should be free")
+	}
+	if db.Message(-3) != 0 {
+		t.Fatal("negative word count should be free")
+	}
+	if got := db.Message(10); got != 45 {
+		t.Fatalf("Message(10) = %v, want 45", got)
+	}
+}
+
+func TestPresetsOrdered(t *testing.T) {
+	// fine grain must have higher comm-to-comp cost ratio than coarse
+	fineRatio := FineGrain().Message(8) / FineGrain().Compute(8)
+	coarseRatio := CoarseGrain().Message(8) / CoarseGrain().Compute(8)
+	paragon := ParagonLike().Message(8) / ParagonLike().Compute(8)
+	if !(fineRatio > paragon && paragon > coarseRatio) {
+		t.Fatalf("preset ordering broken: fine %v paragon %v coarse %v", fineRatio, paragon, coarseRatio)
+	}
+}
+
+func TestScaleCCR(t *testing.T) {
+	g := dag.New(3)
+	a := g.AddNode("a", 2)
+	b := g.AddNode("b", 4)
+	c := g.AddNode("c", 6)
+	g.MustAddEdge(a, b, 3)
+	g.MustAddEdge(b, c, 9)
+	for _, target := range []float64{0.1, 1, 5} {
+		ScaleCCR(g, target)
+		if got := g.CCR(); math.Abs(got-target) > 1e-9 {
+			t.Fatalf("CCR after scaling = %v, want %v", got, target)
+		}
+	}
+	// no-ops: zero target, zero-comm graph
+	before := g.CCR()
+	ScaleCCR(g, 0)
+	if g.CCR() != before {
+		t.Fatal("ScaleCCR(0) modified graph")
+	}
+	g2 := dag.New(2)
+	x := g2.AddNode("x", 1)
+	y := g2.AddNode("y", 1)
+	g2.MustAddEdge(x, y, 0)
+	ScaleCCR(g2, 3) // cur CCR 0: unchanged
+	if w, _ := g2.EdgeWeight(x, y); w != 0 {
+		t.Fatal("zero-comm graph modified")
+	}
+}

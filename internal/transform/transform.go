@@ -1,0 +1,185 @@
+// Package transform provides the graph transformations a scheduling
+// front end applies before handing a task graph to the scheduler:
+//
+//   - TransitiveReduction removes precedence edges implied by longer
+//     paths (the frontend's conservative anti/output edges often are),
+//     shrinking e without changing any legal schedule's constraints —
+//     valuable for an O(e) scheduler;
+//   - GrainPack coarsens chains of tiny tasks into single tasks
+//     (Sarkar-style grain packing), trading exposed parallelism for
+//     lower scheduling and communication overhead.
+package transform
+
+import (
+	"fmt"
+
+	"fastsched/internal/dag"
+)
+
+// TransitiveReduction returns a copy of g with every zero-weight edge
+// that is implied by another path removed. Only zero-weight edges are
+// candidates: an edge carrying communication is a real message and must
+// survive even when a longer path exists. The result constrains
+// exactly the same schedules as the input.
+func TransitiveReduction(g *dag.Graph) (*dag.Graph, error) {
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	v := g.NumNodes()
+	pos := make([]int, v)
+	for i, n := range order {
+		pos[n] = i
+	}
+
+	// reach[i] = set of nodes reachable from i via >= 2 edges would be
+	// ideal; simpler: full reachability, then drop zero-weight edges
+	// (u,w) when some other successor of u reaches w.
+	reach := make([]map[dag.NodeID]bool, v)
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		r := make(map[dag.NodeID]bool)
+		for _, e := range g.Succ(n) {
+			r[e.To] = true
+			for m := range reach[e.To] {
+				r[m] = true
+			}
+		}
+		reach[n] = r
+	}
+
+	out := dag.New(v)
+	for _, n := range g.Nodes() {
+		out.AddNode(n.Label, n.Weight)
+	}
+	for _, n := range g.Nodes() {
+		for _, e := range g.Succ(n.ID) {
+			if e.Weight == 0 && reachableAvoiding(g, reach, n.ID, e.To) {
+				continue // implied by a longer path: drop
+			}
+			out.MustAddEdge(e.From, e.To, e.Weight)
+		}
+	}
+	return out, nil
+}
+
+// reachableAvoiding reports whether target is reachable from src
+// through some successor other than the direct edge src->target.
+func reachableAvoiding(g *dag.Graph, reach []map[dag.NodeID]bool, src, target dag.NodeID) bool {
+	for _, e := range g.Succ(src) {
+		if e.To != target && reach[e.To][target] {
+			return true
+		}
+	}
+	return false
+}
+
+// PackResult maps the packed graph back to the original tasks.
+type PackResult struct {
+	// Graph is the coarsened task graph.
+	Graph *dag.Graph
+	// Members lists, for every packed node, the original node IDs it
+	// absorbed in execution order.
+	Members [][]dag.NodeID
+}
+
+// GrainPack merges linear chains of small tasks: a node with exactly
+// one child whose child has exactly one parent is fused with that child
+// when their combined weight stays within maxGrain. Edge weights
+// between fused tasks disappear (they become local); the fused node's
+// weight is the sum. Packing repeats until no fusable pair remains.
+func GrainPack(g *dag.Graph, maxGrain float64) (*PackResult, error) {
+	if maxGrain <= 0 {
+		return nil, fmt.Errorf("transform: maxGrain must be positive, got %v", maxGrain)
+	}
+	if _, err := g.TopologicalOrder(); err != nil {
+		return nil, err
+	}
+	v := g.NumNodes()
+	// Union-style representative per original node; members in order.
+	members := make([][]dag.NodeID, v)
+	weight := make([]float64, v)
+	alive := make([]bool, v)
+	for i := 0; i < v; i++ {
+		members[i] = []dag.NodeID{dag.NodeID(i)}
+		weight[i] = g.Weight(dag.NodeID(i))
+		alive[i] = true
+	}
+	// Current adjacency between groups, by representative.
+	succ := make([]map[int]float64, v)
+	pred := make([]map[int]float64, v)
+	for i := 0; i < v; i++ {
+		succ[i] = map[int]float64{}
+		pred[i] = map[int]float64{}
+	}
+	for _, e := range g.Edges() {
+		// Parallel edges cannot occur in dag.Graph; direct copy.
+		succ[e.From][int(e.To)] = e.Weight
+		pred[e.To][int(e.From)] = e.Weight
+	}
+
+	merge := func(a, b int) { // fuse b into a (a -> b chain edge)
+		delete(succ[a], b)
+		delete(pred[b], a)
+		for c, w := range succ[b] {
+			if cur, ok := succ[a][c]; !ok || w > cur {
+				succ[a][c] = w
+				pred[c][a] = w
+			}
+			delete(pred[c], b)
+		}
+		members[a] = append(members[a], members[b]...)
+		weight[a] += weight[b]
+		alive[b] = false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for a := 0; a < v; a++ {
+			// Accumulate along the chain hanging off a until the grain
+			// limit or a branch stops it (the classic chain walk).
+			for alive[a] && len(succ[a]) == 1 {
+				var b int
+				for c := range succ[a] {
+					b = c
+				}
+				if len(pred[b]) != 1 || weight[a]+weight[b] > maxGrain {
+					break
+				}
+				merge(a, b)
+				changed = true
+			}
+		}
+	}
+
+	// Build the packed graph with dense IDs in topological-ish order
+	// (original ID order of representatives keeps it deterministic).
+	idOf := make(map[int]dag.NodeID)
+	out := dag.New(0)
+	var outMembers [][]dag.NodeID
+	for i := 0; i < v; i++ {
+		if !alive[i] {
+			continue
+		}
+		label := g.Label(dag.NodeID(i))
+		if len(members[i]) > 1 {
+			label = fmt.Sprintf("%s+%d", label, len(members[i])-1)
+		}
+		idOf[i] = out.AddNode(label, weight[i])
+		outMembers = append(outMembers, members[i])
+	}
+	for i := 0; i < v; i++ {
+		if !alive[i] {
+			continue
+		}
+		for c, w := range succ[i] {
+			if err := out.AddEdge(idOf[i], idOf[c], w); err != nil {
+				return nil, fmt.Errorf("transform: %w", err)
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("transform: packed graph invalid: %w", err)
+	}
+	return &PackResult{Graph: out, Members: outMembers}, nil
+}

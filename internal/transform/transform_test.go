@@ -1,0 +1,246 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/fast"
+	"fastsched/internal/frontend"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+	"fastsched/internal/workload"
+)
+
+func TestTransitiveReductionDropsImpliedEdge(t *testing.T) {
+	// a -> b -> c plus redundant zero-weight a -> c.
+	g := dag.New(3)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	c := g.AddNode("c", 1)
+	g.MustAddEdge(a, b, 2)
+	g.MustAddEdge(b, c, 2)
+	g.MustAddEdge(a, c, 0)
+	out, err := TransitiveReduction(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", out.NumEdges())
+	}
+	if _, ok := out.EdgeWeight(a, c); ok {
+		t.Fatal("implied edge survived")
+	}
+}
+
+func TestTransitiveReductionKeepsWeightedEdges(t *testing.T) {
+	// same shape but a -> c carries data: it must survive.
+	g := dag.New(3)
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	c := g.AddNode("c", 1)
+	g.MustAddEdge(a, b, 2)
+	g.MustAddEdge(b, c, 2)
+	g.MustAddEdge(a, c, 5)
+	out, err := TransitiveReduction(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", out.NumEdges())
+	}
+}
+
+// Frontend anti/output edges are the natural clients: reduction shrinks
+// the graph without changing schedules.
+func TestReductionOnFrontendGraph(t *testing.T) {
+	p := frontend.NewProgram(1).
+		Task("w1", 2, nil, []string{"x"}).
+		Task("r1", 2, []string{"x"}, nil).
+		Task("r2", 2, []string{"x"}, nil).
+		Task("w2", 2, []string{"x"}, []string{"x"})
+	g, err := p.BuildDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := TransitiveReduction(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumEdges() > g.NumEdges() {
+		t.Fatal("reduction grew the graph")
+	}
+	// schedules of the reduced graph satisfy the original constraints up
+	// to the removed (implied) edges: schedule the reduced graph, then
+	// check lengths agree with scheduling the original.
+	s1, err := fast.Default().Schedule(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := fast.Default().Schedule(out, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(out, s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Length() > s1.Length()+1e-9 {
+		t.Fatalf("reduction hurt the schedule: %v vs %v", s2.Length(), s1.Length())
+	}
+}
+
+// Property: reduction never removes a weighted edge, never changes node
+// data, and preserves reachability.
+func TestReductionPreservesReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 25; trial++ {
+		g := schedtest.RandomLayered(rng, 2+rng.Intn(40))
+		// zero out a third of the edges to create reduction candidates
+		for i, e := range g.Edges() {
+			if i%3 == 0 {
+				g.SetEdgeWeight(e.From, e.To, 0)
+			}
+		}
+		out, err := TransitiveReduction(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.NumNodes() != g.NumNodes() {
+			t.Fatal("node count changed")
+		}
+		before := reachability(g)
+		after := reachability(out)
+		for i := range before {
+			for j := range before[i] {
+				if before[i][j] != after[i][j] {
+					t.Fatalf("trial %d: reachability %d->%d changed", trial, i, j)
+				}
+			}
+		}
+		for _, e := range g.Edges() {
+			if e.Weight > 0 {
+				if _, ok := out.EdgeWeight(e.From, e.To); !ok {
+					t.Fatalf("trial %d: weighted edge %d->%d removed", trial, e.From, e.To)
+				}
+			}
+		}
+	}
+}
+
+func reachability(g *dag.Graph) [][]bool {
+	v := g.NumNodes()
+	r := make([][]bool, v)
+	order, _ := g.TopologicalOrder()
+	for i := range r {
+		r[i] = make([]bool, v)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		for _, e := range g.Succ(n) {
+			r[n][e.To] = true
+			for j := 0; j < v; j++ {
+				if r[e.To][j] {
+					r[n][j] = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+func TestGrainPackFusesChains(t *testing.T) {
+	// a fine-grained chain of 6 unit tasks packs into grains of <= 3.
+	g := workload.Chain(6, 1, 10)
+	res, err := GrainPack(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumNodes() != 2 {
+		t.Fatalf("packed nodes = %d, want 2", res.Graph.NumNodes())
+	}
+	if res.Graph.TotalWork() != g.TotalWork() {
+		t.Fatalf("work changed: %v vs %v", res.Graph.TotalWork(), g.TotalWork())
+	}
+	// membership covers every original node exactly once
+	seen := map[dag.NodeID]bool{}
+	for _, ms := range res.Members {
+		for _, m := range ms {
+			if seen[m] {
+				t.Fatalf("node %d packed twice", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("%d of 6 nodes covered", len(seen))
+	}
+}
+
+func TestGrainPackRespectsMaxGrain(t *testing.T) {
+	g := workload.Chain(5, 2, 1)
+	res, err := GrainPack(g, 4) // grains of at most 2 tasks
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Graph.Nodes() {
+		if n.Weight > 4 {
+			t.Fatalf("grain %q weight %v exceeds max", n.Label, n.Weight)
+		}
+	}
+	if _, err := GrainPack(g, 0); err == nil {
+		t.Fatal("maxGrain 0 accepted")
+	}
+}
+
+func TestGrainPackLeavesBranchesAlone(t *testing.T) {
+	// fork-join: no node pair is a 1-1 chain except entry->nothing;
+	// packing must keep the diamond intact (the entry has 2 children).
+	g := workload.ForkJoin(2, 1, 1, 1, 5)
+	res, err := GrainPack(g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry can't fuse (2 children); middles can't fuse into exit (exit
+	// has 2 parents). Nothing fuses.
+	if res.Graph.NumNodes() != g.NumNodes() {
+		t.Fatalf("packed %d nodes from a diamond of %d", res.Graph.NumNodes(), g.NumNodes())
+	}
+}
+
+// Packing a fine-grained chain-heavy graph must not hurt the schedule
+// produced for it, and typically helps the scheduler's wall time by
+// shrinking v and e.
+func TestGrainPackScheduleQuality(t *testing.T) {
+	// 40 chains of 5 tiny tasks hanging off one root.
+	g := dag.New(0)
+	root := g.AddNode("root", 1)
+	for c := 0; c < 40; c++ {
+		prev := root
+		for i := 0; i < 5; i++ {
+			id := g.AddNode("", 1)
+			g.MustAddEdge(prev, id, 8)
+			prev = id
+		}
+	}
+	res, err := GrainPack(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumNodes() >= g.NumNodes() {
+		t.Fatal("nothing packed")
+	}
+	sFine, err := fast.Default().Schedule(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sCoarse, err := fast.Default().Schedule(res.Graph, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(res.Graph, sCoarse); err != nil {
+		t.Fatal(err)
+	}
+	if sCoarse.Length() > sFine.Length()+1e-9 {
+		t.Fatalf("packing hurt the schedule: %v vs %v", sCoarse.Length(), sFine.Length())
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/timing"
+)
+
+// fftBlocks returns the number of point-blocks the FFT decomposition
+// uses: m = 2^ceil(log2(points)/2), i.e. each task owns a block of
+// roughly sqrt(points) points (the classic blocked "four-step" FFT
+// granularity). With this mapping the task count
+// v = m·log2(m) + m + 2 reproduces the paper's Figure 7 header row
+// exactly: 14, 34, 82 and 194 tasks for 16, 64, 128 and 512 points.
+func fftBlocks(points int) int {
+	log := bits.TrailingZeros(uint(points))
+	return 1 << ((log + 1) / 2)
+}
+
+// FFT returns the fast-Fourier-transform task graph for the given
+// number of input points (a power of two, at least 4). The graph is the
+// classic iterative butterfly dataflow at block granularity:
+//
+//   - an entry task scatters the input into m blocks of ≈sqrt(points)
+//     points each;
+//   - m bit-reversal/input tasks, one per block;
+//   - log2(m) butterfly stages of m tasks each, task (s,i) consuming
+//     blocks i and i XOR 2^(s-1) of the previous stage;
+//   - an exit task gathering the m result blocks.
+func FFT(points int, db timing.DB) (*dag.Graph, error) {
+	if points < 4 || points&(points-1) != 0 {
+		return nil, fmt.Errorf("workload: fft points %d must be a power of two >= 4", points)
+	}
+	m := fftBlocks(points)
+	blockPoints := points / m
+	stages := bits.TrailingZeros(uint(m)) // log2(m)
+	g := dag.New(m*stages + m + 2)
+
+	blockMsg := db.Message(2 * blockPoints) // complex block: 2 words per point
+	entry := g.AddNode("scatter", db.Compute(points))
+	input := make([]dag.NodeID, m)
+	for i := range input {
+		// Bit-reversal permutation of one block: a copy pass.
+		input[i] = g.AddNode(fmt.Sprintf("B%d", i), db.Compute(2*blockPoints))
+		g.MustAddEdge(entry, input[i], blockMsg)
+	}
+	prev := input
+	for s := 1; s <= stages; s++ {
+		cur := make([]dag.NodeID, m)
+		for i := 0; i < m; i++ {
+			// One block of radix-2 butterflies: ~10 flops per point.
+			cur[i] = g.AddNode(fmt.Sprintf("F%d,%d", s, i), db.Compute(10*blockPoints))
+			partner := i ^ (1 << (s - 1))
+			g.MustAddEdge(prev[i], cur[i], blockMsg)
+			g.MustAddEdge(prev[partner], cur[i], blockMsg)
+		}
+		prev = cur
+	}
+	exit := g.AddNode("gather", db.Compute(points))
+	for _, n := range prev {
+		g.MustAddEdge(n, exit, blockMsg)
+	}
+	return g, nil
+}
+
+// FFTTaskCount returns the number of tasks FFT(points) produces,
+// matching the paper's Figure 7 header row.
+func FFTTaskCount(points int) int {
+	m := fftBlocks(points)
+	return m*bits.TrailingZeros(uint(m)) + m + 2
+}

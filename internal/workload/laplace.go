@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"fmt"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/timing"
+)
+
+// Laplace returns the Laplace equation solver task graph for an n×n
+// grid: one task per grid cell in a wavefront (Gauss–Seidel style)
+// dependence pattern — cell (i,j) waits for (i-1,j) and (i,j-1) — plus
+// a distribution entry task feeding the first row and a collection exit
+// task fed by the last row. The task count is n^2 + 2, matching the
+// paper's Figure 6 header row exactly (18, 66, 258, 1026 for
+// n = 4, 8, 16, 32).
+func Laplace(n int, db timing.DB) (*dag.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: laplace dimension %d < 1", n)
+	}
+	g := dag.New(n*n + 2)
+	entry := g.AddNode("distribute", db.Compute(n))
+	cells := make([][]dag.NodeID, n)
+	for i := 0; i < n; i++ {
+		cells[i] = make([]dag.NodeID, n)
+		for j := 0; j < n; j++ {
+			// A five-point stencil update: four adds and one multiply.
+			cells[i][j] = g.AddNode(fmt.Sprintf("L%d,%d", i, j), db.Compute(5))
+		}
+	}
+	exit := g.AddNode("collect", db.Compute(n))
+	point := db.Message(1)
+	row := db.Message(n)
+	for j := 0; j < n; j++ {
+		g.MustAddEdge(entry, cells[0][j], row)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n {
+				g.MustAddEdge(cells[i][j], cells[i+1][j], point)
+			}
+			if j+1 < n {
+				g.MustAddEdge(cells[i][j], cells[i][j+1], point)
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		g.MustAddEdge(cells[n-1][j], exit, row)
+	}
+	return g, nil
+}
+
+// LaplaceTaskCount returns the number of tasks Laplace(n) produces.
+func LaplaceTaskCount(n int) int { return n*n + 2 }

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/timing"
+)
+
+// LU returns the task graph of a right-looking LU decomposition of an
+// n×n matrix: step k produces a diagonal task D_k (compute the
+// multipliers of column k) and one update task C_{k,j} per trailing
+// column j, with D_k consuming column k as updated by step k-1. The
+// same diminishing-wavefront family as Gaussian elimination, without
+// the augmented right-hand side: v = n(n+1)/2 - 1.
+func LU(n int, db timing.DB) (*dag.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: lu dimension %d < 2", n)
+	}
+	g := dag.New(n*(n+1)/2 - 1)
+	diag := make([]dag.NodeID, n)
+	upd := make([][]dag.NodeID, n)
+	for k := 1; k <= n-1; k++ {
+		cols := n - k
+		diag[k] = g.AddNode(fmt.Sprintf("D%d", k), db.Compute(cols+1))
+		upd[k] = make([]dag.NodeID, n+1)
+		for j := k + 1; j <= n; j++ {
+			upd[k][j] = g.AddNode(fmt.Sprintf("C%d,%d", k, j), db.Compute(2*cols))
+		}
+	}
+	colMsg := func(k int) float64 { return db.Message(n - k) }
+	for k := 1; k <= n-1; k++ {
+		if k > 1 {
+			g.MustAddEdge(upd[k-1][k], diag[k], colMsg(k))
+		}
+		for j := k + 1; j <= n; j++ {
+			g.MustAddEdge(diag[k], upd[k][j], colMsg(k))
+			if k > 1 {
+				g.MustAddEdge(upd[k-1][j], upd[k][j], colMsg(k))
+			}
+		}
+	}
+	return g, nil
+}
+
+// Cholesky returns the column-oriented Cholesky factorization task
+// graph of an n×n SPD matrix: one cdiv(k) task per column (scale by the
+// square root of the diagonal) and one cmod(j,k) task per column pair
+// k < j (update column j with column k). cdiv(k) waits for every
+// cmod(k,i), i < k; cmod(j,k) consumes cdiv(k)'s column.
+// v = n + n(n-1)/2.
+func Cholesky(n int, db timing.DB) (*dag.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: cholesky dimension %d < 1", n)
+	}
+	g := dag.New(n + n*(n-1)/2)
+	cdiv := make([]dag.NodeID, n+1)
+	cmod := make([][]dag.NodeID, n+1) // cmod[j][k], k < j
+	for k := 1; k <= n; k++ {
+		cmod[k] = make([]dag.NodeID, n+1)
+	}
+	for k := 1; k <= n; k++ {
+		// Column k shrinks as k grows: n-k+1 elements below the diagonal.
+		cdiv[k] = g.AddNode(fmt.Sprintf("cdiv%d", k), db.Compute(n-k+2))
+		for j := k + 1; j <= n; j++ {
+			cmod[j][k] = g.AddNode(fmt.Sprintf("cmod%d,%d", j, k), db.Compute(2*(n-j+1)))
+		}
+	}
+	colMsg := func(k int) float64 { return db.Message(n - k + 1) }
+	for k := 1; k <= n; k++ {
+		for i := 1; i < k; i++ {
+			// cmod(k,i) writes column k, cdiv(k) reads it back.
+			g.MustAddEdge(cmod[k][i], cdiv[k], colMsg(k))
+		}
+		for j := k + 1; j <= n; j++ {
+			g.MustAddEdge(cdiv[k], cmod[j][k], colMsg(k))
+		}
+	}
+	return g, nil
+}
+
+// Stencil returns the task graph of iters Jacobi sweeps over an n×n
+// grid at block granularity one-cell-per-task: the cell (i,j) of sweep
+// t consumes its own and its four neighbours' values from sweep t-1.
+// v = iters·n² — the iteration-structured counterpart of the Laplace
+// wavefront graph.
+func Stencil(n, iters int, db timing.DB) (*dag.Graph, error) {
+	if n < 1 || iters < 1 {
+		return nil, fmt.Errorf("workload: stencil needs n >= 1 and iters >= 1, got %d, %d", n, iters)
+	}
+	g := dag.New(iters * n * n)
+	cells := make([][][]dag.NodeID, iters)
+	for t := 0; t < iters; t++ {
+		cells[t] = make([][]dag.NodeID, n)
+		for i := 0; i < n; i++ {
+			cells[t][i] = make([]dag.NodeID, n)
+			for j := 0; j < n; j++ {
+				cells[t][i][j] = g.AddNode(fmt.Sprintf("S%d(%d,%d)", t, i, j), db.Compute(5))
+			}
+		}
+	}
+	point := db.Message(1)
+	for t := 1; t < iters; t++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				g.MustAddEdge(cells[t-1][i][j], cells[t][i][j], point)
+				if i > 0 {
+					g.MustAddEdge(cells[t-1][i-1][j], cells[t][i][j], point)
+				}
+				if i+1 < n {
+					g.MustAddEdge(cells[t-1][i+1][j], cells[t][i][j], point)
+				}
+				if j > 0 {
+					g.MustAddEdge(cells[t-1][i][j-1], cells[t][i][j], point)
+				}
+				if j+1 < n {
+					g.MustAddEdge(cells[t-1][i][j+1], cells[t][i][j], point)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// DivideConquer returns the fork-join recursion tree of depth d: a
+// binary out-tree of divide tasks mirrored by a binary in-tree of
+// combine tasks, with the 2^(d-1) leaf computations connecting the two.
+// v = 3·2^(d-1) - 2 (divide and combine trees share the leaf level).
+func DivideConquer(depth int, db timing.DB) (*dag.Graph, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("workload: divide-conquer depth %d < 1", depth)
+	}
+	leaves := 1 << (depth - 1)
+	inner := leaves - 1
+	g := dag.New(2*inner + leaves)
+	msg := db.Message(4)
+
+	divide := make([]dag.NodeID, inner)
+	for i := range divide {
+		divide[i] = g.AddNode(fmt.Sprintf("div%d", i), db.Compute(4))
+	}
+	leaf := make([]dag.NodeID, leaves)
+	for i := range leaf {
+		leaf[i] = g.AddNode(fmt.Sprintf("leaf%d", i), db.Compute(16))
+	}
+	combine := make([]dag.NodeID, inner)
+	for i := range combine {
+		combine[i] = g.AddNode(fmt.Sprintf("cmb%d", i), db.Compute(6))
+	}
+	// The divide tree in heap order; its leaf level feeds the leaf
+	// tasks, which feed the combine tree bottom-up.
+	childOf := func(nodes []dag.NodeID, i int) (dag.NodeID, dag.NodeID, bool) {
+		l, r := 2*i+1, 2*i+2
+		if r < len(nodes) {
+			return nodes[l], nodes[r], true
+		}
+		return dag.None, dag.None, false
+	}
+	for i := range divide {
+		if l, r, ok := childOf(divide, i); ok {
+			g.MustAddEdge(divide[i], l, msg)
+			g.MustAddEdge(divide[i], r, msg)
+		} else {
+			// bottom divide row: feeds two leaves
+			li := 2*i + 1 - inner
+			g.MustAddEdge(divide[i], leaf[li], msg)
+			g.MustAddEdge(divide[i], leaf[li+1], msg)
+		}
+	}
+	for i := range combine {
+		if l, r, ok := childOf(combine, i); ok {
+			g.MustAddEdge(l, combine[i], msg)
+			g.MustAddEdge(r, combine[i], msg)
+		} else {
+			li := 2*i + 1 - inner
+			g.MustAddEdge(leaf[li], combine[i], msg)
+			g.MustAddEdge(leaf[li+1], combine[i], msg)
+		}
+	}
+	return g, nil
+}

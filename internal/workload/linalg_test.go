@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+
+	"fastsched/internal/dag"
+)
+
+func TestLUShape(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		g, err := LU(n, db())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := n*(n+1)/2 - 1; g.NumNodes() != want {
+			t.Errorf("LU(%d) nodes = %d, want %d", n, g.NumNodes(), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("LU(%d): %v", n, err)
+		}
+		if !g.IsWeaklyConnected() {
+			t.Errorf("LU(%d) disconnected", n)
+		}
+	}
+	if _, err := LU(1, db()); err == nil {
+		t.Error("LU(1) accepted")
+	}
+}
+
+func TestLUCriticalStructure(t *testing.T) {
+	g, err := LU(4, db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// single entry (D1), single exit (the last trailing update C3,4)
+	if e := g.EntryNodes(); len(e) != 1 || g.Label(e[0]) != "D1" {
+		t.Fatalf("entries = %v", e)
+	}
+	if x := g.ExitNodes(); len(x) != 1 || g.Label(x[0]) != "C3,4" {
+		labels := make([]string, len(x))
+		for i, n := range x {
+			labels[i] = g.Label(n)
+		}
+		t.Fatalf("exits = %v", labels)
+	}
+}
+
+func TestCholeskyShape(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		g, err := Cholesky(n, db())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := n + n*(n-1)/2; g.NumNodes() != want {
+			t.Errorf("Cholesky(%d) nodes = %d, want %d", n, g.NumNodes(), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("Cholesky(%d): %v", n, err)
+		}
+		if n > 1 && !g.IsWeaklyConnected() {
+			t.Errorf("Cholesky(%d) disconnected", n)
+		}
+	}
+	if _, err := Cholesky(0, db()); err == nil {
+		t.Error("Cholesky(0) accepted")
+	}
+}
+
+func TestCholeskyDependences(t *testing.T) {
+	g, err := Cholesky(3, db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// find nodes by label
+	byLabel := map[string]dag.NodeID{}
+	for _, n := range g.Nodes() {
+		byLabel[n.Label] = n.ID
+	}
+	// cdiv1 -> cmod2,1 -> cdiv2 -> cmod3,2 -> cdiv3
+	chain := []string{"cdiv1", "cmod2,1", "cdiv2", "cmod3,2", "cdiv3"}
+	for i := 0; i+1 < len(chain); i++ {
+		if _, ok := g.EdgeWeight(byLabel[chain[i]], byLabel[chain[i+1]]); !ok {
+			t.Errorf("missing dependence %s -> %s", chain[i], chain[i+1])
+		}
+	}
+}
+
+func TestStencilShape(t *testing.T) {
+	g, err := Stencil(4, 3, db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 48 {
+		t.Fatalf("nodes = %d, want 48", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// first sweep: all 16 cells are entries; last sweep: all exits
+	if e := len(g.EntryNodes()); e != 16 {
+		t.Fatalf("entries = %d", e)
+	}
+	if x := len(g.ExitNodes()); x != 16 {
+		t.Fatalf("exits = %d", x)
+	}
+	// interior cell consumes 5 values from the previous sweep
+	found := false
+	for _, n := range g.Nodes() {
+		if n.Label == "S1(1,1)" {
+			if g.InDegree(n.ID) != 5 {
+				t.Fatalf("interior in-degree = %d", g.InDegree(n.ID))
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("interior cell not found")
+	}
+	if _, err := Stencil(0, 1, db()); err == nil {
+		t.Error("Stencil(0,1) accepted")
+	}
+}
+
+func TestDivideConquerShape(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 4, 3: 10, 4: 22} // 3*2^(d-1) - 2
+	for depth, want := range cases {
+		g, err := DivideConquer(depth, db())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumNodes() != want {
+			t.Errorf("DivideConquer(%d) nodes = %d, want %d", depth, g.NumNodes(), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("DivideConquer(%d): %v", depth, err)
+		}
+		if depth > 1 {
+			if !g.IsWeaklyConnected() {
+				t.Errorf("DivideConquer(%d) disconnected", depth)
+			}
+			if e := g.EntryNodes(); len(e) != 1 || g.Label(e[0]) != "div0" {
+				t.Errorf("DivideConquer(%d) entries = %v", depth, e)
+			}
+			if x := g.ExitNodes(); len(x) != 1 || g.Label(x[0]) != "cmb0" {
+				t.Errorf("DivideConquer(%d) exits = %v", depth, x)
+			}
+		}
+	}
+	if _, err := DivideConquer(0, db()); err == nil {
+		t.Error("DivideConquer(0) accepted")
+	}
+}

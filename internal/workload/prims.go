@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+
+	"fastsched/internal/dag"
+)
+
+// Chain returns a linear pipeline of n tasks with the given per-task
+// work and per-hop communication cost.
+func Chain(n int, work, comm float64) *dag.Graph {
+	g := dag.New(n)
+	prev := dag.None
+	for i := 0; i < n; i++ {
+		id := g.AddNode(fmt.Sprintf("s%d", i), work)
+		if prev != dag.None {
+			g.MustAddEdge(prev, id, comm)
+		}
+		prev = id
+	}
+	return g
+}
+
+// ForkJoin returns a fork of width parallel tasks between an entry and
+// an exit task.
+func ForkJoin(width int, entryWork, midWork, exitWork, comm float64) *dag.Graph {
+	g := dag.New(width + 2)
+	entry := g.AddNode("fork", entryWork)
+	mids := make([]dag.NodeID, width)
+	for i := range mids {
+		mids[i] = g.AddNode(fmt.Sprintf("w%d", i), midWork)
+		g.MustAddEdge(entry, mids[i], comm)
+	}
+	exit := g.AddNode("join", exitWork)
+	for _, m := range mids {
+		g.MustAddEdge(m, exit, comm)
+	}
+	return g
+}
+
+// OutTree returns a complete binary out-tree (divide phase) of the
+// given depth: 2^depth - 1 tasks, root first.
+func OutTree(depth int, work, comm float64) *dag.Graph {
+	n := (1 << depth) - 1
+	g := dag.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("t%d", i), work)
+	}
+	for i := 0; i < n; i++ {
+		if l := 2*i + 1; l < n {
+			g.MustAddEdge(dag.NodeID(i), dag.NodeID(l), comm)
+		}
+		if r := 2*i + 2; r < n {
+			g.MustAddEdge(dag.NodeID(i), dag.NodeID(r), comm)
+		}
+	}
+	return g
+}
+
+// InTree returns a complete binary in-tree (reduction) of the given
+// depth: 2^depth - 1 tasks, root (the final reduction) last.
+func InTree(depth int, work, comm float64) *dag.Graph {
+	n := (1 << depth) - 1
+	g := dag.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("r%d", i), work)
+	}
+	// node i's children in heap order feed node i; flip the edges of the
+	// out-tree so leaves come first topologically.
+	for i := 0; i < n; i++ {
+		if l := 2*i + 1; l < n {
+			g.MustAddEdge(dag.NodeID(l), dag.NodeID(i), comm)
+		}
+		if r := 2*i + 2; r < n {
+			g.MustAddEdge(dag.NodeID(r), dag.NodeID(i), comm)
+		}
+	}
+	return g
+}
+
+// Diamond returns the width-w diamond: entry, w independent middles,
+// exit — the smallest graph exhibiting a scheduling trade-off between
+// parallelism and communication.
+func Diamond(w int, comm float64) *dag.Graph {
+	return ForkJoin(w, 1, 1, 1, comm)
+}

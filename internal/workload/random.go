@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fastsched/internal/dag"
+)
+
+// RandomOpts configures the §5.2 random-DAG generator. The zero value
+// of every optional field selects the paper's setup.
+type RandomOpts struct {
+	// V is the number of nodes (required).
+	V int
+	// Seed seeds the generator; the same seed reproduces the same graph.
+	Seed int64
+	// MeanInDegree is the average number of parents per non-entry node.
+	// The paper's random graphs were "deliberately made denser" than the
+	// applications, averaging ≈36 edges per node (81049 edges at
+	// v = 2000); 0 selects that density.
+	MeanInDegree int
+	// MaxNodeWeight bounds the uniformly drawn computation costs
+	// (range [1, MaxNodeWeight]); 0 selects 10.
+	MaxNodeWeight int
+	// MaxEdgeWeight bounds the uniformly drawn communication costs
+	// (range [1, MaxEdgeWeight]); 0 selects 10, giving CCR ≈ 1.
+	MaxEdgeWeight int
+}
+
+func (o *RandomOpts) fill() error {
+	if o.V < 2 {
+		return fmt.Errorf("workload: random graph needs V >= 2, got %d", o.V)
+	}
+	if o.MeanInDegree == 0 {
+		o.MeanInDegree = 36
+	}
+	if o.MaxNodeWeight == 0 {
+		o.MaxNodeWeight = 10
+	}
+	if o.MaxEdgeWeight == 0 {
+		o.MaxEdgeWeight = 10
+	}
+	return nil
+}
+
+// Random generates a layered random DAG following the recipe in §5.2 of
+// the paper: the height is drawn from a uniform distribution with mean
+// √v, each level's width from a uniform distribution with mean √v
+// (clamped so exactly v nodes are produced), and each node is connected
+// to randomly chosen nodes in earlier levels. Node and edge weights are
+// uniform in [1, MaxNodeWeight] and [1, MaxEdgeWeight].
+func Random(opts RandomOpts) (*dag.Graph, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	v := opts.V
+	mean := math.Sqrt(float64(v))
+
+	// Heights and widths ~ U[0.5·mean, 1.5·mean]: mean ≈ √v as the paper
+	// specifies, with moderate variance so trends across graph sizes are
+	// not swamped by one extreme draw.
+	uniformMean := func() int {
+		lo, hi := int(0.5*mean), int(1.5*mean)
+		if lo < 1 {
+			lo = 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return lo + rng.Intn(hi-lo+1)
+	}
+	height := uniformMean()
+
+	g := dag.New(v)
+	var layers [][]dag.NodeID
+	placed := 0
+	for level := 0; placed < v; level++ {
+		width := uniformMean()
+		// Keep enough nodes in reserve to reach the drawn height, and
+		// flush the remainder into the final level.
+		remainingLevels := height - level - 1
+		if remainingLevels > 0 {
+			if maxHere := v - placed - remainingLevels; width > maxHere {
+				width = maxHere
+			}
+		} else {
+			width = v - placed
+		}
+		if width < 1 {
+			width = 1
+		}
+		layer := make([]dag.NodeID, 0, width)
+		for i := 0; i < width && placed < v; i++ {
+			layer = append(layer, g.AddNode("", float64(1+rng.Intn(opts.MaxNodeWeight))))
+			placed++
+		}
+		layers = append(layers, layer)
+	}
+
+	for li := 1; li < len(layers); li++ {
+		for _, n := range layers[li] {
+			// Parent count ~ U[1, 2·MeanInDegree]; duplicates collapse, so
+			// the realized mean sits slightly below the nominal one.
+			k := 1 + rng.Intn(2*opts.MeanInDegree)
+			for j := 0; j < k; j++ {
+				src := layers[rng.Intn(li)]
+				p := src[rng.Intn(len(src))]
+				_ = g.AddEdge(p, n, float64(1+rng.Intn(opts.MaxEdgeWeight)))
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/timing"
+)
+
+func db() timing.DB { return timing.ParagonLike() }
+
+// The paper's Figure 5 header row: matrix dimensions and task counts.
+func TestGaussTaskCountsMatchPaper(t *testing.T) {
+	want := map[int]int{4: 20, 8: 54, 16: 170, 32: 594}
+	for n, v := range want {
+		if got := GaussTaskCount(n); got != v {
+			t.Errorf("GaussTaskCount(%d) = %d, want %d", n, got, v)
+		}
+		g, err := GaussElim(n, db())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumNodes() != v {
+			t.Errorf("GaussElim(%d) has %d nodes, want %d", n, g.NumNodes(), v)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("GaussElim(%d): %v", n, err)
+		}
+		if !g.IsWeaklyConnected() {
+			t.Errorf("GaussElim(%d) disconnected", n)
+		}
+	}
+}
+
+func TestGaussStructure(t *testing.T) {
+	g, err := GaussElim(2, db()) // m=4: pivots T1..T3, updates per step
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 9 { // 4*5/2 - 1
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Exactly one entry (T1) and one exit (the last update U3,4).
+	if e := g.EntryNodes(); len(e) != 1 || g.Label(e[0]) != "T1" {
+		t.Fatalf("entries = %v", e)
+	}
+	x := g.ExitNodes()
+	if len(x) != 1 || g.Label(x[0]) != "U3,4" {
+		labels := make([]string, len(x))
+		for i, n := range x {
+			labels[i] = g.Label(n)
+		}
+		t.Fatalf("exits = %v", labels)
+	}
+	// Work shrinks with k: T1 heavier than T3.
+	var t1, t3 dag.NodeID = -1, -1
+	for _, n := range g.Nodes() {
+		switch n.Label {
+		case "T1":
+			t1 = n.ID
+		case "T3":
+			t3 = n.ID
+		}
+	}
+	if g.Weight(t1) <= g.Weight(t3) {
+		t.Fatalf("pivot weights do not shrink: T1=%v T3=%v", g.Weight(t1), g.Weight(t3))
+	}
+}
+
+func TestGaussRejectsBadDimension(t *testing.T) {
+	if _, err := GaussElim(0, db()); err == nil {
+		t.Fatal("accepted n=0")
+	}
+}
+
+// The paper's Figure 6 header row.
+func TestLaplaceTaskCountsMatchPaper(t *testing.T) {
+	want := map[int]int{4: 18, 8: 66, 16: 258, 32: 1026}
+	for n, v := range want {
+		if got := LaplaceTaskCount(n); got != v {
+			t.Errorf("LaplaceTaskCount(%d) = %d, want %d", n, got, v)
+		}
+		g, err := Laplace(n, db())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumNodes() != v {
+			t.Errorf("Laplace(%d) has %d nodes, want %d", n, g.NumNodes(), v)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("Laplace(%d): %v", n, err)
+		}
+		if !g.IsWeaklyConnected() {
+			t.Errorf("Laplace(%d) disconnected", n)
+		}
+	}
+}
+
+func TestLaplaceWavefrontDepth(t *testing.T) {
+	g, err := Laplace(3, db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry + wavefront of length 2n-1 + exit = 2n+1 nodes on the longest
+	// node path; verify via levels that the CP visits that many nodes.
+	l, err := dag.ComputeLevels(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := dag.CriticalPath(g, l)
+	if len(cp) != 2*3+1 {
+		t.Fatalf("critical path visits %d nodes, want 7", len(cp))
+	}
+	if _, err := Laplace(0, db()); err == nil {
+		t.Fatal("accepted n=0")
+	}
+}
+
+// The paper's Figure 7 header row.
+func TestFFTTaskCountsMatchPaper(t *testing.T) {
+	want := map[int]int{16: 14, 64: 34, 128: 82, 512: 194}
+	for p, v := range want {
+		if got := FFTTaskCount(p); got != v {
+			t.Errorf("FFTTaskCount(%d) = %d, want %d", p, got, v)
+		}
+		g, err := FFT(p, db())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumNodes() != v {
+			t.Errorf("FFT(%d) has %d nodes, want %d", p, g.NumNodes(), v)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("FFT(%d): %v", p, err)
+		}
+		if !g.IsWeaklyConnected() {
+			t.Errorf("FFT(%d) disconnected", p)
+		}
+	}
+}
+
+func TestFFTButterflyShape(t *testing.T) {
+	g, err := FFT(16, db()) // m=4, 2 stages
+	if err != nil {
+		t.Fatal(err)
+	}
+	// every butterfly task has exactly 2 parents; input tasks have 1
+	// (the scatter); the gather has m parents.
+	twoParent := 0
+	for _, n := range g.Nodes() {
+		switch g.InDegree(n.ID) {
+		case 2:
+			twoParent++
+		}
+	}
+	if twoParent != 8 { // m * stages = 4*2
+		t.Fatalf("butterfly tasks with 2 parents = %d, want 8", twoParent)
+	}
+	for _, bad := range []int{0, 2, 12, 24} { // not power of two or too small
+		if _, err := FFT(bad, db()); err == nil {
+			t.Errorf("FFT(%d) accepted", bad)
+		}
+	}
+}
+
+func TestRandomReproducibleAndValid(t *testing.T) {
+	a, err := Random(RandomOpts{V: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(RandomOpts{V: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != 300 || a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("not reproducible: %d/%d vs %d/%d", a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Random(RandomOpts{V: 300, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEdges() == a.NumEdges() && func() bool {
+		for i := 0; i < 300; i++ {
+			if a.Weight(dag.NodeID(i)) != c.Weight(dag.NodeID(i)) {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomDensityNearPaper(t *testing.T) {
+	g, err := Random(RandomOpts{V: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// paper: 81049 edges at v=2000 (≈40/node); accept a broad band since
+	// duplicate draws collapse.
+	perNode := float64(g.NumEdges()) / 2000
+	if perNode < 15 || perNode > 60 {
+		t.Fatalf("edges per node = %v, outside the paper's density regime", perNode)
+	}
+}
+
+func TestRandomRejectsTinyV(t *testing.T) {
+	if _, err := Random(RandomOpts{V: 1}); err == nil {
+		t.Fatal("accepted V=1")
+	}
+}
+
+// Property: for any V and seed, the generated graph is a valid DAG with
+// exactly V nodes, every non-entry node has a parent, and entry nodes
+// all sit in the first layer.
+func TestRandomProperty(t *testing.T) {
+	f := func(vRaw uint16, seed int64) bool {
+		v := 2 + int(vRaw%400)
+		g, err := Random(RandomOpts{V: v, Seed: seed, MeanInDegree: 3})
+		if err != nil {
+			return false
+		}
+		if g.NumNodes() != v || g.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrimitives(t *testing.T) {
+	if g := Chain(5, 2, 3); g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Fatal("chain shape")
+	}
+	if g := ForkJoin(4, 1, 2, 3, 1); g.NumNodes() != 6 || g.NumEdges() != 8 {
+		t.Fatal("forkjoin shape")
+	}
+	if g := Diamond(3, 1); g.NumNodes() != 5 {
+		t.Fatal("diamond shape")
+	}
+	ot := OutTree(3, 1, 1)
+	if ot.NumNodes() != 7 || ot.NumEdges() != 6 {
+		t.Fatal("outtree shape")
+	}
+	if len(ot.EntryNodes()) != 1 || len(ot.ExitNodes()) != 4 {
+		t.Fatal("outtree orientation")
+	}
+	it := InTree(3, 1, 1)
+	if it.NumNodes() != 7 || it.NumEdges() != 6 {
+		t.Fatal("intree shape")
+	}
+	if len(it.EntryNodes()) != 4 || len(it.ExitNodes()) != 1 {
+		t.Fatal("intree orientation")
+	}
+	for _, g := range []*dag.Graph{ot, it, Chain(5, 2, 3), ForkJoin(4, 1, 2, 3, 1)} {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
