@@ -235,6 +235,28 @@ func BenchmarkFig8cRandomSchedTime(b *testing.B) {
 	}
 }
 
+// BenchmarkFig8SearchSteps: FAST on the Fig-8 random DAG with growing
+// local-search budgets — the public-API view of the incremental
+// evaluation kernel (DESIGN.md §5). The per-step cost is the slope
+// between the rows; before the incremental kernel it was a full O(e)
+// replay per step. The internal micro-benchmarks
+// (BenchmarkEvaluateFull / BenchmarkEvaluateIncremental /
+// BenchmarkSearchStep in internal/fast) isolate the kernel itself;
+// scripts/bench.sh records them in BENCH_search.json.
+func BenchmarkFig8SearchSteps(b *testing.B) {
+	g := fig8Graph(b)
+	for _, steps := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("steps=%d", steps), func(b *testing.B) {
+			s := fast.New(fast.Options{Seed: 1, MaxSteps: steps})
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Schedule(g, 256); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablation benches (DESIGN.md §2) ---
 
 // BenchmarkAblationListOrder: the CPN-Dominate list against plain

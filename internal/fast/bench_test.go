@@ -1,0 +1,73 @@
+package fast
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/workload"
+)
+
+// benchSearchState builds a paper-scale search state: the Fig-8 random
+// DAG density (v=2000, ≈36 parents per node) on a 128-processor
+// machine, with phase 1 done and the blocking list ready.
+func benchSearchState(b *testing.B) (*state, []dag.NodeID) {
+	b.Helper()
+	g, err := workload.Random(workload.RandomOpts{V: 2000, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := dag.ComputeLevels(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cls := dag.Classify(g, l)
+	st := newState(g, CPNDominateList(g, l, cls), 128)
+	st.initialReadyTime()
+	st.evaluate()
+	return st, blockingList(cls)
+}
+
+// BenchmarkEvaluateFull: the pre-incremental per-step cost — one full
+// O(e) replay of the whole list.
+func BenchmarkEvaluateFull(b *testing.B) {
+	st, _ := benchSearchState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.evaluate()
+	}
+}
+
+// BenchmarkEvaluateIncremental: one search step's evaluation work under
+// the incremental kernel — transfer a random blocking node, replay the
+// suffix from its list position, revert (the common rejected-move case).
+func BenchmarkEvaluateIncremental(b *testing.B) {
+	st, blocking := benchSearchState(b)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := blocking[rng.Intn(len(blocking))]
+		p := rng.Intn(st.procs)
+		if p == st.assign[n] {
+			continue
+		}
+		st.tryTransfer(n, p)
+		st.revertTransfer()
+	}
+}
+
+// BenchmarkSearchStep: whole greedy search steps (move selection +
+// evaluation + accept/reject bookkeeping) with the incremental kernel
+// against forced full replay. The full/incremental ratio is the
+// recorded speedup of this PR (see scripts/bench.sh → BENCH_search.json).
+func BenchmarkSearchStep(b *testing.B) {
+	for _, mode := range []string{"full", "incremental"} {
+		b.Run(mode, func(b *testing.B) {
+			st, blocking := benchSearchState(b)
+			st.fullReplay = mode == "full"
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			st.search(blocking, b.N, rng)
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package fast
+
+import "fastsched/internal/dag"
+
+// predCSR is a flat compressed-sparse-row view of the graph's
+// predecessor lists, built once per scheduling run and shared read-only
+// by every searcher (PFAST workers included). The edge kernel of the
+// local search — datOn, called once per predecessor per replayed node —
+// walks parallel primitive arrays instead of chasing per-node []Edge
+// slices, so the hot loop touches three dense streams (from, weight,
+// and the finish/assign tables) with no pointer indirection.
+//
+// Node IDs are stored as int32: a graph would need 2^31 nodes to
+// overflow, far beyond anything the generators produce.
+type predCSR struct {
+	off    []int32   // off[n]..off[n+1] indexes n's predecessors; len v+1
+	from   []int32   // predecessor node of each CSR slot; len e
+	weight []float64 // communication cost of each CSR slot; len e
+	nodeW  []float64 // computation cost per node (dense copy); len v
+}
+
+// newPredCSR flattens g's predecessor adjacency. Slot order within a
+// node matches g.Pred(n) exactly, so traversals (and therefore every
+// floating-point max reduction) are bit-identical to the slice walk.
+func newPredCSR(g *dag.Graph) *predCSR {
+	v := g.NumNodes()
+	c := &predCSR{
+		off:    make([]int32, v+1),
+		from:   make([]int32, 0, g.NumEdges()),
+		weight: make([]float64, 0, g.NumEdges()),
+		nodeW:  make([]float64, v),
+	}
+	for n := 0; n < v; n++ {
+		c.off[n] = int32(len(c.from))
+		for _, e := range g.Pred(dag.NodeID(n)) {
+			c.from = append(c.from, int32(e.From))
+			c.weight = append(c.weight, e.Weight)
+		}
+		c.nodeW[n] = g.Weight(dag.NodeID(n))
+	}
+	c.off[v] = int32(len(c.from))
+	return c
+}

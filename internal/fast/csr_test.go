@@ -1,0 +1,43 @@
+package fast
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/example"
+)
+
+// The CSR layout must mirror g.Pred slot for slot: same predecessor
+// order, same weights, same node costs — anything else would change the
+// floating-point reduction order of datOn.
+func TestPredCSRMatchesGraph(t *testing.T) {
+	graphs := []*dag.Graph{example.Graph()}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10; i++ {
+		graphs = append(graphs, randomLayeredGraph(rng, 2+rng.Intn(80)))
+	}
+	for gi, g := range graphs {
+		c := newPredCSR(g)
+		v := g.NumNodes()
+		if len(c.off) != v+1 || int(c.off[v]) != g.NumEdges() {
+			t.Fatalf("graph %d: offsets len %d / end %d, want %d / %d", gi, len(c.off), c.off[v], v+1, g.NumEdges())
+		}
+		for n := 0; n < v; n++ {
+			preds := g.Pred(dag.NodeID(n))
+			lo, hi := c.off[n], c.off[n+1]
+			if int(hi-lo) != len(preds) {
+				t.Fatalf("graph %d node %d: %d CSR slots, want %d", gi, n, hi-lo, len(preds))
+			}
+			for j, e := range preds {
+				if c.from[lo+int32(j)] != int32(e.From) || c.weight[lo+int32(j)] != e.Weight {
+					t.Fatalf("graph %d node %d slot %d: (%d, %v), want (%d, %v)",
+						gi, n, j, c.from[lo+int32(j)], c.weight[lo+int32(j)], e.From, e.Weight)
+				}
+			}
+			if c.nodeW[n] != g.Weight(dag.NodeID(n)) {
+				t.Fatalf("graph %d node %d: weight %v, want %v", gi, n, c.nodeW[n], g.Weight(dag.NodeID(n)))
+			}
+		}
+	}
+}

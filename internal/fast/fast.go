@@ -124,8 +124,13 @@ type Options struct {
 	MultiStart bool
 	// Budget, when positive, makes the greedy search anytime: it keeps
 	// searching (ignoring MaxSteps) until the wall-clock budget is
-	// spent, returning the best schedule found. Only the serial greedy
-	// strategy honours it.
+	// spent, returning the best schedule found. The serial greedy
+	// search honours it, as does every PFAST/multi-start worker (each
+	// worker gets the full budget; the workers run concurrently).
+	// Combining Budget with SteepestDescent or Annealing is rejected by
+	// Schedule with an error. Note that budgeted runs trade the
+	// fixed-seed determinism guarantee for the wall-clock bound: the
+	// number of steps taken depends on machine speed.
 	Budget time.Duration
 }
 
@@ -162,6 +167,9 @@ func (f *Scheduler) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
 	if procs <= 0 {
 		procs = g.NumNodes()
 	}
+	if f.opts.Budget > 0 && f.opts.Strategy != Greedy {
+		return nil, fmt.Errorf("fast: Budget is only supported with the Greedy strategy, got %v", f.opts.Strategy)
+	}
 	l, err := dag.ComputeLevels(g)
 	if err != nil {
 		return nil, err
@@ -190,17 +198,10 @@ func (f *Scheduler) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
 
 	if !f.opts.NoSearch && maxSteps > 0 {
 		blocking := blockingList(cls)
-		switch {
-		case f.opts.Parallelism > 1:
-			st.searchParallel(blocking, maxSteps, f.opts.Seed, f.opts.Parallelism, f.opts.Strategy)
-		case f.opts.Strategy == SteepestDescent:
-			st.searchSteepest(blocking, maxSteps)
-		case f.opts.Strategy == Annealing:
-			st.searchAnnealing(blocking, maxSteps, rand.New(rand.NewSource(f.opts.Seed)))
-		case f.opts.Budget > 0:
-			st.searchBudget(blocking, f.opts.Budget, rand.New(rand.NewSource(f.opts.Seed)))
-		default:
-			st.search(blocking, maxSteps, rand.New(rand.NewSource(f.opts.Seed)))
+		if f.opts.Parallelism > 1 {
+			st.searchParallel(blocking, maxSteps, f.opts.Seed, f.opts.Parallelism, f.opts.Strategy, f.opts.Budget)
+		} else {
+			runSearch(st, blocking, maxSteps, f.opts.Strategy, f.opts.Budget, rand.New(rand.NewSource(f.opts.Seed)))
 		}
 	}
 
@@ -232,14 +233,7 @@ func (f *Scheduler) multiStart(g *dag.Graph, l *dag.Levels, cls []dag.Class, pro
 				st.initialReadyTime()
 			}
 			rng := rand.New(rand.NewSource(f.opts.Seed + int64(w)))
-			switch f.opts.Strategy {
-			case SteepestDescent:
-				st.searchSteepest(blocking, maxSteps)
-			case Annealing:
-				st.searchAnnealing(blocking, maxSteps, rng)
-			default:
-				st.search(blocking, maxSteps, rng)
-			}
+			runSearch(st, blocking, maxSteps, f.opts.Strategy, f.opts.Budget, rng)
 			results[w] = st
 		}(w)
 	}

@@ -11,32 +11,118 @@ import (
 	"fastsched/internal/sched"
 )
 
+// debugFullReplay forces every evaluateFrom call to replay the whole
+// list, disabling the checkpoint shortcut while keeping the CSR kernel.
+// Differential tests flip it to prove the incremental path is
+// bit-equivalent to full replay; it must never be set outside tests.
+var debugFullReplay bool
+
+// checkpointInterval picks K, the spacing of the per-processor
+// ready-time checkpoints. Saving a checkpoint costs O(p) copies per K
+// replayed nodes, so K grows with the processor count to keep that
+// overhead well below the O(K·deg) edge work of the nodes it spans;
+// the floor keeps snapshots dense on small machines where they are
+// nearly free.
+func checkpointInterval(procs int) int {
+	if k := procs / 4; k > 16 {
+		return k
+	}
+	return 16
+}
+
 // state holds the mutable scheduling state shared by phase 1 and the
 // local search: a processor assignment per node plus scratch tables for
-// the O(v+e+p) schedule evaluation.
+// the schedule evaluation. Evaluation is incremental: transferring the
+// node at list position q only invalidates the suffix from q onward, so
+// evaluateFrom restores the per-processor ready times from the nearest
+// checkpoint at or before q in O(p) and replays only the tail.
 type state struct {
 	g     *dag.Graph
 	list  []dag.NodeID // topological priority order (phase-1 list)
 	procs int
+
+	csr *predCSR // flat predecessor layout; immutable, shared by clones
+	pos []int    // node -> list position; immutable, shared by clones
 
 	assign []int // processor of each node
 	start  []float64
 	finish []float64
 	ready  []float64 // scratch: per-processor ready time
 	length float64
+
+	// Checkpoints: before processing list position i*ckK the replay loop
+	// snapshots the p ready times into ckReady[i*procs:] and the running
+	// max finish into ckLen[i]. A checkpoint at position c stays valid as
+	// long as no assignment at a position < c changed, which dirty
+	// tracks: it is the smallest list position whose assignment may
+	// differ from the one the tables were computed under (len(list) when
+	// the tables are fully consistent).
+	ckK     int
+	ckReady []float64
+	ckLen   []float64
+	dirty   int
+
+	// Undo journal for tryTransfer/revertTransfer: the suffix of the
+	// start/finish tables (indexed by list position) and the checkpoint
+	// rows a candidate replay is about to overwrite. Reverting restores
+	// them with plain copies — no edge walks — so a rejected move costs
+	// O(v_suffix + p) instead of forcing the next evaluation to replay
+	// from the rejected position too.
+	undoNode   dag.NodeID
+	undoProc   int
+	undoBase   int
+	undoStart  []float64
+	undoFinish []float64
+	undoCk     []float64
+	undoCkLen  []float64
+	undoLength float64
+
+	fullReplay bool // mirror of debugFullReplay, captured at newState
 }
 
 func newState(g *dag.Graph, list []dag.NodeID, procs int) *state {
+	return newStateK(g, list, procs, checkpointInterval(procs))
+}
+
+// newStateK is newState with an explicit checkpoint interval, so tests
+// can exercise degenerate spacings (K=1, K ≥ v).
+func newStateK(g *dag.Graph, list []dag.NodeID, procs, ckK int) *state {
 	v := g.NumNodes()
-	return &state{
-		g:      g,
-		list:   list,
-		procs:  procs,
-		assign: make([]int, v),
-		start:  make([]float64, v),
-		finish: make([]float64, v),
-		ready:  make([]float64, procs),
+	if ckK < 1 {
+		ckK = 1
 	}
+	numCk := 0
+	if v > 0 {
+		numCk = (v-1)/ckK + 1
+	}
+	return &state{
+		g:          g,
+		list:       list,
+		procs:      procs,
+		csr:        newPredCSR(g),
+		pos:        listPositions(list, v),
+		assign:     make([]int, v),
+		start:      make([]float64, v),
+		finish:     make([]float64, v),
+		ready:      make([]float64, procs),
+		ckK:        ckK,
+		ckReady:    make([]float64, numCk*procs),
+		ckLen:      make([]float64, numCk),
+		dirty:      0,
+		undoStart:  make([]float64, v),
+		undoFinish: make([]float64, v),
+		undoCk:     make([]float64, numCk*procs),
+		undoCkLen:  make([]float64, numCk),
+		fullReplay: debugFullReplay,
+	}
+}
+
+func listPositions(list []dag.NodeID, v int) []int {
+	pos := make([]int, v)
+	for i, n := range list {
+		pos[n] = i
+	}
+	return pos
 }
 
 // initialReadyTime runs the paper's InitialSchedule(): walk the list,
@@ -44,7 +130,6 @@ func newState(g *dag.Graph, list []dag.NodeID, procs int) *state {
 // processors plus one fresh processor) gives the earliest start time,
 // where a processor's availability is its ready time (no gap search).
 func (st *state) initialReadyTime() {
-	g := st.g
 	for i := range st.ready {
 		st.ready[i] = 0
 	}
@@ -61,8 +146,8 @@ func (st *state) initialReadyTime() {
 			}
 		}
 		seen := false
-		for _, e := range g.Pred(n) {
-			p := st.assign[e.From]
+		for i := st.csr.off[n]; i < st.csr.off[n+1]; i++ {
+			p := st.assign[st.csr.from[i]]
 			// Parent processors can repeat; consider handles duplicates
 			// harmlessly (same candidate, same value).
 			consider(p)
@@ -93,6 +178,7 @@ func (st *state) initialInsertion() {
 	g := st.g
 	m := listsched.NewMachine(st.procs)
 	sc := sched.New(g.NumNodes())
+	var scratch listsched.CandidateScratch
 	for _, n := range st.list {
 		w := g.Weight(n)
 		bestProc := -1
@@ -104,7 +190,7 @@ func (st *state) initialInsertion() {
 				bestProc, bestStart = p, s
 			}
 		}
-		cands := listsched.CandidateProcs(g, sc, m, n)
+		cands := scratch.CandidateProcs(g, sc, m, n)
 		for _, p := range cands {
 			consider(p)
 		}
@@ -125,13 +211,15 @@ func (st *state) place(n dag.NodeID, p int, s float64) {
 }
 
 // datOn computes the data arrival time of n on processor p from the
-// start/finish tables (parents are guaranteed earlier in the list).
+// finish tables (parents are guaranteed earlier in the list), walking
+// the flat CSR predecessor arrays.
 func (st *state) datOn(n dag.NodeID, p int) float64 {
 	var dat float64
-	for _, e := range st.g.Pred(n) {
-		arr := st.finish[e.From]
-		if st.assign[e.From] != p {
-			arr += e.Weight
+	for i := st.csr.off[n]; i < st.csr.off[n+1]; i++ {
+		from := st.csr.from[i]
+		arr := st.finish[from]
+		if st.assign[from] != p {
+			arr += st.csr.weight[i]
 		}
 		if arr > dat {
 			dat = arr
@@ -151,22 +239,77 @@ func (st *state) maxFinish() float64 {
 }
 
 // evaluate recomputes every start/finish from the current assignment by
-// replaying the list in order with ready-time semantics, returning the
-// schedule length. This is the O(e) "re-visit all the edges once" step
-// of the paper's search loop.
+// replaying the whole list in order with ready-time semantics, returning
+// the schedule length. This is the O(e) "re-visit all the edges once"
+// step of the paper's search loop; the search strategies use
+// evaluateFrom to replay only the invalidated suffix instead.
 func (st *state) evaluate() float64 {
-	for i := range st.ready {
-		st.ready[i] = 0
+	st.dirty = 0
+	return st.evaluateFrom(0)
+}
+
+// markDirty records that the assignment at list position q changed
+// without the tables being recomputed (a reverted move): the next
+// evaluateFrom must replay from no later than q.
+func (st *state) markDirty(q int) {
+	if q < st.dirty {
+		st.dirty = q
 	}
-	var length float64
-	for _, n := range st.list {
+}
+
+// flush makes the tables consistent with the current assignment after a
+// search loop whose last move may have been reverted. It is a no-op
+// when the last evaluation already matches the assignment.
+func (st *state) flush() {
+	if st.dirty < len(st.list) {
+		st.evaluateFrom(st.dirty)
+	}
+}
+
+// evaluateFrom replays the list suffix starting at the nearest
+// checkpoint at or before min(from, dirty). Cost: O(e_suffix + p +
+// (v_suffix/K)·p) against O(e) for a full replay.
+func (st *state) evaluateFrom(from int) float64 {
+	v := len(st.list)
+	if v == 0 {
+		st.length = 0
+		st.dirty = 0
+		return 0
+	}
+	if st.dirty < from {
+		from = st.dirty
+	}
+	if st.fullReplay {
+		from = 0
+	}
+	return st.replayFrom(from / st.ckK * st.ckK)
+}
+
+// replayFrom restores the per-processor ready times and the running max
+// finish in O(p) from the checkpoint at list position base (which must
+// be a multiple of ckK, with every earlier checkpoint valid), then
+// recomputes start/finish for the tail only, refreshing every
+// checkpoint it passes. The replay performs the identical operation
+// sequence on the identical prefix values as a full replay, so the
+// results (including the max reductions) are bit-equivalent.
+func (st *state) replayFrom(base int) float64 {
+	v := len(st.list)
+	ck := base / st.ckK
+	copy(st.ready, st.ckReady[ck*st.procs:(ck+1)*st.procs])
+	length := st.ckLen[ck]
+	for i := base; i < v; i++ {
+		if i%st.ckK == 0 {
+			copy(st.ckReady[(i/st.ckK)*st.procs:], st.ready)
+			st.ckLen[i/st.ckK] = length
+		}
+		n := st.list[i]
 		p := st.assign[n]
 		s := st.datOn(n, p)
 		if st.ready[p] > s {
 			s = st.ready[p]
 		}
 		st.start[n] = s
-		f := s + st.g.Weight(n)
+		f := s + st.csr.nodeW[n]
 		st.finish[n] = f
 		st.ready[p] = f
 		if f > length {
@@ -174,7 +317,55 @@ func (st *state) evaluate() float64 {
 		}
 	}
 	st.length = length
+	st.dirty = v
 	return length
+}
+
+// tryTransfer reassigns n to processor p and re-evaluates the schedule
+// incrementally, first journaling the table suffix and checkpoint rows
+// the replay will overwrite. The caller either keeps the move (no
+// further action: the tables are consistent with the new assignment) or
+// calls revertTransfer to restore the journaled state exactly. The
+// tables must be consistent (dirty == len(list)) on entry; every search
+// strategy maintains that invariant by reverting rejected moves.
+func (st *state) tryTransfer(n dag.NodeID, p int) float64 {
+	q := st.pos[n]
+	if st.fullReplay {
+		q = 0
+	}
+	base := q / st.ckK * st.ckK
+	v := len(st.list)
+	st.undoNode, st.undoProc, st.undoBase = n, st.assign[n], base
+	st.undoLength = st.length
+	for i := base; i < v; i++ {
+		m := st.list[i]
+		st.undoStart[i] = st.start[m]
+		st.undoFinish[i] = st.finish[m]
+	}
+	ckFirst := base / st.ckK
+	copy(st.undoCk[ckFirst*st.procs:], st.ckReady[ckFirst*st.procs:])
+	copy(st.undoCkLen[ckFirst:], st.ckLen[ckFirst:])
+	st.assign[n] = p
+	return st.replayFrom(base)
+}
+
+// revertTransfer undoes the most recent tryTransfer with plain copies:
+// the reverted tables are bit-identical to the pre-transfer state, so a
+// rejected candidate leaves no trace — numerically or in the checkpoint
+// rows — and the next tryTransfer replays only its own suffix.
+func (st *state) revertTransfer() {
+	st.assign[st.undoNode] = st.undoProc
+	base := st.undoBase
+	v := len(st.list)
+	for i := base; i < v; i++ {
+		m := st.list[i]
+		st.start[m] = st.undoStart[i]
+		st.finish[m] = st.undoFinish[i]
+	}
+	ckFirst := base / st.ckK
+	copy(st.ckReady[ckFirst*st.procs:], st.undoCk[ckFirst*st.procs:])
+	copy(st.ckLen[ckFirst:], st.undoCkLen[ckFirst:])
+	st.length = st.undoLength
 }
 
 // search runs the paper's local search: MaxSteps random transfer
@@ -190,18 +381,15 @@ func (st *state) search(blocking []dag.NodeID, maxSteps int, rng *rand.Rand) {
 	for step := 0; step < maxSteps; step++ {
 		n := blocking[rng.Intn(len(blocking))]
 		p := rng.Intn(st.procs)
-		old := st.assign[n]
-		if p == old {
+		if p == st.assign[n] {
 			continue
 		}
-		st.assign[n] = p
-		if cand := st.evaluate(); cand < best-1e-12 {
+		if cand := st.tryTransfer(n, p); cand < best-1e-12 {
 			best = cand
 		} else {
-			st.assign[n] = old
+			st.revertTransfer()
 		}
 	}
-	st.evaluate()
 }
 
 // searchBudget is the anytime variant of the greedy search: random
@@ -220,24 +408,23 @@ func (st *state) searchBudget(blocking []dag.NodeID, budget time.Duration, rng *
 		}
 		n := blocking[rng.Intn(len(blocking))]
 		p := rng.Intn(st.procs)
-		old := st.assign[n]
-		if p == old {
+		if p == st.assign[n] {
 			continue
 		}
-		st.assign[n] = p
-		if cand := st.evaluate(); cand < best-1e-12 {
+		if cand := st.tryTransfer(n, p); cand < best-1e-12 {
 			best = cand
 		} else {
-			st.assign[n] = old
+			st.revertTransfer()
 		}
 	}
-	st.evaluate()
 }
 
 // searchSteepest applies best-improvement local search: each round
 // evaluates every (blocking node, processor) transfer and commits the
 // one with the largest strict improvement, stopping early at a local
-// minimum. rounds bounds the number of committed moves.
+// minimum. rounds bounds the number of committed moves. The |blocking|·p
+// evaluations per round all replay from the moved node's position, so
+// this strategy gains the most from the incremental kernel.
 func (st *state) searchSteepest(blocking []dag.NodeID, rounds int) {
 	if len(blocking) == 0 || st.procs < 2 {
 		st.evaluate()
@@ -254,20 +441,18 @@ func (st *state) searchSteepest(blocking []dag.NodeID, rounds int) {
 				if p == old {
 					continue
 				}
-				st.assign[n] = p
-				if cand := st.evaluate(); cand < bestLen-1e-12 {
+				if cand := st.tryTransfer(n, p); cand < bestLen-1e-12 {
 					bestNode, bestProc, bestLen = n, p, cand
 				}
+				st.revertTransfer()
 			}
-			st.assign[n] = old
 		}
 		if bestNode == dag.None {
 			break // local minimum
 		}
-		st.assign[bestNode] = bestProc
+		st.tryTransfer(bestNode, bestProc) // commit the round's best move
 		best = bestLen
 	}
-	st.evaluate()
 }
 
 // searchAnnealing runs simulated annealing over the same neighborhood:
@@ -295,13 +480,11 @@ func (st *state) searchAnnealing(blocking []dag.NodeID, maxSteps int, rng *rand.
 	for step := 0; step < maxSteps; step++ {
 		n := blocking[rng.Intn(len(blocking))]
 		p := rng.Intn(st.procs)
-		old := st.assign[n]
-		if p == old {
+		if p == st.assign[n] {
 			temp *= cooling
 			continue
 		}
-		st.assign[n] = p
-		cand := st.evaluate()
+		cand := st.tryTransfer(n, p)
 		delta := cand - cur
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 			cur = cand
@@ -310,7 +493,7 @@ func (st *state) searchAnnealing(blocking []dag.NodeID, maxSteps int, rng *rand.
 				copy(bestAssign, st.assign)
 			}
 		} else {
-			st.assign[n] = old
+			st.revertTransfer()
 		}
 		temp *= cooling
 	}
@@ -321,8 +504,9 @@ func (st *state) searchAnnealing(blocking []dag.NodeID, maxSteps int, rng *rand.
 // searchParallel is PFAST: `workers` independent searchers start from the
 // same phase-1 assignment with seeds seed, seed+1, ...; the shortest
 // final schedule wins (ties broken by lowest worker index so the result
-// is deterministic). Each worker runs the configured search strategy.
-func (st *state) searchParallel(blocking []dag.NodeID, maxSteps int, seed int64, workers int, strategy Strategy) {
+// is deterministic). Each worker runs the configured search strategy, or
+// the anytime budget search when budget is positive.
+func (st *state) searchParallel(blocking []dag.NodeID, maxSteps int, seed int64, workers int, strategy Strategy, budget time.Duration) {
 	type result struct {
 		assign []int
 		length float64
@@ -335,14 +519,7 @@ func (st *state) searchParallel(blocking []dag.NodeID, maxSteps int, seed int64,
 			defer wg.Done()
 			local := st.cloneForSearch()
 			rng := rand.New(rand.NewSource(seed + int64(w)))
-			switch strategy {
-			case SteepestDescent:
-				local.searchSteepest(blocking, maxSteps)
-			case Annealing:
-				local.searchAnnealing(blocking, maxSteps, rng)
-			default:
-				local.search(blocking, maxSteps, rng)
-			}
+			runSearch(local, blocking, maxSteps, strategy, budget, rng)
 			results[w] = result{assign: local.assign, length: local.length}
 		}(w)
 	}
@@ -357,19 +534,47 @@ func (st *state) searchParallel(blocking []dag.NodeID, maxSteps int, seed int64,
 	st.evaluate()
 }
 
+// runSearch dispatches one searcher over the shared strategy switch so
+// the serial path, PFAST workers, and multi-start workers stay in sync.
+func runSearch(st *state, blocking []dag.NodeID, maxSteps int, strategy Strategy, budget time.Duration, rng *rand.Rand) {
+	switch {
+	case strategy == SteepestDescent:
+		st.searchSteepest(blocking, maxSteps)
+	case strategy == Annealing:
+		st.searchAnnealing(blocking, maxSteps, rng)
+	case budget > 0:
+		st.searchBudget(blocking, budget, rng)
+	default:
+		st.search(blocking, maxSteps, rng)
+	}
+}
+
 // cloneForSearch copies the state deeply enough for an independent
-// searcher: the graph and list are shared read-only, all mutable tables
-// are duplicated.
+// searcher: the graph, list, CSR layout, and position index are shared
+// read-only; the mutable tables and checkpoint rows are fresh. The
+// clone starts fully dirty, so its first evaluation repopulates the
+// checkpoints from scratch.
 func (st *state) cloneForSearch() *state {
 	return &state{
-		g:      st.g,
-		list:   st.list,
-		procs:  st.procs,
-		assign: append([]int(nil), st.assign...),
-		start:  append([]float64(nil), st.start...),
-		finish: append([]float64(nil), st.finish...),
-		ready:  make([]float64, st.procs),
-		length: st.length,
+		g:          st.g,
+		list:       st.list,
+		procs:      st.procs,
+		csr:        st.csr,
+		pos:        st.pos,
+		assign:     append([]int(nil), st.assign...),
+		start:      append([]float64(nil), st.start...),
+		finish:     append([]float64(nil), st.finish...),
+		ready:      make([]float64, st.procs),
+		length:     st.length,
+		ckK:        st.ckK,
+		ckReady:    make([]float64, len(st.ckReady)),
+		ckLen:      make([]float64, len(st.ckLen)),
+		dirty:      0,
+		undoStart:  make([]float64, len(st.undoStart)),
+		undoFinish: make([]float64, len(st.undoFinish)),
+		undoCk:     make([]float64, len(st.undoCk)),
+		undoCkLen:  make([]float64, len(st.undoCkLen)),
+		fullReplay: st.fullReplay,
 	}
 }
 

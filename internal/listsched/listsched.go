@@ -163,20 +163,46 @@ func DAT(g *dag.Graph, s *sched.Schedule, n dag.NodeID, proc int) float64 {
 
 // CandidateProcs returns the deduplicated processor set the FAST paper
 // examines when placing n: the processors accommodating n's parents plus
-// one fresh processor (if any is available). The result is in ascending
+// one fresh processor (if any is available). The result is in parent
 // order with the fresh processor last when it is not already present.
+// Loops placing many nodes should use CandidateScratch.CandidateProcs
+// instead, which reuses its buffers across calls.
 func CandidateProcs(g *dag.Graph, s *sched.Schedule, m *Machine, n dag.NodeID) []int {
-	seen := make(map[int]bool)
-	var out []int
+	var sc CandidateScratch
+	return sc.CandidateProcs(g, s, m, n)
+}
+
+// CandidateScratch holds the reusable buffers of CandidateProcs: a
+// []bool dedupe table indexed by processor and the output slice. The
+// insertion-based phase-1 loops (FAST's ablation, MD, and the ETF/DLS
+// variants) query candidates once per node, so reusing one scratch per
+// walk removes a map allocation per node. The zero value is ready to
+// use; a scratch must not be shared between concurrent walkers.
+type CandidateScratch struct {
+	seen []bool
+	out  []int
+}
+
+// CandidateProcs is the allocation-reusing variant of the package-level
+// function. The returned slice is owned by the scratch and only valid
+// until the next call.
+func (sc *CandidateScratch) CandidateProcs(g *dag.Graph, s *sched.Schedule, m *Machine, n dag.NodeID) []int {
+	out := sc.out[:0]
 	for _, e := range g.Pred(n) {
 		p := s.Of(e.From).Proc
-		if !seen[p] {
-			seen[p] = true
+		sc.grow(p)
+		if !sc.seen[p] {
+			sc.seen[p] = true
 			out = append(out, p)
 		}
 	}
-	if f := m.FreshProc(); f >= 0 && !seen[f] {
-		out = append(out, f)
+	// FreshProc may mint a new processor on an unbounded machine, so the
+	// dedupe table can need to grow beyond NumProcs() as seen so far.
+	if f := m.FreshProc(); f >= 0 {
+		sc.grow(f)
+		if !sc.seen[f] {
+			out = append(out, f)
+		}
 	}
 	if len(out) == 0 {
 		// entry node on a fully-busy bounded machine: consider everything
@@ -184,5 +210,20 @@ func CandidateProcs(g *dag.Graph, s *sched.Schedule, m *Machine, n dag.NodeID) [
 			out = append(out, p)
 		}
 	}
+	// Clear only the bits this call set, leaving the table all-false for
+	// the next node: O(candidates), not O(procs).
+	for _, p := range out {
+		if p < len(sc.seen) {
+			sc.seen[p] = false
+		}
+	}
+	sc.out = out
 	return out
+}
+
+// grow ensures the dedupe table covers processor index p.
+func (sc *CandidateScratch) grow(p int) {
+	for len(sc.seen) <= p {
+		sc.seen = append(sc.seen, false)
+	}
 }

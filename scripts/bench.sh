@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Record the FAST local-search micro-benchmarks into BENCH_search.json.
+#
+# Runs the evaluate-kernel benchmarks (full replay vs incremental suffix
+# evaluation, plus whole greedy search steps in both modes) with
+# -benchmem -count=N and emits a small JSON file with every sample and
+# the derived full/incremental search-step speedup, so the perf
+# trajectory of the hot path is a checked-in number, not a claim.
+#
+# Usage: scripts/bench.sh            # writes BENCH_search.json
+#        COUNT=10 OUT=out.json scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+OUT="${OUT:-BENCH_search.json}"
+BENCHES='BenchmarkEvaluateFull$|BenchmarkEvaluateIncremental$|BenchmarkSearchStep'
+
+raw="$(go test -run '^$' -bench "$BENCHES" -benchmem -count="$COUNT" ./internal/fast)"
+echo "$raw"
+
+echo "$raw" | awk -v count="$COUNT" -v goversion="$(go version)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)        # strip the GOMAXPROCS suffix
+    if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+    ns[name] = ns[name] sep[name] $3
+    bytes[name] = bytes[name] sep[name] $5
+    allocs[name] = allocs[name] sep[name] $7
+    sep[name] = ", "
+    if (minns[name] == "" || $3 + 0 < minns[name] + 0) minns[name] = $3
+}
+END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"count\": %d,\n", count
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": [%s], \"b_per_op\": [%s], \"allocs_per_op\": [%s]}%s\n",
+            name, ns[name], bytes[name], allocs[name], i < n ? "," : ""
+    }
+    printf "  ],\n"
+    full = minns["BenchmarkSearchStep/full"]
+    inc = minns["BenchmarkSearchStep/incremental"]
+    if (full != "" && inc != "" && inc + 0 > 0)
+        printf "  \"search_step_speedup\": %.2f,\n", (full + 0) / (inc + 0)
+    efull = minns["BenchmarkEvaluateFull"]
+    einc = minns["BenchmarkEvaluateIncremental"]
+    if (efull != "" && einc != "" && einc + 0 > 0)
+        printf "  \"evaluate_speedup\": %.2f\n", (efull + 0) / (einc + 0)
+    printf "}\n"
+}' >"$OUT"
+
+echo "wrote $OUT"
