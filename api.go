@@ -1,6 +1,7 @@
 package fastsched
 
 import (
+	"context"
 	"io"
 
 	"fastsched/internal/bounds"
@@ -21,6 +22,7 @@ import (
 	"fastsched/internal/md"
 	"fastsched/internal/mh"
 	"fastsched/internal/optimal"
+	"fastsched/internal/resched"
 	"fastsched/internal/sched"
 	"fastsched/internal/sim"
 	"fastsched/internal/timing"
@@ -125,6 +127,13 @@ func FAST() Scheduler { return fast.Default() }
 // FASTWith returns a FAST scheduler with explicit options.
 func FASTWith(opts FASTOptions) Scheduler { return fast.New(opts) }
 
+// FindFAST runs the paper's default FAST configuration under ctx. On
+// cancellation or deadline expiry it returns the best schedule found so
+// far together with ctx.Err(), so callers can keep the partial result.
+func FindFAST(ctx context.Context, g *Graph, procs int) (*Schedule, error) {
+	return fast.Find(ctx, g, procs)
+}
+
 // PFAST returns the parallel multi-start FAST variant with the given
 // number of concurrent searchers.
 func PFAST(parallelism int, seed int64) Scheduler {
@@ -193,6 +202,14 @@ func AlgorithmNames() []string { return casch.AlgorithmNames() }
 // Validate checks that s is a legal execution of g: complete, overlap-
 // free, and respecting every precedence and communication delay.
 func Validate(g *Graph, s *Schedule) error { return sched.Validate(g, s) }
+
+// ValidateDurations is Validate with per-node realized durations in
+// place of the graph weights — for spliced crash-recovery schedules
+// whose executed prefix ran with jittered durations. A nil dur slice is
+// plain Validate.
+func ValidateDurations(g *Graph, s *Schedule, dur []float64) error {
+	return sched.ValidateDurations(g, s, dur)
+}
 
 // Gantt renders s as a text Gantt chart of the given width.
 func Gantt(g *Graph, s *Schedule, width int) string { return sched.Gantt(g, s, width) }
@@ -323,6 +340,57 @@ type SimTrace = sim.Tracer
 // message send/arrive), for timeline tooling and debugging.
 func SimulateTraced(g *Graph, s *Schedule, cfg SimConfig) (*SimReport, *SimTrace, error) {
 	return sim.RunTraced(g, s, cfg)
+}
+
+// Fault injection and crash recovery.
+
+// FaultPlan injects deterministic seeded faults (processor crashes,
+// transient message loss/delay with bounded retry, duration jitter)
+// into a simulated execution; set SimConfig.Faults. The zero value
+// injects nothing and reproduces fault-free runs bit-for-bit.
+type FaultPlan = sim.FaultPlan
+
+// ProcCrash schedules the permanent failure of one processor.
+type ProcCrash = sim.Crash
+
+// CrashError is returned by Simulate when processor crashes prevent
+// completion; it freezes the executed prefix for RepairSchedule.
+type CrashError = sim.CrashError
+
+// MessageLossError is returned by Simulate when a message exhausts its
+// retry budget.
+type MessageLossError = sim.MessageLossError
+
+// ReadFaultPlan parses and validates a fault plan from JSON.
+func ReadFaultPlan(r io.Reader) (*FaultPlan, error) { return sim.ReadFaultPlan(r) }
+
+// ReschedOptions configures crash recovery (suffix search budget, seed,
+// optional context deadline).
+type ReschedOptions = resched.Options
+
+// ReschedResult is a repaired execution: the spliced schedule, the
+// durations to validate it against, and the recovery bookkeeping.
+type ReschedResult = resched.Result
+
+// RepairSchedule replans the unexecuted suffix of a crashed run (the
+// *CrashError from Simulate) onto the surviving processors using FAST's
+// two phases, and splices it onto the frozen prefix.
+func RepairSchedule(g *Graph, s *Schedule, crash *CrashError, opts ReschedOptions) (*ReschedResult, error) {
+	return resched.Repair(g, s, crash, opts)
+}
+
+// SimulateWithRecovery executes the schedule and, when a crash prevents
+// completion, repairs it via RepairSchedule; the Result is nil when no
+// crash occurred.
+func SimulateWithRecovery(g *Graph, s *Schedule, cfg SimConfig, opts ReschedOptions) (*SimReport, *ReschedResult, error) {
+	return resched.Execute(g, s, cfg, opts)
+}
+
+// SimulateWithRecoveryTraced is SimulateWithRecovery with event
+// recording; on a crash the trace holds the executed prefix, the replan
+// marker and the repaired suffix.
+func SimulateWithRecoveryTraced(g *Graph, s *Schedule, cfg SimConfig, opts ReschedOptions) (*SimReport, *ReschedResult, *SimTrace, error) {
+	return resched.ExecuteTraced(g, s, cfg, opts)
 }
 
 // Sequential-program front end (the CASCH front half).

@@ -27,15 +27,16 @@ func main() {
 	simseed := flag.Int64("simseed", 42, "perturbation seed")
 	emit := flag.Bool("emit", false, "print the generated scheduled code (single -algo only)")
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON of the execution (single -algo only)")
+	faultPlan := flag.String("fault-plan", "", "JSON fault plan (crashes, message loss/delay, jitter); crashes are repaired by rescheduling")
 	flag.Parse()
 
-	if err := run(*in, *algo, *procs, *seed, *contention, *perturb, *simseed, *emit, *trace); err != nil {
+	if err := run(*in, *algo, *procs, *seed, *contention, *perturb, *simseed, *emit, *trace, *faultPlan); err != nil {
 		fmt.Fprintln(os.Stderr, "caschsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, algo string, procs int, seed int64, contention bool, perturb float64, simseed int64, emit bool, tracePath string) error {
+func run(in, algo string, procs int, seed int64, contention bool, perturb float64, simseed int64, emit bool, tracePath, faultPath string) error {
 	if in == "" {
 		return fmt.Errorf("need -in <file> (generate one with dagen)")
 	}
@@ -56,6 +57,28 @@ func run(in, algo string, procs int, seed int64, contention bool, perturb float6
 		algos = []string{algo}
 	}
 	machine := fastsched.SimConfig{Contention: contention, Perturb: perturb, Seed: simseed}
+	if faultPath != "" {
+		pf, err := os.Open(faultPath)
+		if err != nil {
+			return err
+		}
+		plan, err := fastsched.ReadFaultPlan(pf)
+		pf.Close()
+		if err != nil {
+			return err
+		}
+		machine.Faults = plan
+	}
+
+	if machine.Faults != nil {
+		if len(algos) != 1 {
+			return fmt.Errorf("-fault-plan needs a single -algo, not %q", algo)
+		}
+		if emit {
+			return fmt.Errorf("-fault-plan cannot be combined with -emit")
+		}
+		return runFaulty(g, name, algos[0], procs, seed, machine, tracePath)
+	}
 
 	if tracePath != "" {
 		if len(algos) != 1 {
@@ -136,5 +159,48 @@ func run(in, algo string, procs int, seed int64, contention bool, perturb float6
 			fmt.Sprintf("%.3f", float64(r.SchedulingTime.Microseconds())/1000))
 	}
 	fmt.Print(t.String())
+	return nil
+}
+
+// runFaulty schedules with one algorithm and executes under the fault
+// plan, repairing crashes by rescheduling the unexecuted suffix onto
+// the survivors. The spliced schedule is re-validated before reporting.
+func runFaulty(g *fastsched.Graph, name, algo string, procs int, seed int64, machine fastsched.SimConfig, tracePath string) error {
+	s, err := fastsched.NewScheduler(algo, seed)
+	if err != nil {
+		return err
+	}
+	schedule, err := s.Schedule(g, procs)
+	if err != nil {
+		return err
+	}
+	if err := fastsched.Validate(g, schedule); err != nil {
+		return err
+	}
+	opts := fastsched.ReschedOptions{Seed: seed}
+	rep, res, tr, err := fastsched.SimulateWithRecoveryTraced(g, schedule, machine, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s executed in %.6g (%d messages, %d retries)\n",
+		name, schedule.Algorithm, rep.Time, rep.Messages, rep.Retries)
+	if res != nil {
+		if err := fastsched.ValidateDurations(g, res.Schedule, res.Durations); err != nil {
+			return fmt.Errorf("spliced schedule failed validation: %w", err)
+		}
+		fmt.Printf("recovered from crash: %d tasks replanned onto %d surviving processors; repaired makespan %.6g\n",
+			len(res.Suffix), len(res.Survivors), res.Makespan)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteChromeTrace(f, g); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (open in chrome://tracing)\n", tracePath)
+	}
 	return nil
 }

@@ -44,7 +44,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 func TestPipelineAllAlgorithms(t *testing.T) {
 	path := writeExample(t)
 	out, err := capture(t, func() error {
-		return run(path, "all", 4, 1, true, 0.05, 42, false, "")
+		return run(path, "all", 4, 1, true, 0.05, 42, false, "", "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +59,7 @@ func TestPipelineAllAlgorithms(t *testing.T) {
 func TestPipelineSingleAlgorithm(t *testing.T) {
 	path := writeExample(t)
 	out, err := capture(t, func() error {
-		return run(path, "etf", 4, 1, false, 0, 0, false, "")
+		return run(path, "etf", 4, 1, false, 0, 0, false, "", "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -70,14 +70,14 @@ func TestPipelineSingleAlgorithm(t *testing.T) {
 }
 
 func TestPipelineErrors(t *testing.T) {
-	if err := run("", "all", 4, 1, false, 0, 0, false, ""); err == nil {
+	if err := run("", "all", 4, 1, false, 0, 0, false, "", ""); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run("/does/not/exist.json", "all", 4, 1, false, 0, 0, false, ""); err == nil {
+	if err := run("/does/not/exist.json", "all", 4, 1, false, 0, 0, false, "", ""); err == nil {
 		t.Error("bad path accepted")
 	}
 	path := writeExample(t)
-	if err := run(path, "bogus", 4, 1, false, 0, 0, false, ""); err == nil {
+	if err := run(path, "bogus", 4, 1, false, 0, 0, false, "", ""); err == nil {
 		t.Error("bad algorithm accepted")
 	}
 }
@@ -85,7 +85,7 @@ func TestPipelineErrors(t *testing.T) {
 func TestPipelineEmit(t *testing.T) {
 	path := writeExample(t)
 	out, err := capture(t, func() error {
-		return run(path, "fast", 4, 1, false, 0, 0, true, "")
+		return run(path, "fast", 4, 1, false, 0, 0, true, "", "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +95,7 @@ func TestPipelineEmit(t *testing.T) {
 			t.Errorf("emit output missing %q:\n%s", want, out)
 		}
 	}
-	if err := run(path, "all", 4, 1, false, 0, 0, true, ""); err == nil {
+	if err := run(path, "all", 4, 1, false, 0, 0, true, "", ""); err == nil {
 		t.Error("-emit with -algo all accepted")
 	}
 }
@@ -104,7 +104,7 @@ func TestPipelineTrace(t *testing.T) {
 	path := writeExample(t)
 	tracePath := filepath.Join(t.TempDir(), "trace.json")
 	out, err := capture(t, func() error {
-		return run(path, "fast", 4, 1, true, 0, 0, false, tracePath)
+		return run(path, "fast", 4, 1, true, 0, 0, false, tracePath, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +119,7 @@ func TestPipelineTrace(t *testing.T) {
 	if !strings.Contains(string(data), `"ph":"X"`) {
 		t.Errorf("trace content: %.80s", data)
 	}
-	if err := run(path, "all", 4, 1, true, 0, 0, false, tracePath); err == nil {
+	if err := run(path, "all", 4, 1, true, 0, 0, false, tracePath, ""); err == nil {
 		t.Error("-trace with -algo all accepted")
 	}
 }

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 2, 5, 6, 7, 8, ext, ccr, families, gap, complexity")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 2, 5, 6, 7, 8, ext, ccr, families, gap, complexity, fault")
 	sizes := flag.String("sizes", "2000,3000,4000,5000", "node counts for the Figure-8 study")
 	procs := flag.Int("procs", 256, "bounded-machine size for the Figure-8 study")
 	seed := flag.Int64("seed", 7, "graph-generation seed for the Figure-8 study")
@@ -126,6 +126,14 @@ func run(w *os.File, fig, sizes string, procs int, seed int64, repeats int, form
 		}
 		fmt.Fprintf(w, "CCR sensitivity sweep (beyond the paper)\n%s\n", res.Render())
 	}
+	if want("fault") {
+		ran = true
+		res, err := experiments.DefaultFaultStudy().Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Fault-injection sweep (beyond the paper; crash + reschedule-on-survivors)\n%s\n", res.Render())
+	}
 	if want("8") {
 		ran = true
 		study := &experiments.RandomStudy{Procs: procs, Seed: seed, Repeats: repeats}
@@ -144,7 +152,7 @@ func run(w *os.File, fig, sizes string, procs int, seed int64, repeats int, form
 		emit(res.SLTable(), res.ProcsTable(), res.TimesTable())
 	}
 	if !ran {
-		return fmt.Errorf("unknown figure %q (want all, 1, 2, 5, 6, 7, 8, ext, ccr, families, gap or complexity)", fig)
+		return fmt.Errorf("unknown figure %q (want all, 1, 2, 5, 6, 7, 8, ext, ccr, families, gap, complexity or fault)", fig)
 	}
 	return nil
 }

@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fastsched"
 	"fastsched/internal/example"
@@ -31,15 +34,22 @@ func main() {
 	dot := flag.Bool("dot", false, "print the graph in Graphviz dot and exit")
 	svg := flag.String("svg", "", "also write the schedule as an SVG Gantt chart to this file")
 	why := flag.Bool("why", false, "explain the makespan: print the schedule's critical chain")
+	deadline := flag.Duration("deadline", 0, "wall-clock bound on scheduling; on expiry the best schedule found so far is kept (FAST family only)")
 	flag.Parse()
 
-	if err := run(*in, *demo, *algo, *procs, *seed, *width, *tab, *dot, *svg, *why); err != nil {
+	if err := run(*in, *demo, *algo, *procs, *seed, *width, *tab, *dot, *svg, *why, *deadline); err != nil {
 		fmt.Fprintln(os.Stderr, "fastsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, demo bool, algo string, procs int, seed int64, width int, tab, dot bool, svgPath string, why bool) error {
+// finder is the context-bounded scheduling entry point of the FAST
+// family (see fastsched.FindFAST / fast.Scheduler.Find).
+type finder interface {
+	Find(ctx context.Context, g *fastsched.Graph, procs int) (*fastsched.Schedule, error)
+}
+
+func run(in string, demo bool, algo string, procs int, seed int64, width int, tab, dot bool, svgPath string, why bool, deadline time.Duration) error {
 	var g *fastsched.Graph
 	name := "graph"
 	switch {
@@ -72,9 +82,26 @@ func run(in string, demo bool, algo string, procs int, seed int64, width int, ta
 	if err != nil {
 		return err
 	}
-	schedule, err := s.Schedule(g, procs)
-	if err != nil {
-		return err
+	var schedule *fastsched.Schedule
+	if deadline > 0 {
+		fs, ok := s.(finder)
+		if !ok {
+			return fmt.Errorf("-deadline is only supported by the FAST family, not %q", algo)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		defer cancel()
+		schedule, err = fs.Find(ctx, g, procs)
+		if err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "fastsched: deadline %v expired; keeping the best schedule found so far\n", deadline)
+		}
+	} else {
+		schedule, err = s.Schedule(g, procs)
+		if err != nil {
+			return err
+		}
 	}
 	if err := fastsched.Validate(g, schedule); err != nil {
 		return fmt.Errorf("produced schedule is invalid: %v", err)

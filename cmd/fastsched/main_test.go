@@ -30,7 +30,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunDemo(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", true, "fast", 4, 1, 60, true, false, "", false)
+		return run("", true, "fast", 4, 1, 60, true, false, "", false, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +53,7 @@ func TestRunFromFile(t *testing.T) {
 	}
 	f.Close()
 	out, err := capture(t, func() error {
-		return run(path, false, "dsc", 0, 1, 60, false, false, "", false)
+		return run(path, false, "dsc", 0, 1, 60, false, false, "", false, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestRunFromFile(t *testing.T) {
 
 func TestRunDot(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", true, "fast", 4, 1, 60, false, true, "", false)
+		return run("", true, "fast", 4, 1, 60, false, true, "", false, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -76,14 +76,14 @@ func TestRunDot(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", false, "fast", 4, 1, 60, false, false, "", false); err == nil {
+	if err := run("", false, "fast", 4, 1, 60, false, false, "", false, 0); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run("/nonexistent.json", false, "fast", 4, 1, 60, false, false, "", false); err == nil {
+	if err := run("/nonexistent.json", false, "fast", 4, 1, 60, false, false, "", false, 0); err == nil {
 		t.Error("bad path accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run("", true, "bogus", 4, 1, 60, false, false, "", false)
+		return run("", true, "bogus", 4, 1, 60, false, false, "", false, 0)
 	}); err == nil {
 		t.Error("bad algorithm accepted")
 	}
@@ -92,7 +92,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunWhyAndSVG(t *testing.T) {
 	svgPath := filepath.Join(t.TempDir(), "g.svg")
 	out, err := capture(t, func() error {
-		return run("", true, "fast", 4, 1, 60, false, false, svgPath, true)
+		return run("", true, "fast", 4, 1, 60, false, false, svgPath, true, 0)
 	})
 	if err != nil {
 		t.Fatal(err)

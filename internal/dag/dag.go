@@ -10,8 +10,28 @@
 package dag
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
+)
+
+// Typed construction/validation errors. They are returned (wrapped with
+// context) by AddEdge and Validate so user-reachable paths — CLI graph
+// loaders, library callers building graphs from external data — can
+// classify failures with errors.Is instead of crashing on a panic.
+var (
+	// ErrEdgeEndpoint marks an edge whose endpoint is not a node of the
+	// graph.
+	ErrEdgeEndpoint = errors.New("edge endpoint out of range")
+	// ErrSelfLoop marks an edge from a node to itself.
+	ErrSelfLoop = errors.New("self-loop")
+	// ErrDuplicateEdge marks a second edge between the same ordered pair.
+	ErrDuplicateEdge = errors.New("duplicate edge")
+	// ErrBadWeight marks a NaN, infinite or negative node or edge weight.
+	ErrBadWeight = errors.New("bad weight")
+	// ErrCycle marks a graph that is not acyclic.
+	ErrCycle = errors.New("graph contains a cycle")
 )
 
 // NodeID identifies a node within a Graph. IDs are dense: a graph with v
@@ -65,18 +85,20 @@ func (g *Graph) AddNode(label string, weight float64) NodeID {
 }
 
 // AddEdge inserts a directed edge from -> to with the given
-// communication cost. It panics on out-of-range IDs and returns an error
-// on self-loops or duplicate edges.
+// communication cost. Out-of-range IDs, self-loops and duplicate edges
+// are rejected with typed errors (ErrEdgeEndpoint, ErrSelfLoop,
+// ErrDuplicateEdge); generators with known-valid endpoints can use
+// MustAddEdge.
 func (g *Graph) AddEdge(from, to NodeID, weight float64) error {
 	if !g.valid(from) || !g.valid(to) {
-		panic(fmt.Sprintf("dag: edge endpoint out of range: %d -> %d (v=%d)", from, to, len(g.nodes)))
+		return fmt.Errorf("dag: %w: %d -> %d (v=%d)", ErrEdgeEndpoint, from, to, len(g.nodes))
 	}
 	if from == to {
-		return fmt.Errorf("dag: self-loop on node %d", from)
+		return fmt.Errorf("dag: %w on node %d", ErrSelfLoop, from)
 	}
 	for _, e := range g.succ[from] {
 		if e.To == to {
-			return fmt.Errorf("dag: duplicate edge %d -> %d", from, to)
+			return fmt.Errorf("dag: %w: %d -> %d", ErrDuplicateEdge, from, to)
 		}
 	}
 	e := Edge{From: from, To: to, Weight: weight}
@@ -274,31 +296,43 @@ func (g *Graph) TopologicalOrder() ([]NodeID, error) {
 		}
 	}
 	if len(order) != v {
-		return nil, fmt.Errorf("dag: graph contains a cycle (%d of %d nodes ordered)", len(order), v)
+		return nil, fmt.Errorf("dag: %w (%d of %d nodes ordered)", ErrCycle, len(order), v)
 	}
 	return order, nil
 }
 
-// Validate checks structural invariants: acyclicity and adjacency
-// consistency. Generators and loaders call it before handing a graph to
-// a scheduler.
+// Validate checks structural invariants: acyclicity, adjacency
+// consistency, well-formed weights (finite and non-negative on both
+// nodes and edges) and the absence of self-edges. Generators and
+// loaders call it before handing a graph to a scheduler; failures are
+// typed (ErrCycle, ErrBadWeight, ErrSelfLoop, ErrEdgeEndpoint) so CLI
+// load paths can report them instead of crashing.
 func (g *Graph) Validate() error {
 	if _, err := g.TopologicalOrder(); err != nil {
 		return err
+	}
+	for _, n := range g.nodes {
+		if math.IsNaN(n.Weight) || math.IsInf(n.Weight, 0) || n.Weight < 0 {
+			return fmt.Errorf("dag: %w: node %d has weight %v", ErrBadWeight, n.ID, n.Weight)
+		}
 	}
 	for i := range g.nodes {
 		for _, e := range g.succ[i] {
 			if e.From != NodeID(i) {
 				return fmt.Errorf("dag: corrupt succ list at node %d", i)
 			}
+			if !g.valid(e.To) {
+				return fmt.Errorf("dag: %w: %d -> %d (v=%d)", ErrEdgeEndpoint, e.From, e.To, len(g.nodes))
+			}
+			if e.From == e.To {
+				return fmt.Errorf("dag: %w on node %d", ErrSelfLoop, e.From)
+			}
+			if math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) || e.Weight < 0 {
+				return fmt.Errorf("dag: %w: edge %d->%d has weight %v", ErrBadWeight, e.From, e.To, e.Weight)
+			}
 			w, ok := g.EdgeWeight(e.From, e.To)
 			if !ok || w != e.Weight {
 				return fmt.Errorf("dag: succ/pred mismatch on edge %d->%d", e.From, e.To)
-			}
-		}
-		for _, n := range g.nodes {
-			if n.Weight < 0 {
-				return fmt.Errorf("dag: negative weight on node %d", n.ID)
 			}
 		}
 	}

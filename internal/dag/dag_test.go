@@ -1,6 +1,8 @@
 package dag
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -59,15 +61,29 @@ func TestAddEdgeRejectsDuplicate(t *testing.T) {
 	}
 }
 
-func TestAddEdgePanicsOnBadEndpoint(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on out-of-range endpoint")
-		}
-	}()
+func TestAddEdgeRejectsBadEndpoint(t *testing.T) {
 	g := New(1)
 	a := g.AddNode("a", 1)
-	_ = g.AddEdge(a, NodeID(7), 1)
+	for _, to := range []NodeID{7, -1} {
+		err := g.AddEdge(a, to, 1)
+		if !errors.Is(err, ErrEdgeEndpoint) {
+			t.Fatalf("AddEdge(%d, %d) = %v, want ErrEdgeEndpoint", a, to, err)
+		}
+	}
+	if err := g.AddEdge(NodeID(-2), a, 1); !errors.Is(err, ErrEdgeEndpoint) {
+		t.Fatalf("bad from endpoint: got %v, want ErrEdgeEndpoint", err)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d after rejected edges, want 0", g.NumEdges())
+	}
+	// MustAddEdge converts the typed error into the one remaining panic,
+	// for literals in tests and generators.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddEdge should panic on out-of-range endpoint")
+		}
+	}()
+	g.MustAddEdge(a, NodeID(7), 1)
 }
 
 func TestDegreesAndAdjacency(t *testing.T) {
@@ -257,5 +273,61 @@ func TestRandomGraphsTopoOrderProperty(t *testing.T) {
 				t.Fatalf("trial %d: edge %d->%d out of order", trial, e.From, e.To)
 			}
 		}
+	}
+}
+
+func TestValidateRejectsBadWeights(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		mut  func(g *Graph)
+		want error
+	}{
+		{"nan node weight", func(g *Graph) { g.SetWeight(0, nan) }, ErrBadWeight},
+		{"inf node weight", func(g *Graph) { g.SetWeight(1, math.Inf(1)) }, ErrBadWeight},
+		{"negative node weight", func(g *Graph) { g.SetWeight(0, -3) }, ErrBadWeight},
+		{"nan edge weight", func(g *Graph) { g.SetEdgeWeight(0, 1, nan) }, ErrBadWeight},
+		{"negative edge weight", func(g *Graph) { g.SetEdgeWeight(0, 1, -1) }, ErrBadWeight},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := New(2)
+			g.AddNode("a", 1)
+			g.AddNode("b", 2)
+			g.MustAddEdge(0, 1, 1)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("clean graph rejected: %v", err)
+			}
+			tc.mut(g)
+			err := g.Validate()
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("want %v, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsSelfEdgeInjectedPastAddEdge(t *testing.T) {
+	// AddEdge rejects self-loops up front; Validate must still catch one
+	// smuggled into the adjacency lists (e.g. by a corrupting loader).
+	g := New(2)
+	g.AddNode("a", 1)
+	g.AddNode("b", 1)
+	g.succ[0] = append(g.succ[0], Edge{From: 0, To: 0, Weight: 1})
+	g.pred[0] = append(g.pred[0], Edge{From: 0, To: 0, Weight: 1})
+	g.ne++
+	if err := g.Validate(); err == nil {
+		t.Fatal("self-edge accepted")
+	}
+}
+
+func TestValidateDetectsCycleTyped(t *testing.T) {
+	g := New(2)
+	g.AddNode("a", 1)
+	g.AddNode("b", 1)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 0, 0)
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("want ErrCycle, got %v", err)
 	}
 }

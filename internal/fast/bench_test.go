@@ -1,6 +1,7 @@
 package fast
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -67,7 +68,7 @@ func BenchmarkSearchStep(b *testing.B) {
 			st.fullReplay = mode == "full"
 			rng := rand.New(rand.NewSource(1))
 			b.ResetTimer()
-			st.search(blocking, b.N, rng)
+			st.search(context.Background(), blocking, b.N, rng)
 		})
 	}
 }

@@ -16,6 +16,7 @@
 package fast
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -132,6 +133,14 @@ type Options struct {
 	// fixed-seed determinism guarantee for the wall-clock bound: the
 	// number of steps taken depends on machine speed.
 	Budget time.Duration
+	// Context, when non-nil, bounds the whole run: every search strategy
+	// and every PFAST/multi-start worker checks it each step. On
+	// cancellation or deadline expiry Schedule returns the best schedule
+	// found so far together with ctx.Err() — callers that can live with
+	// a partial result should keep the schedule when the error is
+	// context.Canceled or context.DeadlineExceeded. Find is the
+	// convenience wrapper that takes the context as an argument.
+	Context context.Context
 }
 
 // Scheduler implements sched.Scheduler with the FAST algorithm.
@@ -160,7 +169,36 @@ func (f *Scheduler) Name() string {
 
 // Schedule implements sched.Scheduler. procs <= 0 is treated as "more
 // than enough processors": one per node.
+//
+// When Options.Context is set and expires mid-search, Schedule returns
+// the best schedule found so far *and* the context's error; both are
+// non-nil in that case.
 func (f *Scheduler) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
+	ctx := f.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return f.schedule(ctx, g, procs)
+}
+
+// Find runs the scheduler under ctx. It is the context-explicit form of
+// Schedule: on cancellation or deadline expiry it returns the best
+// schedule found so far together with ctx.Err(), so callers can use the
+// partial result or discard it as they see fit.
+func (f *Scheduler) Find(ctx context.Context, g *dag.Graph, procs int) (*sched.Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return f.schedule(ctx, g, procs)
+}
+
+// Find runs the paper's default FAST configuration under ctx; see
+// Scheduler.Find for the partial-result contract.
+func Find(ctx context.Context, g *dag.Graph, procs int) (*sched.Schedule, error) {
+	return Default().Find(ctx, g, procs)
+}
+
+func (f *Scheduler) schedule(ctx context.Context, g *dag.Graph, procs int) (*sched.Schedule, error) {
 	if g.NumNodes() == 0 {
 		return nil, errors.New("fast: empty graph")
 	}
@@ -181,48 +219,65 @@ func (f *Scheduler) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
 		maxSteps = DefaultMaxSteps
 	}
 
+	var st *state
+	var searchErr error
 	if f.opts.MultiStart && f.opts.Parallelism > 1 && !f.opts.NoSearch && maxSteps > 0 {
-		st := f.multiStart(g, l, cls, procs, maxSteps)
-		s := st.buildSchedule()
-		s.Algorithm = f.Name()
-		return s, nil
-	}
-
-	list := f.priorityList(g, l, cls)
-	st := newState(g, list, procs)
-	if f.opts.Insertion {
-		st.initialInsertion()
+		st, searchErr = f.multiStart(ctx, g, l, cls, procs, maxSteps)
+		if st == nil {
+			return nil, searchErr
+		}
 	} else {
-		st.initialReadyTime()
-	}
-
-	if !f.opts.NoSearch && maxSteps > 0 {
-		blocking := blockingList(cls)
-		if f.opts.Parallelism > 1 {
-			st.searchParallel(blocking, maxSteps, f.opts.Seed, f.opts.Parallelism, f.opts.Strategy, f.opts.Budget)
+		list := f.priorityList(g, l, cls)
+		st = newState(g, list, procs)
+		if f.opts.Insertion {
+			st.initialInsertion()
 		} else {
-			runSearch(st, blocking, maxSteps, f.opts.Strategy, f.opts.Budget, rand.New(rand.NewSource(f.opts.Seed)))
+			st.initialReadyTime()
+		}
+
+		if !f.opts.NoSearch && maxSteps > 0 {
+			blocking := blockingList(cls)
+			if f.opts.Parallelism > 1 {
+				searchErr = st.searchParallel(ctx, blocking, maxSteps, f.opts.Seed, f.opts.Parallelism, f.opts.Strategy, f.opts.Budget)
+			} else {
+				searchErr = runSearch(ctx, st, blocking, maxSteps, f.opts.Strategy, f.opts.Budget, rand.New(rand.NewSource(f.opts.Seed)))
+			}
+			if searchErr != nil && !isCancellation(searchErr) {
+				return nil, searchErr
+			}
 		}
 	}
 
 	s := st.buildSchedule()
 	s.Algorithm = f.Name()
-	return s, nil
+	return s, searchErr
 }
 
 // multiStart runs Parallelism workers, each building its own initial
 // schedule (cycling through the list orders) and searching it with a
-// distinct seed; the shortest result wins deterministically.
-func (f *Scheduler) multiStart(g *dag.Graph, l *dag.Levels, cls []dag.Class, procs, maxSteps int) *state {
+// distinct seed; the shortest result wins deterministically. Workers are
+// wrapped in recover; a panic surfaces as a nil state plus an error. On
+// context expiry the best partial state is returned with ctx's error.
+func (f *Scheduler) multiStart(ctx context.Context, g *dag.Graph, l *dag.Levels, cls []dag.Class, procs, maxSteps int) (*state, error) {
 	orders := []ListOrder{CPNDominate, BLevelOrder, StaticLevelOrder}
 	blocking := blockingList(cls)
 	workers := f.opts.Parallelism
 	results := make([]*state, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("fast: multi-start worker %d panicked: %v", w, r)
+					results[w] = nil
+				}
+			}()
+			if w == debugPanicWorker {
+				panic("injected test panic")
+			}
 			variant := *f
 			variant.opts.Order = orders[w%len(orders)]
 			list := variant.priorityList(g, l, cls)
@@ -233,18 +288,27 @@ func (f *Scheduler) multiStart(g *dag.Graph, l *dag.Levels, cls []dag.Class, pro
 				st.initialReadyTime()
 			}
 			rng := rand.New(rand.NewSource(f.opts.Seed + int64(w)))
-			runSearch(st, blocking, maxSteps, f.opts.Strategy, f.opts.Budget, rng)
+			errs[w] = runSearch(ctx, st, blocking, maxSteps, f.opts.Strategy, f.opts.Budget, rng)
 			results[w] = st
 		}(w)
 	}
 	wg.Wait()
+	var ctxErr error
+	for w := 0; w < workers; w++ {
+		if err := errs[w]; err != nil {
+			if results[w] == nil || !isCancellation(err) {
+				return nil, err
+			}
+			ctxErr = err
+		}
+	}
 	best := results[0]
 	for _, st := range results[1:] {
 		if st.length < best.length-1e-12 {
 			best = st
 		}
 	}
-	return best
+	return best, ctxErr
 }
 
 // priorityList builds the phase-1 list for the configured order.

@@ -1,6 +1,9 @@
 package fast
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -10,6 +13,12 @@ import (
 	"fastsched/internal/listsched"
 	"fastsched/internal/sched"
 )
+
+// debugPanicWorker, when >= 0, makes the parallel-search worker with
+// that index panic — the test hook proving a crashing PFAST goroutine
+// surfaces as an error instead of killing the process. It must never be
+// set outside tests.
+var debugPanicWorker = -1
 
 // debugFullReplay forces every evaluateFrom call to replay the whole
 // list, disabling the checkpoint shortcut while keeping the CSR kernel.
@@ -370,15 +379,20 @@ func (st *state) revertTransfer() {
 
 // search runs the paper's local search: MaxSteps random transfer
 // attempts of blocking nodes to random processors, keeping only strict
-// improvements of the schedule length.
-func (st *state) search(blocking []dag.NodeID, maxSteps int, rng *rand.Rand) {
+// improvements of the schedule length. The context is checked each
+// step; on cancellation the tables hold the best schedule found so far
+// (every rejected move was reverted) and ctx.Err() is returned.
+func (st *state) search(ctx context.Context, blocking []dag.NodeID, maxSteps int, rng *rand.Rand) error {
 	if len(blocking) == 0 || st.procs < 2 {
 		// With one processor or no movable node the neighborhood is empty.
 		st.evaluate()
-		return
+		return ctx.Err()
 	}
 	best := st.evaluate()
 	for step := 0; step < maxSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n := blocking[rng.Intn(len(blocking))]
 		p := rng.Intn(st.procs)
 		if p == st.assign[n] {
@@ -390,19 +404,24 @@ func (st *state) search(blocking []dag.NodeID, maxSteps int, rng *rand.Rand) {
 			st.revertTransfer()
 		}
 	}
+	return nil
 }
 
 // searchBudget is the anytime variant of the greedy search: random
-// transfer attempts until the wall-clock budget expires, checking the
-// clock every few steps to keep the loop cheap.
-func (st *state) searchBudget(blocking []dag.NodeID, budget time.Duration, rng *rand.Rand) {
+// transfer attempts until the wall-clock budget expires or the context
+// is cancelled, checking the clock every few steps to keep the loop
+// cheap.
+func (st *state) searchBudget(ctx context.Context, blocking []dag.NodeID, budget time.Duration, rng *rand.Rand) error {
 	if len(blocking) == 0 || st.procs < 2 {
 		st.evaluate()
-		return
+		return ctx.Err()
 	}
 	deadline := time.Now().Add(budget)
 	best := st.evaluate()
 	for step := 0; ; step++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if step%32 == 0 && !time.Now().Before(deadline) {
 			break
 		}
@@ -417,6 +436,7 @@ func (st *state) searchBudget(blocking []dag.NodeID, budget time.Duration, rng *
 			st.revertTransfer()
 		}
 	}
+	return nil
 }
 
 // searchSteepest applies best-improvement local search: each round
@@ -425,10 +445,10 @@ func (st *state) searchBudget(blocking []dag.NodeID, budget time.Duration, rng *
 // minimum. rounds bounds the number of committed moves. The |blocking|·p
 // evaluations per round all replay from the moved node's position, so
 // this strategy gains the most from the incremental kernel.
-func (st *state) searchSteepest(blocking []dag.NodeID, rounds int) {
+func (st *state) searchSteepest(ctx context.Context, blocking []dag.NodeID, rounds int) error {
 	if len(blocking) == 0 || st.procs < 2 {
 		st.evaluate()
-		return
+		return ctx.Err()
 	}
 	best := st.evaluate()
 	for round := 0; round < rounds; round++ {
@@ -440,6 +460,13 @@ func (st *state) searchSteepest(blocking []dag.NodeID, rounds int) {
 			for p := 0; p < st.procs; p++ {
 				if p == old {
 					continue
+				}
+				// A round costs O(|blocking|·p) evaluations, so the
+				// cancellation check sits on the innermost loop; the
+				// tables are consistent here (the previous candidate
+				// was reverted), holding the best committed schedule.
+				if err := ctx.Err(); err != nil {
+					return err
 				}
 				if cand := st.tryTransfer(n, p); cand < bestLen-1e-12 {
 					bestNode, bestProc, bestLen = n, p, cand
@@ -453,6 +480,7 @@ func (st *state) searchSteepest(blocking []dag.NodeID, rounds int) {
 		st.tryTransfer(bestNode, bestProc) // commit the round's best move
 		best = bestLen
 	}
+	return nil
 }
 
 // searchAnnealing runs simulated annealing over the same neighborhood:
@@ -460,14 +488,21 @@ func (st *state) searchSteepest(blocking []dag.NodeID, rounds int) {
 // exp(-Δ/T) under geometric cooling, and finishing on the best
 // assignment seen. This addresses the paper's stated limitation that
 // greedy search "may get stuck in a poor local minimum".
-func (st *state) searchAnnealing(blocking []dag.NodeID, maxSteps int, rng *rand.Rand) {
+func (st *state) searchAnnealing(ctx context.Context, blocking []dag.NodeID, maxSteps int, rng *rand.Rand) error {
 	if len(blocking) == 0 || st.procs < 2 {
 		st.evaluate()
-		return
+		return ctx.Err()
 	}
 	cur := st.evaluate()
 	bestAssign := append([]int(nil), st.assign...)
 	best := cur
+	// Annealing walks through worsening states, so cancellation (like
+	// normal termination) must restore the best assignment seen before
+	// returning.
+	restore := func() {
+		copy(st.assign, bestAssign)
+		st.evaluate()
+	}
 	// Initial temperature: a move that worsens the schedule by 5% is
 	// accepted with probability 1/e; cool to 1/1000 of that.
 	t0 := 0.05 * cur
@@ -478,6 +513,10 @@ func (st *state) searchAnnealing(blocking []dag.NodeID, maxSteps int, rng *rand.
 	cooling := math.Pow(tEnd/t0, 1/math.Max(1, float64(maxSteps-1)))
 	temp := t0
 	for step := 0; step < maxSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			restore()
+			return err
+		}
 		n := blocking[rng.Intn(len(blocking))]
 		p := rng.Intn(st.procs)
 		if p == st.assign[n] {
@@ -497,8 +536,8 @@ func (st *state) searchAnnealing(blocking []dag.NodeID, maxSteps int, rng *rand.
 		}
 		temp *= cooling
 	}
-	copy(st.assign, bestAssign)
-	st.evaluate()
+	restore()
+	return nil
 }
 
 // searchParallel is PFAST: `workers` independent searchers start from the
@@ -506,24 +545,49 @@ func (st *state) searchAnnealing(blocking []dag.NodeID, maxSteps int, rng *rand.
 // final schedule wins (ties broken by lowest worker index so the result
 // is deterministic). Each worker runs the configured search strategy, or
 // the anytime budget search when budget is positive.
-func (st *state) searchParallel(blocking []dag.NodeID, maxSteps int, seed int64, workers int, strategy Strategy, budget time.Duration) {
+//
+// Every worker is wrapped in recover, so a panicking search goroutine
+// surfaces as an error from Schedule instead of killing the process. A
+// cancelled context is not fatal: each worker stops at its best-so-far
+// schedule, the best of those is committed, and ctx.Err() is returned
+// alongside it.
+func (st *state) searchParallel(ctx context.Context, blocking []dag.NodeID, maxSteps int, seed int64, workers int, strategy Strategy, budget time.Duration) error {
 	type result struct {
 		assign []int
 		length float64
 	}
 	results := make([]result, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("fast: search worker %d panicked: %v", w, r)
+					results[w].assign = nil
+				}
+			}()
+			if w == debugPanicWorker {
+				panic("injected test panic")
+			}
 			local := st.cloneForSearch()
 			rng := rand.New(rand.NewSource(seed + int64(w)))
-			runSearch(local, blocking, maxSteps, strategy, budget, rng)
+			errs[w] = runSearch(ctx, local, blocking, maxSteps, strategy, budget, rng)
 			results[w] = result{assign: local.assign, length: local.length}
 		}(w)
 	}
 	wg.Wait()
+	var ctxErr error
+	for w := 0; w < workers; w++ {
+		if err := errs[w]; err != nil {
+			if results[w].assign == nil || !isCancellation(err) {
+				return err // a panic or unexpected failure is fatal
+			}
+			ctxErr = err
+		}
+	}
 	best := 0
 	for w := 1; w < workers; w++ {
 		if results[w].length < results[best].length-1e-12 {
@@ -532,20 +596,30 @@ func (st *state) searchParallel(blocking []dag.NodeID, maxSteps int, seed int64,
 	}
 	copy(st.assign, results[best].assign)
 	st.evaluate()
+	return ctxErr
+}
+
+// isCancellation reports whether err is a context cancellation or
+// deadline expiry — the expected, partial-result-preserving way for a
+// search to stop early.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // runSearch dispatches one searcher over the shared strategy switch so
 // the serial path, PFAST workers, and multi-start workers stay in sync.
-func runSearch(st *state, blocking []dag.NodeID, maxSteps int, strategy Strategy, budget time.Duration, rng *rand.Rand) {
+// It returns ctx.Err() when the search was cut short; the state then
+// holds the strategy's best-so-far schedule.
+func runSearch(ctx context.Context, st *state, blocking []dag.NodeID, maxSteps int, strategy Strategy, budget time.Duration, rng *rand.Rand) error {
 	switch {
 	case strategy == SteepestDescent:
-		st.searchSteepest(blocking, maxSteps)
+		return st.searchSteepest(ctx, blocking, maxSteps)
 	case strategy == Annealing:
-		st.searchAnnealing(blocking, maxSteps, rng)
+		return st.searchAnnealing(ctx, blocking, maxSteps, rng)
 	case budget > 0:
-		st.searchBudget(blocking, budget, rng)
+		return st.searchBudget(ctx, blocking, budget, rng)
 	default:
-		st.search(blocking, maxSteps, rng)
+		return st.search(ctx, blocking, maxSteps, rng)
 	}
 }
 

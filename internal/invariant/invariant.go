@@ -1,0 +1,17 @@
+// Package invariant is the single home of the repository's internal
+// invariant checks. User-reachable error paths return typed errors;
+// conditions that can only arise from a programming bug inside this
+// module go through Assertf, so every remaining panic site is explicit
+// and greppable.
+package invariant
+
+import "fmt"
+
+// Assertf panics with a formatted message when cond is false. It must
+// only guard conditions that are unreachable from user input — a
+// firing assertion is a bug in this module, not a bad input.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("invariant violated: "+format, args...))
+	}
+}

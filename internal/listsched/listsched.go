@@ -6,11 +6,18 @@
 package listsched
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"fastsched/internal/dag"
+	"fastsched/internal/invariant"
 	"fastsched/internal/sched"
 )
+
+// ErrOverlap is returned by TryInsert when the requested interval
+// collides with an occupied slot.
+var ErrOverlap = errors.New("listsched: insertion overlaps an occupied slot")
 
 // Slot is one occupied interval on a processor timeline.
 type Slot struct {
@@ -62,24 +69,40 @@ func (t *Timeline) EarliestStartAppend(dat float64) float64 {
 	return math.Max(t.ReadyTime(), dat)
 }
 
-// Insert places node n at [start, start+duration). The interval must be
-// free; Insert panics if it overlaps an existing slot (an algorithmic
-// bug, not an input error).
-func (t *Timeline) Insert(n dag.NodeID, start, duration float64) {
+// TryInsert places node n at [start, start+duration) and returns
+// ErrOverlap (wrapped with the colliding interval) when the slot is
+// occupied, leaving the timeline unchanged. Callers feeding externally
+// supplied placements use this form; the internal list schedulers use
+// Insert, whose overlap would be an algorithmic bug.
+func (t *Timeline) TryInsert(n dag.NodeID, start, duration float64) error {
 	finish := start + duration
 	i := 0
 	for i < len(t.slots) && t.slots[i].Start < start {
 		i++
 	}
 	if i > 0 && t.slots[i-1].Finish > start+1e-9 {
-		panic("listsched: insertion overlaps previous slot")
+		p := t.slots[i-1]
+		return fmt.Errorf("%w: node %d [%v,%v) behind node %d [%v,%v)",
+			ErrOverlap, n, start, finish, p.Node, p.Start, p.Finish)
 	}
 	if i < len(t.slots) && t.slots[i].Start < finish-1e-9 {
-		panic("listsched: insertion overlaps next slot")
+		nx := t.slots[i]
+		return fmt.Errorf("%w: node %d [%v,%v) ahead of node %d [%v,%v)",
+			ErrOverlap, n, start, finish, nx.Node, nx.Start, nx.Finish)
 	}
 	t.slots = append(t.slots, Slot{})
 	copy(t.slots[i+1:], t.slots[i:])
 	t.slots[i] = Slot{Node: n, Start: start, Finish: finish}
+	return nil
+}
+
+// Insert places node n at [start, start+duration). The interval must be
+// free: the list schedulers only insert at starts they computed from
+// the same timeline, so an overlap is an algorithmic bug and trips the
+// invariant check rather than returning an error.
+func (t *Timeline) Insert(n dag.NodeID, start, duration float64) {
+	err := t.TryInsert(n, start, duration)
+	invariant.Assertf(err == nil, "%v", err)
 }
 
 // Remove deletes node n's slot from the timeline and reports whether it

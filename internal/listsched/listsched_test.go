@@ -1,6 +1,7 @@
 package listsched
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -291,4 +292,32 @@ func BenchmarkCandidateProcs(b *testing.B) {
 			sc.CandidateProcs(g, s, m, child)
 		}
 	})
+}
+
+func TestTryInsertReturnsTypedError(t *testing.T) {
+	tl := &Timeline{}
+	if err := tl.TryInsert(0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.TryInsert(1, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	before := len(tl.Slots())
+	for _, bad := range []struct{ start, dur float64 }{
+		{1, 1},   // inside slot 0
+		{3, 2},   // straddles slot 1's start
+		{0, 0.5}, // overlaps slot 0's head
+	} {
+		err := tl.TryInsert(9, bad.start, bad.dur)
+		if !errors.Is(err, ErrOverlap) {
+			t.Fatalf("insert at [%v,%v): want ErrOverlap, got %v", bad.start, bad.start+bad.dur, err)
+		}
+		if len(tl.Slots()) != before {
+			t.Fatalf("failed insert mutated the timeline")
+		}
+	}
+	// Touching boundaries is legal: [2,4) fits exactly between the slots.
+	if err := tl.TryInsert(2, 2, 2); err != nil {
+		t.Fatalf("boundary-touching insert rejected: %v", err)
+	}
 }

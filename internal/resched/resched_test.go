@@ -1,0 +1,243 @@
+package resched
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/fast"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+	"fastsched/internal/sim"
+	"fastsched/internal/timing"
+	"fastsched/internal/workload"
+)
+
+// workloads returns the three repair-test graphs: a random layered DAG,
+// a Gaussian elimination graph, and a fork-join.
+func workloads(t *testing.T) map[string]*dag.Graph {
+	t.Helper()
+	ge, err := workload.GaussElim(8, timing.ParagonLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*dag.Graph{
+		"random":    schedtest.RandomLayered(rand.New(rand.NewSource(17)), 70),
+		"gausselim": ge,
+		"forkjoin":  schedtest.ForkJoin(12, 3),
+	}
+}
+
+// TestRepairAcrossCrashTimes is the PR's acceptance matrix: 3 workloads
+// × 5 crash times, each repaired schedule must pass duration-aware
+// validation, keep the executed prefix frozen, and avoid the dead
+// processor in the replanned suffix.
+func TestRepairAcrossCrashTimes(t *testing.T) {
+	for name, g := range workloads(t) {
+		t.Run(name, func(t *testing.T) {
+			s, err := fast.Default().Schedule(g, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sched.Validate(g, s); err != nil {
+				t.Fatal(err)
+			}
+			base, err := sim.Run(g, s, sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs := s.Procs()
+			for i := 1; i <= 5; i++ {
+				frac := float64(i) / 6
+				crashProc := procs[i%len(procs)]
+				crashTime := base.Time * frac
+				cfg := sim.Config{Faults: &sim.FaultPlan{
+					Crashes: []sim.Crash{{Proc: crashProc, Time: crashTime}},
+				}}
+				_, err := sim.Run(g, s, cfg)
+				var ce *sim.CrashError
+				if !errors.As(err, &ce) {
+					// A crash late enough may not prevent completion
+					// (everything on the processor already ran) — that is
+					// a legal outcome, not a repair case.
+					if err == nil {
+						continue
+					}
+					t.Fatalf("crash %d: want *CrashError, got %v", i, err)
+				}
+				res, err := Repair(g, s, ce, Options{Seed: int64(i)})
+				if err != nil {
+					t.Fatalf("crash at %.3g on PE%d: %v", crashTime, crashProc, err)
+				}
+				if err := sched.ValidateDurations(g, res.Schedule, res.Durations); err != nil {
+					t.Fatalf("crash at %.3g: spliced schedule invalid: %v", crashTime, err)
+				}
+				if len(res.Suffix)+ce.Completed != g.NumNodes() {
+					t.Fatalf("suffix %d + prefix %d != %d nodes",
+						len(res.Suffix), ce.Completed, g.NumNodes())
+				}
+				for _, n := range res.Suffix {
+					pl := res.Schedule.Of(n)
+					if ce.Dead[pl.Proc] {
+						t.Fatalf("suffix task %d replanned onto dead PE%d", n, pl.Proc)
+					}
+					if pl.Start < crashTime-1e-9 {
+						t.Fatalf("suffix task %d starts at %v, before the %v crash", n, pl.Start, crashTime)
+					}
+				}
+				for i := 0; i < g.NumNodes(); i++ {
+					n := dag.NodeID(i)
+					if ce.Done[i] && res.Schedule.Start(n) != ce.Start[i] {
+						t.Fatalf("prefix task %d moved from %v to %v", i, ce.Start[i], res.Schedule.Start(n))
+					}
+				}
+				// The repaired run cannot end before the crash (the
+				// suffix is non-empty and starts after it). It CAN beat
+				// the fault-free makespan: the replan re-optimizes the
+				// tail from scratch, while the original static order may
+				// have been loose.
+				if res.Makespan < crashTime {
+					t.Fatalf("repaired makespan %v ends before the %v crash", res.Makespan, crashTime)
+				}
+			}
+		})
+	}
+}
+
+func TestRepairDeterminism(t *testing.T) {
+	g := schedtest.RandomLayered(rand.New(rand.NewSource(23)), 60)
+	s, err := fast.Default().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sim.Run(g, s, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Faults: &sim.FaultPlan{
+		Crashes: []sim.Crash{{Proc: s.Procs()[0], Time: base.Time / 2}},
+	}}
+	_, err = sim.Run(g, s, cfg)
+	var ce *sim.CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	r1, err := Repair(g, s, ce, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Repair(g, s, ce, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Fatalf("same seed repaired to %v and %v", r1.Makespan, r2.Makespan)
+	}
+}
+
+func TestExecutePassesThroughCleanRuns(t *testing.T) {
+	g := schedtest.Chain(10, 1)
+	s, err := fast.Default().Schedule(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, res, err := Execute(g, s, sim.Config{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatal("clean run reported a repair")
+	}
+	if rep == nil || rep.Time <= 0 {
+		t.Fatalf("bad report %+v", rep)
+	}
+}
+
+func TestExecuteTracedSplicesRepairEvents(t *testing.T) {
+	g := schedtest.RandomLayered(rand.New(rand.NewSource(31)), 60)
+	s, err := fast.Default().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sim.Run(g, s, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Faults: &sim.FaultPlan{
+		Crashes: []sim.Crash{{Proc: s.Procs()[1], Time: base.Time / 3}},
+	}}
+	rep, res, tr, err := ExecuteTraced(g, s, cfg, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("crash produced no repair")
+	}
+	if rep.Time != res.Makespan {
+		t.Fatalf("report time %v != repaired makespan %v", rep.Time, res.Makespan)
+	}
+	kinds := map[string]int{}
+	for _, e := range tr.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds["crash"] != 1 || kinds["resched"] != 1 {
+		t.Fatalf("trace markers wrong: %v", kinds)
+	}
+	if kinds["rstart"] != len(res.Suffix) || kinds["rfinish"] != len(res.Suffix) {
+		t.Fatalf("want %d rstart/rfinish pairs, got %v", len(res.Suffix), kinds)
+	}
+}
+
+func TestRepairHonorsContext(t *testing.T) {
+	g := schedtest.RandomLayered(rand.New(rand.NewSource(37)), 60)
+	s, err := fast.Default().Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sim.Run(g, s, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Faults: &sim.FaultPlan{
+		Crashes: []sim.Crash{{Proc: s.Procs()[0], Time: base.Time / 2}},
+	}}
+	_, err = sim.Run(g, s, cfg)
+	var ce *sim.CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Repair(g, s, ce, Options{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled repair dropped the phase-1 plan")
+	}
+	if err := sched.ValidateDurations(g, res.Schedule, res.Durations); err != nil {
+		t.Fatalf("cancelled repair's plan invalid: %v", err)
+	}
+}
+
+func TestRepairAllProcessorsDead(t *testing.T) {
+	g := schedtest.Chain(6, 1)
+	s, err := fast.Default().Schedule(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crashes []sim.Crash
+	for _, p := range s.Procs() {
+		crashes = append(crashes, sim.Crash{Proc: p, Time: 0.5})
+	}
+	_, err = sim.Run(g, s, sim.Config{Faults: &sim.FaultPlan{Crashes: crashes}})
+	var ce *sim.CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	if _, err := Repair(g, s, ce, Options{}); err == nil {
+		t.Fatal("repair with zero survivors must fail")
+	}
+}

@@ -179,9 +179,24 @@ func (s *Schedule) Clone() *Schedule {
 //     the edge's communication cost when parent and child are on
 //     different processors.
 func Validate(g *dag.Graph, s *Schedule) error {
+	return ValidateDurations(g, s, nil)
+}
+
+// ValidateDurations is Validate with per-node realized durations: dur[n]
+// replaces g.Weight(n) in the duration check, while precedence and
+// overlap are still checked against the schedule's own start/finish
+// times. A nil dur falls back to the graph weights (plain Validate).
+//
+// The crash rescheduler needs this form: a spliced schedule's executed
+// prefix ran with jittered durations, so its slots match the realized
+// durations rather than the nominal node weights.
+func ValidateDurations(g *dag.Graph, s *Schedule, dur []float64) error {
 	const eps = 1e-6
 	if s.NumNodes() != g.NumNodes() {
 		return fmt.Errorf("sched: schedule sized for %d nodes, graph has %d", s.NumNodes(), g.NumNodes())
+	}
+	if dur != nil && len(dur) != g.NumNodes() {
+		return fmt.Errorf("sched: durations sized for %d nodes, graph has %d", len(dur), g.NumNodes())
 	}
 	for i := 0; i < g.NumNodes(); i++ {
 		n := dag.NodeID(i)
@@ -192,8 +207,12 @@ func Validate(g *dag.Graph, s *Schedule) error {
 		if pl.Start < -eps {
 			return fmt.Errorf("sched: node %d starts at %v < 0", n, pl.Start)
 		}
-		if math.Abs(pl.Finish-pl.Start-g.Weight(n)) > eps {
-			return fmt.Errorf("sched: node %d duration %v != weight %v", n, pl.Finish-pl.Start, g.Weight(n))
+		want := g.Weight(n)
+		if dur != nil {
+			want = dur[i]
+		}
+		if math.Abs(pl.Finish-pl.Start-want) > eps {
+			return fmt.Errorf("sched: node %d duration %v != expected %v", n, pl.Finish-pl.Start, want)
 		}
 	}
 	for _, p := range s.Procs() {

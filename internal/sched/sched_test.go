@@ -214,3 +214,32 @@ func TestGanttAndTableRender(t *testing.T) {
 		t.Errorf("empty gantt = %q", out)
 	}
 }
+
+func TestValidateDurations(t *testing.T) {
+	g := chainGraph(t)
+	// Realized durations differ from the nominal weights (jittered run):
+	// a took 2.5, b took 2.8, c took 1.1.
+	dur := []float64{2.5, 2.8, 1.1}
+	s := New(3)
+	s.Place(0, 0, 0, 2.5)
+	s.Place(1, 0, 2.5, 5.3)
+	s.Place(2, 1, 6.5, 7.6)
+	if err := Validate(g, s); err == nil {
+		t.Fatal("plain Validate accepted jittered durations")
+	}
+	if err := ValidateDurations(g, s, dur); err != nil {
+		t.Fatalf("duration-aware validation rejected a legal run: %v", err)
+	}
+	// Precedence and overlap stay enforced under custom durations.
+	bad := s.Clone()
+	bad.Place(2, 1, 6.2, 7.3) // b finishes 5.3, +1 comm => c may not start before 6.3
+	if err := ValidateDurations(g, bad, dur); err == nil {
+		t.Fatal("precedence violation accepted")
+	}
+	if err := ValidateDurations(g, s, []float64{1}); err == nil {
+		t.Fatal("mis-sized durations accepted")
+	}
+	if err := ValidateDurations(g, s, nil); err == nil {
+		t.Fatal("nil durations must behave like plain Validate")
+	}
+}

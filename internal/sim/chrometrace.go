@@ -36,11 +36,15 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, g *dag.Graph) error {
 	var out []chromeEvent
 	for _, e := range t.Events() {
 		switch e.Kind {
-		case "start":
+		case "start", "rstart":
 			startAt[e.Node] = e.Time
-		case "finish":
+		case "finish", "rfinish":
+			name := label(e.Node)
+			if e.Kind == "rfinish" {
+				name += " (replanned)"
+			}
 			out = append(out, chromeEvent{
-				Name:  label(e.Node),
+				Name:  name,
 				Phase: "X",
 				TS:    int64(startAt[e.Node] * 1e6),
 				Dur:   int64((e.Time - startAt[e.Node]) * 1e6),
@@ -55,6 +59,31 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, g *dag.Graph) error {
 				PID:   1,
 				TID:   e.Proc,
 				Scope: "t",
+			})
+		case "crash":
+			out = append(out, chromeEvent{
+				Name:  fmt.Sprintf("CRASH PE%d", e.Proc),
+				Phase: "i", TS: int64(e.Time * 1e6), PID: 1, TID: e.Proc, Scope: "g",
+			})
+		case "abort":
+			out = append(out, chromeEvent{
+				Name:  fmt.Sprintf("abort %s", label(e.Node)),
+				Phase: "i", TS: int64(e.Time * 1e6), PID: 1, TID: e.Proc, Scope: "t",
+			})
+		case "drop":
+			out = append(out, chromeEvent{
+				Name:  fmt.Sprintf("drop %s->%s", label(e.From), label(e.Node)),
+				Phase: "i", TS: int64(e.Time * 1e6), PID: 1, TID: e.Proc, Scope: "t",
+			})
+		case "retry":
+			out = append(out, chromeEvent{
+				Name:  fmt.Sprintf("retry %s->%s", label(e.From), label(e.Node)),
+				Phase: "i", TS: int64(e.Time * 1e6), PID: 1, TID: e.Proc, Scope: "t",
+			})
+		case "resched":
+			out = append(out, chromeEvent{
+				Name:  "RESCHEDULE",
+				Phase: "i", TS: int64(e.Time * 1e6), PID: 1, TID: e.Proc, Scope: "g",
 			})
 		}
 	}

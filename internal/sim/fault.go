@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"fastsched/internal/dag"
+)
+
+// Crash schedules the permanent failure of one processor: at Time the
+// processor stops mid-instruction, its running task is aborted, and its
+// remaining queue never executes. Proc refers to the schedule's
+// processor IDs; a crash naming an unused processor is a no-op.
+type Crash struct {
+	Proc int     `json:"proc"`
+	Time float64 `json:"time"`
+}
+
+// FaultPlan injects deterministic, seeded machine faults into a
+// simulated execution — the imperfections the paper's Intel Paragon
+// testbed had and a pure Gantt-chart replay does not. The zero value
+// injects nothing and is guaranteed to reproduce a fault-free run
+// bit-for-bit.
+type FaultPlan struct {
+	// Crashes are permanent processor failures, applied at their times.
+	Crashes []Crash `json:"crashes,omitempty"`
+	// MsgLoss is the probability that one transmission attempt of a
+	// remote message is lost in transit. Lost attempts are retried with
+	// exponential backoff up to MaxRetries times.
+	MsgLoss float64 `json:"msg_loss,omitempty"`
+	// MsgDelay is the maximum extra random latency added to each
+	// delivered message (uniform in [0, MsgDelay)).
+	MsgDelay float64 `json:"msg_delay,omitempty"`
+	// MaxRetries bounds retransmissions of a lost message; when every
+	// attempt (the original plus MaxRetries retries) is lost the run
+	// fails with a MessageLossError. Zero means DefaultMaxRetries when
+	// MsgLoss > 0.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// RetryBackoff is the base backoff: retry k (1-based) departs
+	// RetryBackoff·2^(k-1) after the previous attempt's transmission
+	// completes. Zero means DefaultRetryBackoff.
+	RetryBackoff float64 `json:"retry_backoff,omitempty"`
+	// Jitter scales each task's realized duration by a factor uniform in
+	// [1-Jitter, 1+Jitter], on top of Config.Perturb. It models the
+	// run-to-run timing noise of a real machine rather than the static
+	// estimate error Perturb stands for.
+	Jitter float64 `json:"jitter,omitempty"`
+	// Seed drives every random draw of the plan; the same seed replays
+	// the same faults.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// DefaultMaxRetries is the retransmission bound used when a plan
+// enables message loss without setting one.
+const DefaultMaxRetries = 8
+
+// DefaultRetryBackoff is the base backoff used when a plan enables
+// message loss without setting one.
+const DefaultRetryBackoff = 1.0
+
+// Enabled reports whether the plan injects any fault at all. Disabled
+// plans skip every fault code path, keeping fault-free runs
+// bit-identical to a zero Config.
+func (p *FaultPlan) Enabled() bool {
+	return p != nil && (len(p.Crashes) > 0 || p.MsgLoss > 0 || p.MsgDelay > 0 || p.Jitter > 0)
+}
+
+// Validate rejects plans whose parameters are NaN, infinite or out of
+// range with descriptive errors.
+func (p *FaultPlan) Validate() error {
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	if bad(p.MsgLoss) || p.MsgLoss < 0 || p.MsgLoss > 1 {
+		return fmt.Errorf("sim: fault plan: msg_loss %v outside [0,1]", p.MsgLoss)
+	}
+	if bad(p.MsgDelay) || p.MsgDelay < 0 {
+		return fmt.Errorf("sim: fault plan: msg_delay %v negative or not finite", p.MsgDelay)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("sim: fault plan: max_retries %d negative", p.MaxRetries)
+	}
+	if bad(p.RetryBackoff) || p.RetryBackoff < 0 {
+		return fmt.Errorf("sim: fault plan: retry_backoff %v negative or not finite", p.RetryBackoff)
+	}
+	if bad(p.Jitter) || p.Jitter < 0 || p.Jitter >= 1 {
+		return fmt.Errorf("sim: fault plan: jitter %v outside [0,1)", p.Jitter)
+	}
+	for i, c := range p.Crashes {
+		if bad(c.Time) || c.Time < 0 {
+			return fmt.Errorf("sim: fault plan: crash %d time %v negative or not finite", i, c.Time)
+		}
+		if c.Proc < 0 {
+			return fmt.Errorf("sim: fault plan: crash %d names negative processor %d", i, c.Proc)
+		}
+	}
+	return nil
+}
+
+// maxRetries resolves the effective retransmission bound.
+func (p *FaultPlan) maxRetries() int {
+	if p.MaxRetries > 0 {
+		return p.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+// retryBackoff resolves the effective base backoff.
+func (p *FaultPlan) retryBackoff() float64 {
+	if p.RetryBackoff > 0 {
+		return p.RetryBackoff
+	}
+	return DefaultRetryBackoff
+}
+
+// ReadFaultPlan parses a fault plan from its JSON form and validates
+// it.
+func ReadFaultPlan(r io.Reader) (*FaultPlan, error) {
+	var p FaultPlan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("sim: fault plan: decode: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// CrashError reports that one or more processor crashes prevented the
+// run from completing. It freezes the execution state at quiescence —
+// every task that could still complete on the surviving processors has
+// — so a rescheduler can replan the unexecuted suffix.
+type CrashError struct {
+	// Crashes are the crash events that fired, in time order.
+	Crashes []Crash
+	// Done marks the tasks of the executed prefix.
+	Done []bool
+	// Start and Finish hold the simulated times of the prefix tasks
+	// (meaningful where Done is true).
+	Start, Finish []float64
+	// Aborted lists tasks that were running on a processor when it
+	// crashed; their partial work is lost and they must re-run.
+	Aborted []dag.NodeID
+	// Dead is the set of crashed processors.
+	Dead map[int]bool
+	// ProcFree maps every surviving processor to the time it runs out
+	// of executable work (its splice frontier).
+	ProcFree map[int]float64
+	// BusyTime is the per-processor busy time accumulated before the
+	// freeze (aborted work counts up to the crash instant only).
+	BusyTime map[int]float64
+	// Messages and Retries count deliveries and retransmissions up to
+	// the freeze.
+	Messages, Retries int
+	// Completed is the number of prefix tasks (popcount of Done).
+	Completed int
+}
+
+func (e *CrashError) Error() string {
+	procs := make([]int, 0, len(e.Dead))
+	for p := range e.Dead {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	return fmt.Sprintf("sim: processor(s) %v crashed: %d of %d tasks completed (%d aborted mid-run)",
+		procs, e.Completed, len(e.Done), len(e.Aborted))
+}
+
+// MessageLossError reports a message whose every transmission attempt
+// was lost — the bounded retry gave up, so the run cannot complete.
+type MessageLossError struct {
+	From, To dag.NodeID
+	Attempts int
+}
+
+func (e *MessageLossError) Error() string {
+	return fmt.Sprintf("sim: message %d->%d lost after %d attempts (retry budget exhausted)",
+		e.From, e.To, e.Attempts)
+}

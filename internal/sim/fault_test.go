@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/fast"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+)
+
+// scheduleWorkload builds a validated FAST schedule for a random
+// layered graph — the common fixture of the fault tests.
+func scheduleWorkload(t *testing.T, seed int64, v, procs int) (*dag.Graph, *sched.Schedule) {
+	t.Helper()
+	g := schedtest.RandomLayered(rand.New(rand.NewSource(seed)), v)
+	s, err := fast.Default().Schedule(g, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+// TestZeroFaultPlanBitForBit is the differential guarantee: a nil plan,
+// the zero plan, and a plan with only ignored fields all reproduce the
+// fault-free report exactly — same floats, same counters — because the
+// fault paths never touch the RNG or the event queue.
+func TestZeroFaultPlanBitForBit(t *testing.T) {
+	for _, cfgBase := range []Config{
+		{},
+		{Contention: true, Perturb: 0.1, Seed: 7},
+		{Contention: true, Topology: Mesh{Cols: 2, PerHop: 0.25}},
+	} {
+		g, s := scheduleWorkload(t, 11, 60, 4)
+		want, err := Run(g, s, cfgBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, faults := range []*FaultPlan{nil, {}, {Seed: 999, MaxRetries: 3, RetryBackoff: 2}} {
+			cfg := cfgBase
+			cfg.Faults = faults
+			got, err := Run(g, s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("faults=%+v changed the report: %+v vs %+v", faults, got, want)
+			}
+		}
+	}
+}
+
+func TestCrashFreezesPrefix(t *testing.T) {
+	g, s := scheduleWorkload(t, 3, 50, 4)
+	crashProc := s.Procs()[0]
+	crashTime := s.Length() / 3
+	cfg := Config{Faults: &FaultPlan{Crashes: []Crash{{Proc: crashProc, Time: crashTime}}}}
+	_, err := Run(g, s, cfg)
+	if err == nil {
+		t.Fatal("expected the crash to prevent completion")
+	}
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CrashError, got %T: %v", err, err)
+	}
+	if !ce.Dead[crashProc] || len(ce.Crashes) != 1 {
+		t.Fatalf("crash bookkeeping wrong: %+v", ce)
+	}
+	if ce.Completed == 0 || ce.Completed >= g.NumNodes() {
+		t.Fatalf("completed = %d of %d, want a proper prefix", ce.Completed, g.NumNodes())
+	}
+	n := 0
+	for i, d := range ce.Done {
+		if !d {
+			continue
+		}
+		n++
+		if ce.Finish[i] < ce.Start[i] {
+			t.Fatalf("node %d finishes before it starts", i)
+		}
+		// Nothing completes on the dead processor after the crash.
+		if s.Proc(dag.NodeID(i)) == crashProc && ce.Finish[i] > crashTime {
+			t.Fatalf("node %d completed on PE%d at %v, after the %v crash",
+				i, crashProc, ce.Finish[i], crashTime)
+		}
+	}
+	if n != ce.Completed {
+		t.Fatalf("Completed = %d but Done marks %d", ce.Completed, n)
+	}
+	for _, a := range ce.Aborted {
+		if ce.Done[a] {
+			t.Fatalf("aborted node %d marked done", a)
+		}
+	}
+	if _, dead := ce.ProcFree[crashProc]; dead {
+		t.Fatal("ProcFree lists the dead processor")
+	}
+	if ce.Error() == "" || !strings.Contains(ce.Error(), "crashed") {
+		t.Fatalf("unhelpful error: %q", ce.Error())
+	}
+}
+
+func TestCrashDeterminism(t *testing.T) {
+	g, s := scheduleWorkload(t, 5, 80, 4)
+	cfg := Config{
+		Perturb: 0.05, Seed: 9,
+		Faults: &FaultPlan{
+			Crashes: []Crash{{Proc: s.Procs()[1], Time: s.Length() / 2}},
+			MsgLoss: 0.2, MsgDelay: 0.5, Jitter: 0.1, Seed: 42,
+		},
+	}
+	_, err1 := Run(g, s, cfg)
+	_, err2 := Run(g, s, cfg)
+	var ce1, ce2 *CrashError
+	if !errors.As(err1, &ce1) || !errors.As(err2, &ce2) {
+		t.Fatalf("want crash errors, got %v / %v", err1, err2)
+	}
+	if !reflect.DeepEqual(ce1, ce2) {
+		t.Fatal("same seed produced different crash freezes")
+	}
+}
+
+func TestMessageLossRetriesDeterministic(t *testing.T) {
+	g, s := scheduleWorkload(t, 7, 60, 4)
+	cfg := Config{Faults: &FaultPlan{MsgLoss: 0.3, Seed: 4}}
+	r1, err := Run(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Retries == 0 {
+		t.Fatal("30% loss produced no retries")
+	}
+	r2, err := Run(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("same loss seed produced different reports")
+	}
+	// Retries delay messages, never accelerate them.
+	clean, err := Run(g, s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Time < clean.Time-1e-9 {
+		t.Fatalf("lossy run finished at %v, before the clean run's %v", r1.Time, clean.Time)
+	}
+}
+
+func TestMessageLossExhaustionFailsTyped(t *testing.T) {
+	g, s := scheduleWorkload(t, 7, 40, 4)
+	cfg := Config{Faults: &FaultPlan{MsgLoss: 1, MaxRetries: 2, Seed: 1}}
+	_, err := Run(g, s, cfg)
+	var ml *MessageLossError
+	if !errors.As(err, &ml) {
+		t.Fatalf("want *MessageLossError, got %T: %v", err, err)
+	}
+	if ml.Attempts != 3 {
+		t.Fatalf("attempts = %d, want original + 2 retries", ml.Attempts)
+	}
+}
+
+func TestJitterPerturbsDurations(t *testing.T) {
+	g, s := scheduleWorkload(t, 13, 60, 4)
+	clean, err := Run(g, s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit, err := Run(g, s, Config{Faults: &FaultPlan{Jitter: 0.2, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(clean.Finish, jit.Finish) {
+		t.Fatal("20% jitter left every finish time unchanged")
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	nan := 0.0
+	nan /= nan
+	bad := []*FaultPlan{
+		{MsgLoss: -0.1}, {MsgLoss: 1.5}, {MsgLoss: nan},
+		{MsgDelay: -1}, {MaxRetries: -1}, {RetryBackoff: -1},
+		{Jitter: 1}, {Jitter: -0.5},
+		{Crashes: []Crash{{Proc: -1, Time: 0}}},
+		{Crashes: []Crash{{Proc: 0, Time: -2}}},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+		// Invalid plans must be rejected by the simulator too (only if
+		// the plan is enabled; pure-crash plans always are here).
+		if p.Enabled() {
+			g, s := scheduleWorkload(t, 1, 20, 2)
+			if _, err := Run(g, s, Config{Faults: p}); err == nil {
+				t.Errorf("Run accepted invalid plan %+v", p)
+			}
+		}
+	}
+	if err := (&FaultPlan{MsgLoss: 0.5, MsgDelay: 2, MaxRetries: 4, RetryBackoff: 0.5, Jitter: 0.3,
+		Crashes: []Crash{{Proc: 1, Time: 10}}}).Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestReadFaultPlan(t *testing.T) {
+	p, err := ReadFaultPlan(strings.NewReader(
+		`{"crashes":[{"proc":2,"time":7.5}],"msg_loss":0.1,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Crashes) != 1 || p.Crashes[0].Proc != 2 || p.Crashes[0].Time != 7.5 || p.MsgLoss != 0.1 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if _, err := ReadFaultPlan(strings.NewReader(`{"msg_loss":2}`)); err == nil {
+		t.Fatal("out-of-range plan accepted")
+	}
+	if _, err := ReadFaultPlan(strings.NewReader(`{"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestCrashTraceEvents checks the trace vocabulary of a faulty run:
+// crash and abort markers appear, and RunTraced surfaces the partial
+// trace alongside the CrashError.
+func TestCrashTraceEvents(t *testing.T) {
+	g, s := scheduleWorkload(t, 3, 50, 4)
+	cfg := Config{Faults: &FaultPlan{Crashes: []Crash{{Proc: s.Procs()[0], Time: s.Length() / 3}}}}
+	_, tr, err := RunTraced(g, s, cfg)
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CrashError, got %v", err)
+	}
+	if tr == nil {
+		t.Fatal("RunTraced dropped the prefix trace on crash")
+	}
+	kinds := map[string]int{}
+	for _, e := range tr.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds["crash"] != 1 {
+		t.Fatalf("trace has %d crash events, want 1", kinds["crash"])
+	}
+	if kinds["start"] == 0 || kinds["finish"] == 0 {
+		t.Fatalf("trace lost the executed prefix: %v", kinds)
+	}
+	var buf strings.Builder
+	if err := tr.WriteChromeTrace(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CRASH PE") {
+		t.Fatal("Chrome trace has no crash marker")
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &events); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v", err)
+	}
+}
+
+// FuzzSimRun feeds arbitrary schedules and fault plans to the
+// simulator: it must never hang or panic, only complete or return an
+// error.
+func FuzzSimRun(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(2), uint8(1), float64(0.2), float64(0.5), float64(0.1), int64(3), float64(5))
+	f.Add(int64(2), uint8(10), uint8(3), uint8(0), float64(0), float64(0), float64(0), int64(0), float64(-1))
+	f.Add(int64(3), uint8(30), uint8(4), uint8(2), float64(1), float64(10), float64(0.9), int64(9), float64(0))
+	f.Fuzz(func(t *testing.T, gseed int64, v, procs, crashes uint8,
+		loss, delay, jitter float64, fseed int64, crashTime float64) {
+		nodes := int(v%64) + 2
+		np := int(procs%8) + 1
+		g := schedtest.RandomLayered(rand.New(rand.NewSource(gseed)), nodes)
+		// Arbitrary (often invalid) placement: tasks land on random
+		// processors at their topological index — starts/finishes are
+		// ignored by the simulator beyond ordering.
+		order, err := g.TopologicalOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(gseed + 1))
+		s := sched.New(nodes)
+		for i, n := range order {
+			st := float64(i)
+			s.Place(n, rng.Intn(np), st, st+g.Weight(n))
+		}
+		plan := &FaultPlan{
+			MsgLoss: loss, MsgDelay: delay, Jitter: jitter, Seed: fseed,
+		}
+		for c := 0; c < int(crashes%4); c++ {
+			plan.Crashes = append(plan.Crashes, Crash{Proc: rng.Intn(np + 1), Time: crashTime + float64(c)})
+		}
+		cfg := Config{Contention: gseed%2 == 0, Faults: plan}
+		rep, err := Run(g, s, cfg) // must terminate without panicking
+		if err == nil && rep.Time < 0 {
+			t.Fatalf("negative makespan %v", rep.Time)
+		}
+	})
+}

@@ -42,6 +42,12 @@ type Config struct {
 	// Topology adds mesh-distance latency to message delivery; the zero
 	// value disables it.
 	Topology Mesh
+	// Faults injects seeded machine faults (processor crashes, message
+	// loss/delay with bounded retry, duration jitter). nil or the zero
+	// plan injects nothing and reproduces the fault-free run
+	// bit-for-bit; a crash that prevents completion surfaces as a
+	// *CrashError, which internal/resched turns into a repaired run.
+	Faults *FaultPlan
 }
 
 // Report is the outcome of one simulated execution.
@@ -55,6 +61,9 @@ type Report struct {
 	BusyTime map[int]float64
 	// Messages is the number of inter-processor messages delivered.
 	Messages int
+	// Retries is the number of message retransmissions forced by the
+	// fault plan's transient loss model (zero without faults).
+	Retries int
 }
 
 // Utilization returns average processor busy time divided by total time.
@@ -87,6 +96,12 @@ func run(g *dag.Graph, s *sched.Schedule, cfg Config, tr *Tracer) (*Report, erro
 			return nil, fmt.Errorf("sim: node %d unassigned", i)
 		}
 	}
+	faults := cfg.Faults.Enabled()
+	if faults {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
 
 	duration := actualDurations(g, cfg)
 
@@ -97,18 +112,35 @@ func run(g *dag.Graph, s *sched.Schedule, cfg Config, tr *Tracer) (*Report, erro
 	procFree := make(map[int]float64, len(procs)) // time the CPU becomes idle
 	portFree := make(map[int]float64, len(procs)) // time the send port frees up
 	busy := make(map[int]float64, len(procs))
+	running := make(map[int]dag.NodeID, len(procs))
 	for _, p := range procs {
 		queue[p] = s.OnProc(p)
 		procFree[p] = 0
 		busy[p] = 0
+		running[p] = dag.None
 	}
 
 	arrived := make([]int, v) // messages received so far, per task
 	lastArrival := make([]float64, v)
+	startT := make([]float64, v)
 	finish := make([]float64, v)
 	started := make([]bool, v)
 	done := make([]bool, v)
-	messages := 0
+	aborted := make([]bool, v)
+	var abortedList []dag.NodeID
+	dead := make(map[int]bool)
+	var crashed []Crash
+	messages, retries := 0, 0
+
+	// Fault machinery: a dedicated RNG for loss/delay draws (drawn in
+	// deterministic event-pop order) and the crash events. None of this
+	// runs for a nil/zero plan, keeping fault-free runs bit-identical.
+	var frng *rand.Rand
+	budget := 4*(v+g.NumEdges()) + 16*len(procs)
+	if faults {
+		frng = rand.New(rand.NewSource(cfg.Faults.Seed))
+		budget += 4 * (len(cfg.Faults.Crashes) + 1)
+	}
 
 	events := &eventQueue{}
 	// A task with no remote parents can start as soon as the processor
@@ -117,16 +149,39 @@ func run(g *dag.Graph, s *sched.Schedule, cfg Config, tr *Tracer) (*Report, erro
 	for _, p := range procs {
 		events.push(event{time: 0, kind: evTryStart, proc: p})
 	}
+	if faults {
+		for _, c := range cfg.Faults.Crashes {
+			events.push(event{time: c.Time, kind: evCrash, proc: c.Proc})
+		}
+	}
 
 	completed := 0
 	guard := 0
 	for events.Len() > 0 {
 		guard++
-		if guard > 4*(v+g.NumEdges())+16*len(procs) {
+		if guard > budget {
 			return nil, errors.New("sim: event budget exceeded (schedule deadlocked?)")
 		}
 		ev := events.pop()
 		switch ev.kind {
+		case evCrash:
+			p := ev.proc
+			if dead[p] {
+				continue
+			}
+			dead[p] = true
+			crashed = append(crashed, Crash{Proc: p, Time: ev.time})
+			tr.add(TraceEvent{Time: ev.time, Kind: "crash", Proc: p})
+			if n := running[p]; n != dag.None {
+				// The task dies mid-instruction: its partial work is lost
+				// and only the time up to the crash counts as busy.
+				aborted[n] = true
+				abortedList = append(abortedList, n)
+				busy[p] -= finish[n] - ev.time
+				running[p] = dag.None
+				tr.add(TraceEvent{Time: ev.time, Kind: "abort", Node: n, Proc: p})
+			}
+
 		case evArrive:
 			n := ev.node
 			arrived[n]++
@@ -138,6 +193,9 @@ func run(g *dag.Graph, s *sched.Schedule, cfg Config, tr *Tracer) (*Report, erro
 
 		case evTryStart:
 			p := ev.proc
+			if dead[p] {
+				continue
+			}
 			i := nextIdx[p]
 			if i >= len(queue[p]) {
 				continue
@@ -155,16 +213,22 @@ func run(g *dag.Graph, s *sched.Schedule, cfg Config, tr *Tracer) (*Report, erro
 			started[n] = true
 			tr.add(TraceEvent{Time: start, Kind: "start", Node: n, Proc: p})
 			f := start + duration[n]
+			startT[n] = start
 			finish[n] = f
 			procFree[p] = f
 			busy[p] += duration[n]
+			running[p] = n
 			events.push(event{time: f, kind: evFinish, node: n, proc: p})
 
 		case evFinish:
 			n, p := ev.node, ev.proc
+			if aborted[n] {
+				continue // the processor died under this task
+			}
 			done[n] = true
 			completed++
 			nextIdx[p]++
+			running[p] = dag.None
 			tr.add(TraceEvent{Time: ev.time, Kind: "finish", Node: n, Proc: p})
 			// Dispatch messages to children; local children need no
 			// message, remote ones pay the edge cost (plus port queuing
@@ -175,14 +239,29 @@ func run(g *dag.Graph, s *sched.Schedule, cfg Config, tr *Tracer) (*Report, erro
 				if dst == p {
 					continue
 				}
+				if dead[dst] {
+					continue // nobody is listening on a crashed processor
+				}
 				depart := sendAt
 				if cfg.Contention {
 					depart = maxf(depart, portFree[p])
+				}
+				extra := 0.0
+				if faults {
+					var lost bool
+					var r int
+					depart, extra, r, lost = transmit(cfg.Faults, frng, depart, e.Weight, tr, n, e.To, p)
+					retries += r
+					if lost {
+						return nil, &MessageLossError{From: n, To: e.To, Attempts: cfg.Faults.maxRetries() + 1}
+					}
+				}
+				if cfg.Contention {
 					portFree[p] = depart + e.Weight
 				}
 				messages++
 				tr.add(TraceEvent{Time: depart, Kind: "send", Node: e.To, Proc: p, From: n})
-				arrive := depart + e.Weight + cfg.Topology.Delay(p, dst)
+				arrive := depart + e.Weight + cfg.Topology.Delay(p, dst) + extra
 				events.push(event{time: arrive, kind: evArrive, node: e.To, from: n})
 			}
 			events.push(event{time: ev.time, kind: evTryStart, proc: p})
@@ -190,6 +269,19 @@ func run(g *dag.Graph, s *sched.Schedule, cfg Config, tr *Tracer) (*Report, erro
 	}
 
 	if completed != v {
+		if len(crashed) > 0 {
+			free := make(map[int]float64, len(procs))
+			for _, p := range procs {
+				if !dead[p] {
+					free[p] = procFree[p]
+				}
+			}
+			return nil, &CrashError{
+				Crashes: crashed, Done: done, Start: startT, Finish: finish,
+				Aborted: abortedList, Dead: dead, ProcFree: free, BusyTime: busy,
+				Messages: messages, Retries: retries, Completed: completed,
+			}
+		}
 		return nil, fmt.Errorf("sim: deadlock — %d of %d tasks completed (schedule order violates precedence)", completed, v)
 	}
 	var makespan float64
@@ -198,11 +290,46 @@ func run(g *dag.Graph, s *sched.Schedule, cfg Config, tr *Tracer) (*Report, erro
 			makespan = f
 		}
 	}
-	return &Report{Time: makespan, Finish: finish, BusyTime: busy, Messages: messages}, nil
+	return &Report{Time: makespan, Finish: finish, BusyTime: busy, Messages: messages, Retries: retries}, nil
+}
+
+// transmit plays one remote message through the fault plan's transient
+// loss model: each attempt is lost with probability MsgLoss; retry k
+// departs after the failed transmission's wire time plus an
+// exponentially growing backoff. It returns the departure time of the
+// successful attempt, the extra random delivery delay, the number of
+// retries used, and whether the retry budget was exhausted (the message
+// is then permanently lost).
+func transmit(fp *FaultPlan, frng *rand.Rand, depart, wire float64, tr *Tracer, from, to dag.NodeID, proc int) (_, extra float64, retries int, lost bool) {
+	if fp.MsgLoss > 0 {
+		backoff := fp.retryBackoff()
+		delivered := false
+		for a := 0; a <= fp.maxRetries(); a++ {
+			if a > 0 {
+				retries++
+				tr.add(TraceEvent{Time: depart, Kind: "retry", Node: to, Proc: proc, From: from})
+			}
+			if frng.Float64() >= fp.MsgLoss {
+				delivered = true
+				break
+			}
+			tr.add(TraceEvent{Time: depart, Kind: "drop", Node: to, Proc: proc, From: from})
+			depart += wire + backoff
+			backoff *= 2
+		}
+		if !delivered {
+			return depart, 0, retries, true
+		}
+	}
+	if fp.MsgDelay > 0 {
+		extra = frng.Float64() * fp.MsgDelay
+	}
+	return depart, extra, retries, false
 }
 
 // actualDurations returns the realized task durations under cfg's
-// perturbation model.
+// perturbation model, with the fault plan's jitter (when enabled)
+// applied on top from its own seeded stream.
 func actualDurations(g *dag.Graph, cfg Config) []float64 {
 	v := g.NumNodes()
 	d := make([]float64, v)
@@ -210,12 +337,18 @@ func actualDurations(g *dag.Graph, cfg Config) []float64 {
 		for i := 0; i < v; i++ {
 			d[i] = g.Weight(dag.NodeID(i))
 		}
-		return d
+	} else {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for i := 0; i < v; i++ {
+			factor := 1 + cfg.Perturb*(2*rng.Float64()-1)
+			d[i] = g.Weight(dag.NodeID(i)) * factor
+		}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for i := 0; i < v; i++ {
-		factor := 1 + cfg.Perturb*(2*rng.Float64()-1)
-		d[i] = g.Weight(dag.NodeID(i)) * factor
+	if fp := cfg.Faults; fp.Enabled() && fp.Jitter > 0 {
+		jrng := rand.New(rand.NewSource(fp.Seed))
+		for i := 0; i < v; i++ {
+			d[i] *= 1 + fp.Jitter*(2*jrng.Float64()-1)
+		}
 	}
 	return d
 }
@@ -255,7 +388,11 @@ func maxf(a, b float64) float64 {
 type eventKind uint8
 
 const (
-	evArrive   eventKind = iota // a message reaches its destination task
+	// evCrash sorts first so a crash at time t preempts anything else
+	// scheduled at t — a task finishing exactly at the crash instant is
+	// aborted, deterministically.
+	evCrash    eventKind = iota // a processor fails permanently
+	evArrive                    // a message reaches its destination task
 	evTryStart                  // a processor re-checks its next task
 	evFinish                    // a task completes
 )

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 
 	"fastsched/internal/dag"
@@ -11,7 +12,12 @@ import (
 // TraceEvent is one record of a simulated execution trace.
 type TraceEvent struct {
 	Time float64 `json:"t"`
-	// Kind is "start", "finish", "send" or "arrive".
+	// Kind is "start", "finish", "send" or "arrive" for normal
+	// execution; fault injection adds "crash" (a processor fails),
+	// "abort" (the crashed processor's running task is killed), "drop"
+	// (a message transmission is lost) and "retry" (its
+	// retransmission); crash recovery adds "resched" (the replan
+	// decision) plus "rstart"/"rfinish" for the replanned suffix tasks.
 	Kind string `json:"kind"`
 	// Node is the task (start/finish) or the message's destination task
 	// (send/arrive).
@@ -39,6 +45,11 @@ func (t *Tracer) add(e TraceEvent) {
 	}
 }
 
+// Record appends an event from outside the simulator — the crash
+// rescheduler uses it to splice the repaired suffix into the trace of
+// the failed run. A nil or discarding tracer ignores it.
+func (t *Tracer) Record(e TraceEvent) { t.add(e) }
+
 // Events returns the recorded events in the order they were committed
 // (non-decreasing time for events of one processor).
 func (t *Tracer) Events() []TraceEvent {
@@ -57,11 +68,19 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 }
 
 // RunTraced is Run with event recording: the returned tracer holds the
-// start/finish of every task and the send/arrive of every message.
+// start/finish of every task and the send/arrive of every message. When
+// the run fails with a *CrashError the tracer is still returned — it
+// holds the executed prefix up to quiescence, which the crash
+// rescheduler extends with the repaired suffix. Other errors return a
+// nil tracer.
 func RunTraced(g *dag.Graph, s *sched.Schedule, cfg Config) (*Report, *Tracer, error) {
 	tr := NewTracer()
 	rep, err := run(g, s, cfg, tr)
 	if err != nil {
+		var ce *CrashError
+		if errors.As(err, &ce) {
+			return nil, tr, err
+		}
 		return nil, nil, err
 	}
 	return rep, tr, nil

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a fuzz smoke pass.
+#
+# Runs the checks every PR must keep green — build, vet, tests, race
+# tests — with a hard per-package test timeout, then gives each Fuzz*
+# target a short seeded fuzzing burst (FUZZ_TIME per target, default
+# 5s) so a regression in the parsers or the fault-injecting simulator
+# shows up here instead of in a long offline fuzz run.
+#
+# Usage: scripts/ci.sh               # full tier-1 + fuzz smoke
+#        FUZZ_TIME=30s scripts/ci.sh # longer fuzz burst
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZ_TIME="${FUZZ_TIME:-5s}"
+
+echo "== build"
+go build ./...
+
+echo "== vet"
+go vet ./...
+
+echo "== test"
+go test -timeout 120s ./...
+
+echo "== test -race"
+go test -race -timeout 120s ./...
+
+echo "== fuzz smoke (${FUZZ_TIME} per target)"
+# Discover every fuzz target; each needs its own `go test -fuzz` run
+# (the fuzz engine takes exactly one target per invocation).
+grep -rln 'func Fuzz' --include='*_test.go' . | sort -u | while read -r file; do
+    pkg="./$(dirname "${file#./}")"
+    grep -o 'func Fuzz[A-Za-z0-9_]*' "$file" | sed 's/func //' | while read -r target; do
+        echo "-- ${pkg} ${target}"
+        go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZ_TIME" "$pkg"
+    done
+done
+
+echo "ci.sh: all green"
