@@ -18,9 +18,11 @@ import (
 	"fastsched/internal/frontend"
 	"fastsched/internal/hlfet"
 	"fastsched/internal/lc"
+	"fastsched/internal/listsched"
 	"fastsched/internal/mcp"
 	"fastsched/internal/md"
 	"fastsched/internal/mh"
+	"fastsched/internal/obs"
 	"fastsched/internal/optimal"
 	"fastsched/internal/resched"
 	"fastsched/internal/sched"
@@ -194,6 +196,58 @@ func Duplicate(g *Graph, procs int) (*DuplicationResult, error) {
 // "pfast", "dsc", "md", "etf", "dls").
 func NewScheduler(name string, seed int64) (Scheduler, error) {
 	return casch.NewScheduler(name, seed)
+}
+
+// Observability. The obs layer is zero-dependency and nil-safe: a nil
+// registry/sink/trajectory disables telemetry with no allocations on
+// the scheduler hot paths.
+
+// MetricsRegistry collects named counters, gauges, bounded histograms
+// and timers, and dumps itself as JSON or text.
+type MetricsRegistry = obs.Registry
+
+// MetricsSink is the metric-creation interface the instrumented layers
+// accept; *MetricsRegistry implements it.
+type MetricsSink = obs.Sink
+
+// MetricSnapshot is the exported state of one metric.
+type MetricSnapshot = obs.Snapshot
+
+// SearchTrajectory records one event per FAST local-search step and
+// exports them as JSONL.
+type SearchTrajectory = obs.Trajectory
+
+// SearchStepEvent is one recorded local-search transfer attempt.
+type SearchStepEvent = obs.StepEvent
+
+// NewMetricsRegistry returns an empty metric registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSearchTrajectory returns a bounded search-step recorder (max <= 0
+// selects the default cap).
+func NewSearchTrajectory(max int) *SearchTrajectory { return obs.NewTrajectory(max) }
+
+// EnableSchedulerMetrics routes the package-level telemetry of the
+// list-scheduling machinery (insertion hit rate, DAT-cache hits,
+// ready-list sizes) into sink; nil disables it again.
+func EnableSchedulerMetrics(sink MetricsSink) { listsched.EnableMetrics(sink) }
+
+// instrumentable is implemented by schedulers that accept a metrics
+// sink and trajectory recorder after construction (the FAST family).
+type instrumentable interface {
+	Instrument(sink obs.Sink, traj *obs.Trajectory)
+}
+
+// Instrument attaches sink and traj to s when s supports telemetry
+// (the FAST family: fast, fast-initial, pfast), reporting whether it
+// did. Schedulers without their own hooks still contribute through
+// EnableSchedulerMetrics and SimConfig.Metrics.
+func Instrument(s Scheduler, sink MetricsSink, traj *SearchTrajectory) bool {
+	i, ok := s.(instrumentable)
+	if ok {
+		i.Instrument(sink, traj)
+	}
+	return ok
 }
 
 // AlgorithmNames lists the names NewScheduler accepts.

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// Volatile pieces of otherwise deterministic output: the wall-clock
+// "sched ms" column (always the last field, %.3f) and timer totals in
+// the metrics dump.
+var (
+	schedMSRE   = regexp.MustCompile(`(?m)[ \t]+[0-9]+\.[0-9]{3}$`)
+	timerJSONRE = regexp.MustCompile(`"total_ns": [0-9]+`)
+)
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (regenerate with go test -update)\n-- got --\n%s\n-- want --\n%s", path, got, want)
+	}
+}
+
+// TestGoldenTable pins the all-algorithms comparison table on the
+// paper's example graph, with the scheduling-time column normalized.
+func TestGoldenTable(t *testing.T) {
+	o := baseOpts(writeExample(t))
+	o.contention = true
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalized := schedMSRE.ReplaceAll([]byte(out), []byte("<ms>"))
+	checkGolden(t, "table.golden", normalized)
+}
+
+// TestGoldenMetrics pins the combined scheduler + simulator metrics
+// dump of a single instrumented FAST pipeline run.
+func TestGoldenMetrics(t *testing.T) {
+	o := baseOpts(writeExample(t))
+	o.algo = "fast"
+	o.metrics = filepath.Join(t.TempDir(), "m.json")
+	if _, err := capture(t, func() error { return run(o) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Metrics []map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("metrics dump is not valid JSON: %v\n%s", err, data)
+	}
+	if len(dump.Metrics) == 0 {
+		t.Fatal("metrics dump is empty")
+	}
+	data = timerJSONRE.ReplaceAll(data, []byte(`"total_ns": 0`))
+	checkGolden(t, "metrics.golden", data)
+}

@@ -6,41 +6,100 @@
 // Usage:
 //
 //	caschsim -in graph.json [-algo all] [-procs 16] [-contention] [-perturb 0.05]
+//	caschsim -in graph.json -algo fast -metrics - -metrics-format text
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fastsched"
 	"fastsched/internal/table"
 )
 
+// options carries every flag of the caschsim command.
+type options struct {
+	in         string
+	algo       string
+	procs      int
+	seed       int64
+	contention bool
+	perturb    float64
+	simseed    int64
+	emit       bool
+	trace      string
+	faultPlan  string
+	metrics    string // metrics dump destination; "" disables, "-" is stdout
+	metricsFmt string // "json" or "text"
+}
+
 func main() {
-	in := flag.String("in", "", "input task graph (JSON, from dagen)")
-	algo := flag.String("algo", "all", fmt.Sprintf("one of %v, or all", fastsched.AlgorithmNames()))
-	procs := flag.Int("procs", 0, "available processors for bounded algorithms (<= 0: unbounded)")
-	seed := flag.Int64("seed", 1, "FAST search seed")
-	contention := flag.Bool("contention", true, "model single-port send contention")
-	perturb := flag.Float64("perturb", 0.05, "max relative runtime perturbation of task durations")
-	simseed := flag.Int64("simseed", 42, "perturbation seed")
-	emit := flag.Bool("emit", false, "print the generated scheduled code (single -algo only)")
-	trace := flag.String("trace", "", "write a Chrome trace_event JSON of the execution (single -algo only)")
-	faultPlan := flag.String("fault-plan", "", "JSON fault plan (crashes, message loss/delay, jitter); crashes are repaired by rescheduling")
+	var o options
+	flag.StringVar(&o.in, "in", "", "input task graph (JSON, from dagen)")
+	flag.StringVar(&o.algo, "algo", "all", fmt.Sprintf("one of %v, or all", fastsched.AlgorithmNames()))
+	flag.IntVar(&o.procs, "procs", 0, "available processors for bounded algorithms (<= 0: unbounded)")
+	flag.Int64Var(&o.seed, "seed", 1, "FAST search seed")
+	flag.BoolVar(&o.contention, "contention", true, "model single-port send contention")
+	flag.Float64Var(&o.perturb, "perturb", 0.05, "max relative runtime perturbation of task durations")
+	flag.Int64Var(&o.simseed, "simseed", 42, "perturbation seed")
+	flag.BoolVar(&o.emit, "emit", false, "print the generated scheduled code (single -algo only)")
+	flag.StringVar(&o.trace, "trace", "", "write a Chrome trace_event JSON of the execution (single -algo only)")
+	flag.StringVar(&o.faultPlan, "fault-plan", "", "JSON fault plan (crashes, message loss/delay, jitter); crashes are repaired by rescheduling")
+	flag.StringVar(&o.metrics, "metrics", "", "write scheduler and simulator metrics to this file (\"-\" for stdout)")
+	flag.StringVar(&o.metricsFmt, "metrics-format", "json", "metrics dump format: json or text")
 	flag.Parse()
 
-	if err := run(*in, *algo, *procs, *seed, *contention, *perturb, *simseed, *emit, *trace, *faultPlan); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "caschsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, algo string, procs int, seed int64, contention bool, perturb float64, simseed int64, emit bool, tracePath, faultPath string) error {
-	if in == "" {
+// instrument attaches reg to s when telemetry is on. The nil check
+// matters: a nil *MetricsRegistry stored in the Sink interface would
+// not compare equal to nil inside the scheduler.
+func instrument(s fastsched.Scheduler, reg *fastsched.MetricsRegistry) {
+	if reg != nil {
+		fastsched.Instrument(s, reg, nil)
+	}
+}
+
+// dumpMetrics writes the registry to o.metrics ("-" is stdout) in the
+// configured format.
+func dumpMetrics(o options, reg *fastsched.MetricsRegistry) error {
+	var w io.Writer
+	closeW := func() error { return nil }
+	if o.metrics == "-" {
+		w = os.Stdout
+	} else {
+		f, err := os.Create(o.metrics)
+		if err != nil {
+			return err
+		}
+		w, closeW = f, f.Close
+	}
+	var err error
+	switch o.metricsFmt {
+	case "json":
+		err = reg.WriteJSON(w)
+	case "text":
+		err = reg.WriteText(w)
+	default:
+		err = fmt.Errorf("unknown -metrics-format %q (want json or text)", o.metricsFmt)
+	}
+	if cerr := closeW(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func run(o options) (err error) {
+	if o.in == "" {
 		return fmt.Errorf("need -in <file> (generate one with dagen)")
 	}
-	f, err := os.Open(in)
+	f, err := os.Open(o.in)
 	if err != nil {
 		return err
 	}
@@ -51,14 +110,28 @@ func run(in, algo string, procs int, seed int64, contention bool, perturb float6
 	}
 
 	var algos []string
-	if algo == "all" {
+	if o.algo == "all" {
 		algos = fastsched.AlgorithmNames()
 	} else {
-		algos = []string{algo}
+		algos = []string{o.algo}
 	}
-	machine := fastsched.SimConfig{Contention: contention, Perturb: perturb, Seed: simseed}
-	if faultPath != "" {
-		pf, err := os.Open(faultPath)
+	machine := fastsched.SimConfig{Contention: o.contention, Perturb: o.perturb, Seed: o.simseed}
+
+	var reg *fastsched.MetricsRegistry
+	if o.metrics != "" {
+		reg = fastsched.NewMetricsRegistry()
+		fastsched.EnableSchedulerMetrics(reg)
+		defer fastsched.EnableSchedulerMetrics(nil)
+		machine.Metrics = reg
+		defer func() {
+			if err == nil {
+				err = dumpMetrics(o, reg)
+			}
+		}()
+	}
+
+	if o.faultPlan != "" {
+		pf, err := os.Open(o.faultPlan)
 		if err != nil {
 			return err
 		}
@@ -72,23 +145,24 @@ func run(in, algo string, procs int, seed int64, contention bool, perturb float6
 
 	if machine.Faults != nil {
 		if len(algos) != 1 {
-			return fmt.Errorf("-fault-plan needs a single -algo, not %q", algo)
+			return fmt.Errorf("-fault-plan needs a single -algo, not %q", o.algo)
 		}
-		if emit {
+		if o.emit {
 			return fmt.Errorf("-fault-plan cannot be combined with -emit")
 		}
-		return runFaulty(g, name, algos[0], procs, seed, machine, tracePath)
+		return runFaulty(g, name, algos[0], o, machine, reg)
 	}
 
-	if tracePath != "" {
+	if o.trace != "" {
 		if len(algos) != 1 {
-			return fmt.Errorf("-trace needs a single -algo, not %q", algo)
+			return fmt.Errorf("-trace needs a single -algo, not %q", o.algo)
 		}
-		s, err := fastsched.NewScheduler(algos[0], seed)
+		s, err := fastsched.NewScheduler(algos[0], o.seed)
 		if err != nil {
 			return err
 		}
-		schedule, err := s.Schedule(g, procs)
+		instrument(s, reg)
+		schedule, err := s.Schedule(g, o.procs)
 		if err != nil {
 			return err
 		}
@@ -96,7 +170,7 @@ func run(in, algo string, procs int, seed int64, contention bool, perturb float6
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(tracePath)
+		f, err := os.Create(o.trace)
 		if err != nil {
 			return err
 		}
@@ -104,19 +178,20 @@ func run(in, algo string, procs int, seed int64, contention bool, perturb float6
 		if err := tr.WriteChromeTrace(f, g); err != nil {
 			return err
 		}
-		fmt.Printf("executed in %.6g; wrote %s (open in chrome://tracing)\n", rep.Time, tracePath)
+		fmt.Printf("executed in %.6g; wrote %s (open in chrome://tracing)\n", rep.Time, o.trace)
 		return nil
 	}
 
-	if emit {
+	if o.emit {
 		if len(algos) != 1 {
-			return fmt.Errorf("-emit needs a single -algo, not %q", algo)
+			return fmt.Errorf("-emit needs a single -algo, not %q", o.algo)
 		}
-		s, err := fastsched.NewScheduler(algos[0], seed)
+		s, err := fastsched.NewScheduler(algos[0], o.seed)
 		if err != nil {
 			return err
 		}
-		schedule, err := s.Schedule(g, procs)
+		instrument(s, reg)
+		schedule, err := s.Schedule(g, o.procs)
 		if err != nil {
 			return err
 		}
@@ -133,7 +208,7 @@ func run(in, algo string, procs int, seed int64, contention bool, perturb float6
 		return nil
 	}
 
-	lb, err := fastsched.ComputeBounds(g, procs)
+	lb, err := fastsched.ComputeBounds(g, o.procs)
 	if err != nil {
 		return err
 	}
@@ -142,11 +217,12 @@ func run(in, algo string, procs int, seed int64, contention bool, perturb float6
 			name, g.NumNodes(), g.NumEdges(), g.CCR(), lb.Combined),
 		"algorithm", "sched len", "gap", "exec time", "procs", "speedup", "sched ms")
 	for _, a := range algos {
-		s, err := fastsched.NewScheduler(a, seed)
+		s, err := fastsched.NewScheduler(a, o.seed)
 		if err != nil {
 			return err
 		}
-		r, err := fastsched.RunPipeline(g, s, procs, machine)
+		instrument(s, reg)
+		r, err := fastsched.RunPipeline(g, s, o.procs, machine)
 		if err != nil {
 			return err
 		}
@@ -165,19 +241,23 @@ func run(in, algo string, procs int, seed int64, contention bool, perturb float6
 // runFaulty schedules with one algorithm and executes under the fault
 // plan, repairing crashes by rescheduling the unexecuted suffix onto
 // the survivors. The spliced schedule is re-validated before reporting.
-func runFaulty(g *fastsched.Graph, name, algo string, procs int, seed int64, machine fastsched.SimConfig, tracePath string) error {
-	s, err := fastsched.NewScheduler(algo, seed)
+func runFaulty(g *fastsched.Graph, name, algo string, o options, machine fastsched.SimConfig, reg *fastsched.MetricsRegistry) error {
+	s, err := fastsched.NewScheduler(algo, o.seed)
 	if err != nil {
 		return err
 	}
-	schedule, err := s.Schedule(g, procs)
+	instrument(s, reg)
+	schedule, err := s.Schedule(g, o.procs)
 	if err != nil {
 		return err
 	}
 	if err := fastsched.Validate(g, schedule); err != nil {
 		return err
 	}
-	opts := fastsched.ReschedOptions{Seed: seed}
+	opts := fastsched.ReschedOptions{Seed: o.seed}
+	if reg != nil {
+		opts.Metrics = reg
+	}
 	rep, res, tr, err := fastsched.SimulateWithRecoveryTraced(g, schedule, machine, opts)
 	if err != nil {
 		return err
@@ -191,8 +271,8 @@ func runFaulty(g *fastsched.Graph, name, algo string, procs int, seed int64, mac
 		fmt.Printf("recovered from crash: %d tasks replanned onto %d surviving processors; repaired makespan %.6g\n",
 			len(res.Suffix), len(res.Survivors), res.Makespan)
 	}
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
 		if err != nil {
 			return err
 		}
@@ -200,7 +280,7 @@ func runFaulty(g *fastsched.Graph, name, algo string, procs int, seed int64, mac
 		if err := tr.WriteChromeTrace(f, g); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (open in chrome://tracing)\n", tracePath)
+		fmt.Printf("wrote %s (open in chrome://tracing)\n", o.trace)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -41,11 +42,15 @@ func capture(t *testing.T, fn func() error) (string, error) {
 	return string(buf[:n]), runErr
 }
 
+// baseOpts returns the flag set the tests start from.
+func baseOpts(in string) options {
+	return options{in: in, algo: "all", procs: 4, seed: 1, perturb: 0.05, simseed: 42, metricsFmt: "json"}
+}
+
 func TestPipelineAllAlgorithms(t *testing.T) {
-	path := writeExample(t)
-	out, err := capture(t, func() error {
-		return run(path, "all", 4, 1, true, 0.05, 42, false, "", "")
-	})
+	o := baseOpts(writeExample(t))
+	o.contention = true
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,10 +62,9 @@ func TestPipelineAllAlgorithms(t *testing.T) {
 }
 
 func TestPipelineSingleAlgorithm(t *testing.T) {
-	path := writeExample(t)
-	out, err := capture(t, func() error {
-		return run(path, "etf", 4, 1, false, 0, 0, false, "", "")
-	})
+	o := baseOpts(writeExample(t))
+	o.algo, o.perturb, o.simseed = "etf", 0, 0
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,23 +74,23 @@ func TestPipelineSingleAlgorithm(t *testing.T) {
 }
 
 func TestPipelineErrors(t *testing.T) {
-	if err := run("", "all", 4, 1, false, 0, 0, false, "", ""); err == nil {
+	if err := run(baseOpts("")); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run("/does/not/exist.json", "all", 4, 1, false, 0, 0, false, "", ""); err == nil {
+	if err := run(baseOpts("/does/not/exist.json")); err == nil {
 		t.Error("bad path accepted")
 	}
-	path := writeExample(t)
-	if err := run(path, "bogus", 4, 1, false, 0, 0, false, "", ""); err == nil {
+	o := baseOpts(writeExample(t))
+	o.algo = "bogus"
+	if err := run(o); err == nil {
 		t.Error("bad algorithm accepted")
 	}
 }
 
 func TestPipelineEmit(t *testing.T) {
-	path := writeExample(t)
-	out, err := capture(t, func() error {
-		return run(path, "fast", 4, 1, false, 0, 0, true, "", "")
-	})
+	o := baseOpts(writeExample(t))
+	o.algo, o.perturb, o.emit = "fast", 0, true
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,31 +99,67 @@ func TestPipelineEmit(t *testing.T) {
 			t.Errorf("emit output missing %q:\n%s", want, out)
 		}
 	}
-	if err := run(path, "all", 4, 1, false, 0, 0, true, "", ""); err == nil {
+	o.algo = "all"
+	if err := run(o); err == nil {
 		t.Error("-emit with -algo all accepted")
 	}
 }
 
 func TestPipelineTrace(t *testing.T) {
-	path := writeExample(t)
-	tracePath := filepath.Join(t.TempDir(), "trace.json")
-	out, err := capture(t, func() error {
-		return run(path, "fast", 4, 1, true, 0, 0, false, tracePath, "")
-	})
+	o := baseOpts(writeExample(t))
+	o.algo, o.perturb, o.contention = "fast", 0, true
+	o.trace = filepath.Join(t.TempDir(), "trace.json")
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "chrome://tracing") {
 		t.Errorf("output: %s", out)
 	}
-	data, err := os.ReadFile(tracePath)
+	data, err := os.ReadFile(o.trace)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(string(data), `"ph":"X"`) {
 		t.Errorf("trace content: %.80s", data)
 	}
-	if err := run(path, "all", 4, 1, true, 0, 0, false, tracePath, ""); err == nil {
+	o.algo = "all"
+	if err := run(o); err == nil {
 		t.Error("-trace with -algo all accepted")
+	}
+}
+
+func TestPipelineMetrics(t *testing.T) {
+	o := baseOpts(writeExample(t))
+	o.algo = "fast"
+	o.metrics = filepath.Join(t.TempDir(), "m.json")
+	if _, err := capture(t, func() error { return run(o) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("metrics dump is not valid JSON: %v\n%s", err, data)
+	}
+	names := make(map[string]bool)
+	for _, m := range dump.Metrics {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"fast.search.steps_tried", "sim.events.finish", "sim.tasks_completed"} {
+		if !names[want] {
+			t.Errorf("metrics dump missing %q; have %v", want, names)
+		}
+	}
+
+	o.metricsFmt = "yaml"
+	if _, err := capture(t, func() error { return run(o) }); err == nil {
+		t.Error("bad -metrics-format accepted")
 	}
 }

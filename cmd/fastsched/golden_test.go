@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// Volatile pieces of otherwise deterministic output: wall-clock timer
+// totals in the text and JSON metric dumps.
+var (
+	timerTextRE = regexp.MustCompile(`total=[0-9][^ \n]*`)
+	timerJSONRE = regexp.MustCompile(`"total_ns": [0-9]+`)
+)
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (regenerate with go test -update)\n-- got --\n%s\n-- want --\n%s", path, got, want)
+	}
+}
+
+// TestGoldenDemo pins the human-facing output of the demo run: Gantt
+// chart, summary line, placement table and critical chain.
+func TestGoldenDemo(t *testing.T) {
+	o := demoOpts()
+	o.table, o.why = true, true
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "demo.golden", []byte(out))
+}
+
+// TestGoldenMetricsText pins the text metrics dump (timer totals
+// normalized — everything else is deterministic under a fixed seed).
+func TestGoldenMetricsText(t *testing.T) {
+	o := demoOpts()
+	o.metrics = filepath.Join(t.TempDir(), "m.txt")
+	o.metricsFmt = "text"
+	if _, err := capture(t, func() error { return run(o) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = timerTextRE.ReplaceAll(data, []byte("total=<dur>"))
+	checkGolden(t, "metrics_text.golden", data)
+}
+
+// TestGoldenMetricsJSON pins the JSON metrics dump and asserts it
+// parses as the documented {"metrics": [...]} shape.
+func TestGoldenMetricsJSON(t *testing.T) {
+	o := demoOpts()
+	o.metrics = filepath.Join(t.TempDir(), "m.json")
+	if _, err := capture(t, func() error { return run(o) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Metrics []map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("metrics dump is not valid JSON: %v\n%s", err, data)
+	}
+	if len(dump.Metrics) == 0 {
+		t.Fatal("metrics dump is empty")
+	}
+	data = timerJSONRE.ReplaceAll(data, []byte(`"total_ns": 0`))
+	checkGolden(t, "metrics_json.golden", data)
+}
+
+// TestGoldenTrajectory pins the JSONL search trace. The serial greedy
+// search under a fixed seed is fully deterministic, so no
+// normalization is needed; every line must also parse as a StepEvent.
+func TestGoldenTrajectory(t *testing.T) {
+	o := demoOpts()
+	o.trajectory = filepath.Join(t.TempDir(), "t.jsonl")
+	if _, err := capture(t, func() error { return run(o) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.trajectory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n"))
+	if len(lines) == 0 || len(lines[0]) == 0 {
+		t.Fatal("trajectory is empty")
+	}
+	for i, line := range lines {
+		var ev struct {
+			Step      int      `json:"step"`
+			Node      *int     `json:"node"`
+			From      *int     `json:"from"`
+			To        *int     `json:"to"`
+			Candidate *float64 `json:"candidate"`
+			Best      *float64 `json:"best"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if ev.Node == nil || ev.From == nil || ev.To == nil || ev.Candidate == nil || ev.Best == nil {
+			t.Fatalf("line %d misses required fields: %s", i+1, line)
+		}
+	}
+	checkGolden(t, "trajectory.golden", data)
+}

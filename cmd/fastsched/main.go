@@ -7,6 +7,13 @@
 //	fastsched -in graph.json [-algo fast] [-procs 8] [-seed 1] [-width 72] [-table] [-dot]
 //	fastsched -demo          # run on the paper's Figure-1 example graph
 //
+// Telemetry and profiling:
+//
+//	-metrics out.json        # dump scheduler metrics (path or "-" for stdout)
+//	-metrics-format text     # metrics dump format: json (default) or text
+//	-trajectory steps.jsonl  # FAST local-search step trace as JSONL
+//	-cpuprofile cpu.pprof -memprofile mem.pprof -exectrace run.trace
+//
 // The input format is the JSON produced by dagen (or
 // fastsched.WriteGraphJSON).
 package main
@@ -16,28 +23,60 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"fastsched"
 	"fastsched/internal/example"
 )
 
+// options carries every flag of the fastsched command.
+type options struct {
+	in         string
+	demo       bool
+	algo       string
+	procs      int
+	seed       int64
+	width      int
+	table      bool
+	dot        bool
+	svg        string
+	why        bool
+	deadline   time.Duration
+	metrics    string // metrics dump destination; "" disables, "-" is stdout
+	metricsFmt string // "json" or "text"
+	trajectory string // JSONL search-step trace destination; "" disables
+	cpuProfile string
+	memProfile string
+	execTrace  string
+}
+
 func main() {
-	in := flag.String("in", "", "input task graph (JSON)")
-	demo := flag.Bool("demo", false, "use the paper's Figure-1 example graph")
-	algo := flag.String("algo", "fast", fmt.Sprintf("algorithm: %v", fastsched.AlgorithmNames()))
-	procs := flag.Int("procs", 0, "available processors (<= 0: unbounded)")
-	seed := flag.Int64("seed", 1, "random seed for FAST's local search")
-	width := flag.Int("width", 72, "Gantt chart width in columns")
-	tab := flag.Bool("table", false, "print the placement table as well")
-	dot := flag.Bool("dot", false, "print the graph in Graphviz dot and exit")
-	svg := flag.String("svg", "", "also write the schedule as an SVG Gantt chart to this file")
-	why := flag.Bool("why", false, "explain the makespan: print the schedule's critical chain")
-	deadline := flag.Duration("deadline", 0, "wall-clock bound on scheduling; on expiry the best schedule found so far is kept (FAST family only)")
+	var o options
+	flag.StringVar(&o.in, "in", "", "input task graph (JSON)")
+	flag.BoolVar(&o.demo, "demo", false, "use the paper's Figure-1 example graph")
+	flag.StringVar(&o.algo, "algo", "fast", fmt.Sprintf("algorithm: %v", fastsched.AlgorithmNames()))
+	flag.IntVar(&o.procs, "procs", 0, "available processors (<= 0: unbounded)")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed for FAST's local search")
+	flag.IntVar(&o.width, "width", 72, "Gantt chart width in columns")
+	flag.BoolVar(&o.table, "table", false, "print the placement table as well")
+	flag.BoolVar(&o.dot, "dot", false, "print the graph in Graphviz dot and exit")
+	flag.StringVar(&o.svg, "svg", "", "also write the schedule as an SVG Gantt chart to this file")
+	flag.BoolVar(&o.why, "why", false, "explain the makespan: print the schedule's critical chain")
+	flag.DurationVar(&o.deadline, "deadline", 0, "wall-clock bound on scheduling; on expiry the best schedule found so far is kept (FAST family only)")
+	flag.StringVar(&o.metrics, "metrics", "", "write scheduler metrics to this file (\"-\" for stdout)")
+	flag.StringVar(&o.metricsFmt, "metrics-format", "json", "metrics dump format: json or text")
+	flag.StringVar(&o.trajectory, "trajectory", "", "write the FAST local-search step trace (JSONL) to this file (\"-\" for stdout)")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file")
+	flag.StringVar(&o.execTrace, "exectrace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	if err := run(*in, *demo, *algo, *procs, *seed, *width, *tab, *dot, *svg, *why, *deadline); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "fastsched:", err)
 		os.Exit(1)
 	}
@@ -49,15 +88,129 @@ type finder interface {
 	Find(ctx context.Context, g *fastsched.Graph, procs int) (*fastsched.Schedule, error)
 }
 
-func run(in string, demo bool, algo string, procs int, seed int64, width int, tab, dot bool, svgPath string, why bool, deadline time.Duration) error {
+// openSink opens path for writing, mapping "-" to os.Stdout. The
+// returned close func is a no-op for stdout.
+func openSink(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// startProfiling begins CPU profiling and execution tracing as
+// requested and returns a stop function that also writes the heap
+// profile. The stop function must run before metric dumps so profile
+// files are complete even when run exits early.
+func startProfiling(o options) (func() error, error) {
+	var stops []func() error
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if o.execTrace != "" {
+		f, err := os.Create(o.execTrace)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if o.memProfile != "" {
+		path := o.memProfile
+		stops = append(stops, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			return pprof.WriteHeapProfile(f)
+		})
+	}
+	done := false // deferred backstop + explicit call: run once
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		var first error
+		for _, stop := range stops {
+			if err := stop(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
+// dumpTelemetry writes the metrics registry and the search trajectory
+// to their configured destinations.
+func dumpTelemetry(o options, reg *fastsched.MetricsRegistry, traj *fastsched.SearchTrajectory) error {
+	if reg != nil {
+		w, closeW, err := openSink(o.metrics)
+		if err != nil {
+			return err
+		}
+		switch o.metricsFmt {
+		case "json":
+			err = reg.WriteJSON(w)
+		case "text":
+			err = reg.WriteText(w)
+		default:
+			err = fmt.Errorf("unknown -metrics-format %q (want json or text)", o.metricsFmt)
+		}
+		if cerr := closeW(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if traj != nil {
+		w, closeW, err := openSink(o.trajectory)
+		if err != nil {
+			return err
+		}
+		err = traj.WriteJSONL(w)
+		if cerr := closeW(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(o options) error {
 	var g *fastsched.Graph
 	name := "graph"
 	switch {
-	case demo:
+	case o.demo:
 		g = example.Graph()
 		name = "paper example"
-	case in != "":
-		f, err := os.Open(in)
+	case o.in != "":
+		f, err := os.Open(o.in)
 		if err != nil {
 			return err
 		}
@@ -67,38 +220,61 @@ func run(in string, demo bool, algo string, procs int, seed int64, width int, ta
 			return err
 		}
 		if name == "" {
-			name = in
+			name = o.in
 		}
 	default:
 		return fmt.Errorf("need -in <file> or -demo")
 	}
 
-	if dot {
+	if o.dot {
 		fmt.Print(fastsched.GraphDOT(g, name))
 		return nil
 	}
 
-	s, err := fastsched.NewScheduler(algo, seed)
+	stopProfiling, err := startProfiling(o)
 	if err != nil {
 		return err
 	}
+	defer stopProfiling()
+
+	s, err := fastsched.NewScheduler(o.algo, o.seed)
+	if err != nil {
+		return err
+	}
+
+	var reg *fastsched.MetricsRegistry
+	var traj *fastsched.SearchTrajectory
+	if o.metrics != "" {
+		reg = fastsched.NewMetricsRegistry()
+		fastsched.EnableSchedulerMetrics(reg)
+		defer fastsched.EnableSchedulerMetrics(nil)
+	}
+	if o.trajectory != "" {
+		traj = fastsched.NewSearchTrajectory(0)
+	}
+	if reg != nil || traj != nil {
+		if !fastsched.Instrument(s, reg, traj) && o.trajectory != "" {
+			return fmt.Errorf("-trajectory is only supported by the FAST family, not %q", o.algo)
+		}
+	}
+
 	var schedule *fastsched.Schedule
-	if deadline > 0 {
+	if o.deadline > 0 {
 		fs, ok := s.(finder)
 		if !ok {
-			return fmt.Errorf("-deadline is only supported by the FAST family, not %q", algo)
+			return fmt.Errorf("-deadline is only supported by the FAST family, not %q", o.algo)
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		ctx, cancel := context.WithTimeout(context.Background(), o.deadline)
 		defer cancel()
-		schedule, err = fs.Find(ctx, g, procs)
+		schedule, err = fs.Find(ctx, g, o.procs)
 		if err != nil {
 			if !errors.Is(err, context.DeadlineExceeded) {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "fastsched: deadline %v expired; keeping the best schedule found so far\n", deadline)
+			fmt.Fprintf(os.Stderr, "fastsched: deadline %v expired; keeping the best schedule found so far\n", o.deadline)
 		}
 	} else {
-		schedule, err = s.Schedule(g, procs)
+		schedule, err = s.Schedule(g, o.procs)
 		if err != nil {
 			return err
 		}
@@ -113,14 +289,14 @@ func run(in string, demo bool, algo string, procs int, seed int64, width int, ta
 	}
 	fmt.Printf("%s: %d tasks, %d messages, CCR %.2f, CP length %.6g\n\n",
 		name, g.NumNodes(), g.NumEdges(), g.CCR(), l.CPLen)
-	fmt.Print(fastsched.Gantt(g, schedule, width))
+	fmt.Print(fastsched.Gantt(g, schedule, o.width))
 	fmt.Printf("\nschedule length %.6g  processors used %d  speedup %.2f  efficiency %.2f\n",
 		schedule.Length(), schedule.ProcsUsed(), schedule.Speedup(g), schedule.Efficiency(g))
-	if tab {
+	if o.table {
 		fmt.Println()
 		fmt.Print(fastsched.ScheduleTable(g, schedule))
 	}
-	if why {
+	if o.why {
 		chain, err := fastsched.CriticalChain(g, schedule)
 		if err != nil {
 			return err
@@ -128,11 +304,14 @@ func run(in string, demo bool, algo string, procs int, seed int64, width int, ta
 		fmt.Println()
 		fmt.Print(fastsched.FormatChain(g, schedule, chain))
 	}
-	if svgPath != "" {
-		if err := os.WriteFile(svgPath, []byte(fastsched.GanttSVG(g, schedule, 900)), 0o644); err != nil {
+	if o.svg != "" {
+		if err := os.WriteFile(o.svg, []byte(fastsched.GanttSVG(g, schedule, 900)), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %s\n", svgPath)
+		fmt.Printf("\nwrote %s\n", o.svg)
 	}
-	return nil
+	if err := stopProfiling(); err != nil {
+		return err
+	}
+	return dumpTelemetry(o, reg, traj)
 }

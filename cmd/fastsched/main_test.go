@@ -28,10 +28,15 @@ func capture(t *testing.T, fn func() error) (string, error) {
 	return string(buf[:n]), runErr
 }
 
+// demoOpts returns the baseline flag set the tests start from.
+func demoOpts() options {
+	return options{demo: true, algo: "fast", procs: 4, seed: 1, width: 60, metricsFmt: "json"}
+}
+
 func TestRunDemo(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run("", true, "fast", 4, 1, 60, true, false, "", false, 0)
-	})
+	o := demoOpts()
+	o.table = true
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,9 +57,9 @@ func TestRunFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	out, err := capture(t, func() error {
-		return run(path, false, "dsc", 0, 1, 60, false, false, "", false, 0)
-	})
+	o := demoOpts()
+	o.demo, o.in, o.algo, o.procs = false, path, "dsc", 0
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,9 +69,9 @@ func TestRunFromFile(t *testing.T) {
 }
 
 func TestRunDot(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run("", true, "fast", 4, 1, 60, false, true, "", false, 0)
-	})
+	o := demoOpts()
+	o.dot = true
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,35 +81,70 @@ func TestRunDot(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", false, "fast", 4, 1, 60, false, false, "", false, 0); err == nil {
+	o := demoOpts()
+	o.demo = false
+	if err := run(o); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run("/nonexistent.json", false, "fast", 4, 1, 60, false, false, "", false, 0); err == nil {
+	o.in = "/nonexistent.json"
+	if err := run(o); err == nil {
 		t.Error("bad path accepted")
 	}
-	if _, err := capture(t, func() error {
-		return run("", true, "bogus", 4, 1, 60, false, false, "", false, 0)
-	}); err == nil {
+	bad := demoOpts()
+	bad.algo = "bogus"
+	if _, err := capture(t, func() error { return run(bad) }); err == nil {
 		t.Error("bad algorithm accepted")
+	}
+	traj := demoOpts()
+	traj.algo = "etf"
+	traj.trajectory = filepath.Join(t.TempDir(), "t.jsonl")
+	if _, err := capture(t, func() error { return run(traj) }); err == nil {
+		t.Error("-trajectory accepted for a non-FAST algorithm")
+	}
+	badFmt := demoOpts()
+	badFmt.metrics = filepath.Join(t.TempDir(), "m.out")
+	badFmt.metricsFmt = "yaml"
+	if _, err := capture(t, func() error { return run(badFmt) }); err == nil {
+		t.Error("bad -metrics-format accepted")
 	}
 }
 
 func TestRunWhyAndSVG(t *testing.T) {
-	svgPath := filepath.Join(t.TempDir(), "g.svg")
-	out, err := capture(t, func() error {
-		return run("", true, "fast", 4, 1, 60, false, false, svgPath, true, 0)
-	})
+	o := demoOpts()
+	o.svg = filepath.Join(t.TempDir(), "g.svg")
+	o.why = true
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "critical chain") {
 		t.Errorf("missing critical chain:\n%s", out)
 	}
-	data, err := os.ReadFile(svgPath)
+	data, err := os.ReadFile(o.svg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(string(data), "<svg") {
 		t.Errorf("svg file content: %.40s", data)
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	o := demoOpts()
+	o.cpuProfile = filepath.Join(dir, "cpu.pprof")
+	o.memProfile = filepath.Join(dir, "mem.pprof")
+	o.execTrace = filepath.Join(dir, "run.trace")
+	if _, err := capture(t, func() error { return run(o) }); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{o.cpuProfile, o.memProfile, o.execTrace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }

@@ -61,6 +61,7 @@ func (*Scheduler) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
 		if readyCount == 0 {
 			return nil, errors.New("dls: no ready node (cyclic graph?)")
 		}
+		listsched.ObserveReadyList(readyCount)
 		bestNode := dag.None
 		bestProc := -1
 		bestStart, bestDL := 0.0, 0.0

@@ -1,0 +1,25 @@
+package dup
+
+import (
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+)
+
+// TestConformance runs the shared invariant suite against the
+// duplication scheduler. The schedule is indexed by the derived graph
+// (originals plus clones), so the adapter hands that graph back as the
+// one to validate against.
+func TestConformance(t *testing.T) {
+	s := New()
+	schedtest.ConformanceFunc(t, s.Name(), true,
+		func(g *dag.Graph, procs int) (*dag.Graph, *sched.Schedule, error) {
+			r, err := s.Schedule(g, procs)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.Derived, r.Schedule, nil
+		})
+}

@@ -60,6 +60,7 @@ func (*Scheduler) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
 		if readyCount == 0 {
 			return nil, errors.New("etf: no ready node (cyclic graph?)")
 		}
+		listsched.ObserveReadyList(readyCount)
 		bestNode := dag.None
 		bestProc := -1
 		bestStart := 0.0

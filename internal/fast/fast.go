@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"fastsched/internal/dag"
+	"fastsched/internal/obs"
 	"fastsched/internal/sched"
 )
 
@@ -141,6 +142,20 @@ type Options struct {
 	// context.Canceled or context.DeadlineExceeded. Find is the
 	// convenience wrapper that takes the context as an argument.
 	Context context.Context
+	// Metrics, when non-nil, receives search telemetry: phase timings,
+	// candidate transfers tried/accepted/reverted, incremental replay
+	// lengths, the best-makespan trajectory, and PFAST worker stats (see
+	// newTelemetry for the metric names). A nil sink disables telemetry
+	// at zero cost: the hot loops then touch only nil metric pointers,
+	// whose record methods are allocation-free no-ops.
+	Metrics obs.Sink
+	// Trajectory, when non-nil, records one StepEvent per local-search
+	// transfer attempt (node, processors, candidate makespan, accept
+	// flag, replay length). Recording is mutex-guarded, so PFAST and
+	// multi-start workers may share one trajectory; their events
+	// interleave in wall-clock order, tagged with the worker index. The
+	// serial search records deterministically for a fixed seed.
+	Trajectory *obs.Trajectory
 }
 
 // Scheduler implements sched.Scheduler with the FAST algorithm.
@@ -150,6 +165,14 @@ type Scheduler struct {
 
 // New returns a FAST scheduler with the given options.
 func New(opts Options) *Scheduler { return &Scheduler{opts: opts} }
+
+// Instrument attaches a metrics sink and/or a trajectory recorder to an
+// already-constructed scheduler — the hook the command-line tools use
+// after building a scheduler by name. Either argument may be nil.
+func (f *Scheduler) Instrument(sink obs.Sink, traj *obs.Trajectory) {
+	f.opts.Metrics = sink
+	f.opts.Trajectory = traj
+}
 
 // Default returns a FAST scheduler with the paper's configuration
 // (CPN-Dominate list, ready-time placement, MAXSTEP=64, seed 1).
@@ -219,29 +242,39 @@ func (f *Scheduler) schedule(ctx context.Context, g *dag.Graph, procs int) (*sch
 		maxSteps = DefaultMaxSteps
 	}
 
+	tele := newTelemetry(f.opts.Metrics, f.opts.Trajectory)
+
 	var st *state
 	var searchErr error
 	if f.opts.MultiStart && f.opts.Parallelism > 1 && !f.opts.NoSearch && maxSteps > 0 {
-		st, searchErr = f.multiStart(ctx, g, l, cls, procs, maxSteps)
+		t0 := time.Now()
+		st, searchErr = f.multiStart(ctx, g, l, cls, procs, maxSteps, tele)
 		if st == nil {
 			return nil, searchErr
 		}
+		f.timer("fast.search_ns").ObserveSince(t0)
 	} else {
 		list := f.priorityList(g, l, cls)
 		st = newState(g, list, procs)
+		st.tele = tele
+		t0 := time.Now()
 		if f.opts.Insertion {
 			st.initialInsertion()
 		} else {
 			st.initialReadyTime()
 		}
+		f.timer("fast.phase1_ns").ObserveSince(t0)
+		f.gauge("fast.initial_makespan").Set(st.length)
 
 		if !f.opts.NoSearch && maxSteps > 0 {
 			blocking := blockingList(cls)
+			t1 := time.Now()
 			if f.opts.Parallelism > 1 {
 				searchErr = st.searchParallel(ctx, blocking, maxSteps, f.opts.Seed, f.opts.Parallelism, f.opts.Strategy, f.opts.Budget)
 			} else {
 				searchErr = runSearch(ctx, st, blocking, maxSteps, f.opts.Strategy, f.opts.Budget, rand.New(rand.NewSource(f.opts.Seed)))
 			}
+			f.timer("fast.search_ns").ObserveSince(t1)
 			if searchErr != nil && !isCancellation(searchErr) {
 				return nil, searchErr
 			}
@@ -250,7 +283,25 @@ func (f *Scheduler) schedule(ctx context.Context, g *dag.Graph, procs int) (*sch
 
 	s := st.buildSchedule()
 	s.Algorithm = f.Name()
+	f.gauge("fast.final_makespan").Set(s.Length())
 	return s, searchErr
+}
+
+// timer resolves a named timer from the configured sink (nil when
+// telemetry is disabled; all its methods then no-op).
+func (f *Scheduler) timer(name string) *obs.Timer {
+	if f.opts.Metrics == nil {
+		return nil
+	}
+	return f.opts.Metrics.Timer(name)
+}
+
+// gauge resolves a named gauge from the configured sink.
+func (f *Scheduler) gauge(name string) *obs.Gauge {
+	if f.opts.Metrics == nil {
+		return nil
+	}
+	return f.opts.Metrics.Gauge(name)
 }
 
 // multiStart runs Parallelism workers, each building its own initial
@@ -258,7 +309,7 @@ func (f *Scheduler) schedule(ctx context.Context, g *dag.Graph, procs int) (*sch
 // distinct seed; the shortest result wins deterministically. Workers are
 // wrapped in recover; a panic surfaces as a nil state plus an error. On
 // context expiry the best partial state is returned with ctx's error.
-func (f *Scheduler) multiStart(ctx context.Context, g *dag.Graph, l *dag.Levels, cls []dag.Class, procs, maxSteps int) (*state, error) {
+func (f *Scheduler) multiStart(ctx context.Context, g *dag.Graph, l *dag.Levels, cls []dag.Class, procs, maxSteps int, tele telemetry) (*state, error) {
 	orders := []ListOrder{CPNDominate, BLevelOrder, StaticLevelOrder}
 	blocking := blockingList(cls)
 	workers := f.opts.Parallelism
@@ -282,6 +333,8 @@ func (f *Scheduler) multiStart(ctx context.Context, g *dag.Graph, l *dag.Levels,
 			variant.opts.Order = orders[w%len(orders)]
 			list := variant.priorityList(g, l, cls)
 			st := newState(g, list, procs)
+			st.tele = tele
+			st.tele.worker = w
 			if f.opts.Insertion {
 				st.initialInsertion()
 			} else {
@@ -306,6 +359,12 @@ func (f *Scheduler) multiStart(ctx context.Context, g *dag.Graph, l *dag.Levels,
 	for _, st := range results[1:] {
 		if st.length < best.length-1e-12 {
 			best = st
+		}
+	}
+	tele.workers.Add(int64(workers))
+	for _, st := range results {
+		if st != nil {
+			tele.workerLn.Observe(st.length)
 		}
 	}
 	return best, ctxErr

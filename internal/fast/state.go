@@ -11,8 +11,59 @@ import (
 
 	"fastsched/internal/dag"
 	"fastsched/internal/listsched"
+	"fastsched/internal/obs"
 	"fastsched/internal/sched"
 )
+
+// telemetry is the resolved metric set of one FAST run. The zero value
+// is the disabled state: every field is nil, so each record call is a
+// nil-check no-op and the hot loops stay allocation-free (asserted by
+// the AllocsPerRun tests). Counters and histograms are shared across
+// PFAST/multi-start workers and updated atomically, so the recorded
+// totals aggregate all workers; the worker index only tags trajectory
+// events.
+type telemetry struct {
+	steps    *obs.Counter   // candidate transfers evaluated
+	accepted *obs.Counter   // strict improvements kept
+	reverted *obs.Counter   // candidates undone
+	skipped  *obs.Counter   // same-processor draws (consume a step, no eval)
+	replay   *obs.Histogram // list positions replayed per evaluation
+	best     *obs.Gauge     // running best makespan (last accepting worker)
+	workers  *obs.Counter   // search workers launched (PFAST/multi-start)
+	workerLn *obs.Histogram // final makespan per worker
+	traj     *obs.Trajectory
+	worker   int // trajectory tag; 0 for the serial search
+}
+
+// newTelemetry resolves the FAST metric names against sink once, so the
+// search loops never pay a map lookup. Both arguments may be nil.
+func newTelemetry(sink obs.Sink, traj *obs.Trajectory) telemetry {
+	t := telemetry{traj: traj}
+	if sink == nil {
+		return t
+	}
+	t.steps = sink.Counter("fast.search.steps_tried")
+	t.accepted = sink.Counter("fast.search.accepted")
+	t.reverted = sink.Counter("fast.search.reverted")
+	t.skipped = sink.Counter("fast.search.same_proc_skips")
+	t.replay = sink.Histogram("fast.search.replay_len", obs.ExpBuckets(1, 2, 17))
+	t.best = sink.Gauge("fast.search.best_makespan")
+	t.workers = sink.Counter("fast.search.workers")
+	t.workerLn = sink.Histogram("fast.search.worker_final_len", obs.ExpBuckets(1, 2, 24))
+	return t
+}
+
+// record captures one transfer attempt into the trajectory (if any).
+func (t *telemetry) record(step int, n dag.NodeID, from, to int, cand, best float64, accepted bool, replayLen int) {
+	if t.traj == nil {
+		return
+	}
+	t.traj.Record(obs.StepEvent{
+		Step: step, Worker: t.worker,
+		Node: int(n), From: from, To: to,
+		Candidate: cand, Best: best, Accepted: accepted, ReplayLen: replayLen,
+	})
+}
 
 // debugPanicWorker, when >= 0, makes the parallel-search worker with
 // that index panic — the test hook proving a crashing PFAST goroutine
@@ -85,6 +136,13 @@ type state struct {
 	undoCk     []float64
 	undoCkLen  []float64
 	undoLength float64
+
+	// tele carries the resolved telemetry of this run; the zero value
+	// (nil metric pointers) disables it. lastReplay is the number of
+	// list positions the most recent tryTransfer replayed, for the
+	// trajectory recording.
+	tele       telemetry
+	lastReplay int
 
 	fullReplay bool // mirror of debugFullReplay, captured at newState
 }
@@ -355,6 +413,8 @@ func (st *state) tryTransfer(n dag.NodeID, p int) float64 {
 	copy(st.undoCk[ckFirst*st.procs:], st.ckReady[ckFirst*st.procs:])
 	copy(st.undoCkLen[ckFirst:], st.ckLen[ckFirst:])
 	st.assign[n] = p
+	st.lastReplay = v - base
+	st.tele.replay.Observe(float64(v - base))
 	return st.replayFrom(base)
 }
 
@@ -389,6 +449,7 @@ func (st *state) search(ctx context.Context, blocking []dag.NodeID, maxSteps int
 		return ctx.Err()
 	}
 	best := st.evaluate()
+	st.tele.best.Set(best)
 	for step := 0; step < maxSteps; step++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -396,12 +457,20 @@ func (st *state) search(ctx context.Context, blocking []dag.NodeID, maxSteps int
 		n := blocking[rng.Intn(len(blocking))]
 		p := rng.Intn(st.procs)
 		if p == st.assign[n] {
+			st.tele.skipped.Inc()
 			continue
 		}
+		from := st.assign[n]
+		st.tele.steps.Inc()
 		if cand := st.tryTransfer(n, p); cand < best-1e-12 {
 			best = cand
+			st.tele.accepted.Inc()
+			st.tele.best.Set(best)
+			st.tele.record(step, n, from, p, cand, best, true, st.lastReplay)
 		} else {
 			st.revertTransfer()
+			st.tele.reverted.Inc()
+			st.tele.record(step, n, from, p, cand, best, false, st.lastReplay)
 		}
 	}
 	return nil
@@ -418,6 +487,7 @@ func (st *state) searchBudget(ctx context.Context, blocking []dag.NodeID, budget
 	}
 	deadline := time.Now().Add(budget)
 	best := st.evaluate()
+	st.tele.best.Set(best)
 	for step := 0; ; step++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -428,12 +498,20 @@ func (st *state) searchBudget(ctx context.Context, blocking []dag.NodeID, budget
 		n := blocking[rng.Intn(len(blocking))]
 		p := rng.Intn(st.procs)
 		if p == st.assign[n] {
+			st.tele.skipped.Inc()
 			continue
 		}
+		from := st.assign[n]
+		st.tele.steps.Inc()
 		if cand := st.tryTransfer(n, p); cand < best-1e-12 {
 			best = cand
+			st.tele.accepted.Inc()
+			st.tele.best.Set(best)
+			st.tele.record(step, n, from, p, cand, best, true, st.lastReplay)
 		} else {
 			st.revertTransfer()
+			st.tele.reverted.Inc()
+			st.tele.record(step, n, from, p, cand, best, false, st.lastReplay)
 		}
 	}
 	return nil
@@ -451,6 +529,7 @@ func (st *state) searchSteepest(ctx context.Context, blocking []dag.NodeID, roun
 		return ctx.Err()
 	}
 	best := st.evaluate()
+	st.tele.best.Set(best)
 	for round := 0; round < rounds; round++ {
 		bestNode := dag.None
 		bestProc := -1
@@ -468,17 +547,23 @@ func (st *state) searchSteepest(ctx context.Context, blocking []dag.NodeID, roun
 				if err := ctx.Err(); err != nil {
 					return err
 				}
+				st.tele.steps.Inc()
 				if cand := st.tryTransfer(n, p); cand < bestLen-1e-12 {
 					bestNode, bestProc, bestLen = n, p, cand
 				}
 				st.revertTransfer()
+				st.tele.reverted.Inc()
 			}
 		}
 		if bestNode == dag.None {
 			break // local minimum
 		}
+		from := st.assign[bestNode]
 		st.tryTransfer(bestNode, bestProc) // commit the round's best move
 		best = bestLen
+		st.tele.accepted.Inc()
+		st.tele.best.Set(best)
+		st.tele.record(round, bestNode, from, bestProc, best, best, true, st.lastReplay)
 	}
 	return nil
 }
@@ -512,6 +597,7 @@ func (st *state) searchAnnealing(ctx context.Context, blocking []dag.NodeID, max
 	tEnd := t0 / 1000
 	cooling := math.Pow(tEnd/t0, 1/math.Max(1, float64(maxSteps-1)))
 	temp := t0
+	st.tele.best.Set(best)
 	for step := 0; step < maxSteps; step++ {
 		if err := ctx.Err(); err != nil {
 			restore()
@@ -521,8 +607,11 @@ func (st *state) searchAnnealing(ctx context.Context, blocking []dag.NodeID, max
 		p := rng.Intn(st.procs)
 		if p == st.assign[n] {
 			temp *= cooling
+			st.tele.skipped.Inc()
 			continue
 		}
+		from := st.assign[n]
+		st.tele.steps.Inc()
 		cand := st.tryTransfer(n, p)
 		delta := cand - cur
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
@@ -530,9 +619,14 @@ func (st *state) searchAnnealing(ctx context.Context, blocking []dag.NodeID, max
 			if cand < best-1e-12 {
 				best = cand
 				copy(bestAssign, st.assign)
+				st.tele.best.Set(best)
 			}
+			st.tele.accepted.Inc()
+			st.tele.record(step, n, from, p, cand, best, true, st.lastReplay)
 		} else {
 			st.revertTransfer()
+			st.tele.reverted.Inc()
+			st.tele.record(step, n, from, p, cand, best, false, st.lastReplay)
 		}
 		temp *= cooling
 	}
@@ -573,6 +667,7 @@ func (st *state) searchParallel(ctx context.Context, blocking []dag.NodeID, maxS
 				panic("injected test panic")
 			}
 			local := st.cloneForSearch()
+			local.tele.worker = w
 			rng := rand.New(rand.NewSource(seed + int64(w)))
 			errs[w] = runSearch(ctx, local, blocking, maxSteps, strategy, budget, rng)
 			results[w] = result{assign: local.assign, length: local.length}
@@ -594,8 +689,15 @@ func (st *state) searchParallel(ctx context.Context, blocking []dag.NodeID, maxS
 			best = w
 		}
 	}
+	st.tele.workers.Add(int64(workers))
+	for w := 0; w < workers; w++ {
+		if results[w].assign != nil {
+			st.tele.workerLn.Observe(results[w].length)
+		}
+	}
 	copy(st.assign, results[best].assign)
 	st.evaluate()
+	st.tele.best.Set(st.length)
 	return ctxErr
 }
 
@@ -648,6 +750,7 @@ func (st *state) cloneForSearch() *state {
 		undoFinish: make([]float64, len(st.undoFinish)),
 		undoCk:     make([]float64, len(st.undoCk)),
 		undoCkLen:  make([]float64, len(st.undoCkLen)),
+		tele:       st.tele, // shared counters: workers aggregate atomically
 		fullReplay: st.fullReplay,
 	}
 }

@@ -59,6 +59,7 @@ func (*Scheduler) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
 		if readyCount == 0 {
 			return nil, errors.New("hlfet: no ready node (cyclic graph?)")
 		}
+		listsched.ObserveReadyList(readyCount)
 		// Highest static level among ready nodes; ties to smaller ID.
 		best := dag.None
 		for i := 0; i < v; i++ {

@@ -64,7 +64,13 @@ func NewDATCache(g *dag.Graph, s *sched.Schedule, n dag.NodeID) *DATCache {
 // DAT returns the data-arrival time of the cached node on processor p.
 func (c *DATCache) DAT(p int) float64 {
 	if d, ok := c.perProc[p]; ok {
+		if m := enabled.Load(); m != nil {
+			m.DATCacheHits.Inc()
+		}
 		return d
+	}
+	if m := enabled.Load(); m != nil {
+		m.DATCacheShared.Inc()
 	}
 	return c.all
 }

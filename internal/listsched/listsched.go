@@ -56,9 +56,15 @@ func (t *Timeline) EarliestStart(dat, duration float64) float64 {
 	for _, s := range t.slots {
 		gapStart := math.Max(prevEnd, dat)
 		if gapStart+duration <= s.Start+1e-12 {
+			if m := enabled.Load(); m != nil {
+				m.InsertGapHits.Inc()
+			}
 			return gapStart
 		}
 		prevEnd = math.Max(prevEnd, s.Finish)
+	}
+	if m := enabled.Load(); m != nil {
+		m.InsertAppends.Inc()
 	}
 	return math.Max(prevEnd, dat)
 }

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4})
+	for _, x := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(x)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Fatalf("sum = %v, want 106", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != "histogram" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// 0.5 and 1 land in le=1; 1.5 in le=2; 3 in le=4; 100 overflows.
+	want := map[float64]int64{1: 2, 2: 1, 4: 1}
+	for _, b := range snap[0].Buckets {
+		if want[b.Le] != b.Count {
+			t.Fatalf("bucket %v = %d, want %d", b.Le, b.Count, want[b.Le])
+		}
+	}
+	if snap[0].Overflow != 1 {
+		t.Fatalf("overflow = %d, want 1", snap[0].Overflow)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("t")
+	tm.Observe(3 * time.Millisecond)
+	tm.Observe(2 * time.Millisecond)
+	if tm.Count() != 2 || tm.Total() != 5*time.Millisecond {
+		t.Fatalf("timer = %d/%v", tm.Count(), tm.Total())
+	}
+}
+
+// TestNilSafety: every operation on nil metrics, a nil registry and a
+// nil trajectory is a harmless no-op.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(7)
+	g := r.Gauge("x")
+	g.Set(1)
+	h := r.Histogram("x", nil)
+	h.Observe(1)
+	tm := r.Timer("x")
+	tm.Observe(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || tm.Count() != 0 || tm.Total() != 0 {
+		t.Fatal("nil metrics leaked state")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	var tr *Trajectory
+	tr.Record(StepEvent{})
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil trajectory leaked state")
+	}
+}
+
+// TestDisabledPathAllocationFree: the nil-sink record path allocates
+// nothing — the property the scheduler hot loops rely on.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Trajectory
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(2)
+		tr.Record(StepEvent{Step: 1, Node: 2})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestConcurrentAggregation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", ExpBuckets(1, 2, 8))
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(3)
+	r.Gauge("a.len").Set(23)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Metrics []Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("dump is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(out.Metrics) != 2 || out.Metrics[0].Name != "a.len" || out.Metrics[1].Name != "b.count" {
+		t.Fatalf("metrics not sorted by name: %+v", out.Metrics)
+	}
+	if out.Metrics[0].Value == nil || *out.Metrics[0].Value != 23 {
+		t.Fatalf("gauge value lost: %+v", out.Metrics[0])
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("steps").Add(64)
+	r.Timer("phase1").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"steps", "counter", "64", "phase1", "timer"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("text dump missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestTrajectoryCapAndJSONL(t *testing.T) {
+	tr := NewTrajectory(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(StepEvent{Step: i, Candidate: float64(i)})
+	}
+	if tr.Len() != 3 || tr.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 3/2", tr.Len(), tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("JSONL lines = %d, want 3", len(lines))
+	}
+	for _, line := range lines {
+		var e StepEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	if len(exp) != 4 || exp[0] != 1 || exp[3] != 8 {
+		t.Fatalf("ExpBuckets = %v", exp)
+	}
+	lin := LinearBuckets(0, 5, 3)
+	if len(lin) != 3 || lin[2] != 10 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+}

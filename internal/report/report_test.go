@@ -19,6 +19,9 @@ func TestWriteSmallReport(t *testing.T) {
 		"<svg",
 		"Figure 5 — Gaussian elimination",
 		"Figure 8 — random DAGs",
+		"Search telemetry",
+		"fast.search.steps_tried",
+		"listsched.ready_list_len",
 		"</html>",
 	} {
 		if !strings.Contains(out, want) {
@@ -76,6 +79,9 @@ func TestWriteReportSkipsEmptySections(t *testing.T) {
 	out := buf.String()
 	if strings.Contains(out, "Figure 5") || strings.Contains(out, "Figure 8") {
 		t.Errorf("empty options rendered studies:\n%.200s", out)
+	}
+	if strings.Contains(out, "Search telemetry") {
+		t.Error("empty options rendered the telemetry section")
 	}
 	if !strings.Contains(out, "Figure 1") {
 		t.Error("Figure 1 should always render")

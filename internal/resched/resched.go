@@ -21,6 +21,7 @@ import (
 
 	"fastsched/internal/dag"
 	"fastsched/internal/fast"
+	"fastsched/internal/obs"
 	"fastsched/internal/sched"
 	"fastsched/internal/sim"
 )
@@ -42,6 +43,9 @@ type Options struct {
 	// first cancelled step and Repair returns the best plan found so far
 	// together with ctx.Err().
 	Context context.Context
+	// Metrics, when non-nil, receives repair telemetry: repairs run,
+	// suffix sizes, surviving-processor counts, and repaired makespans.
+	Metrics obs.Sink
 }
 
 // Result is a repaired execution: the spliced schedule, the per-task
@@ -145,6 +149,13 @@ func Repair(g *dag.Graph, s *sched.Schedule, crash *sim.CrashError, opts Options
 		return nil, err
 	}
 	res.Survivors = survivors
+	if m := opts.Metrics; m != nil {
+		m.Counter("resched.repairs").Inc()
+		m.Counter("resched.crashes_observed").Add(int64(len(crash.Crashes)))
+		m.Histogram("resched.suffix_len", obs.ExpBuckets(1, 2, 16)).Observe(float64(len(res.Suffix)))
+		m.Histogram("resched.survivors", obs.LinearBuckets(1, 1, 32)).Observe(float64(len(survivors)))
+		m.Gauge("resched.repaired_makespan").Set(res.Makespan)
+	}
 	return res, ctxErr
 }
 
@@ -161,9 +172,9 @@ type boundaryEdge struct {
 // repair search.
 type planner struct {
 	sub      *dag.Graph
-	orig     []dag.NodeID   // sub ID -> original ID
-	subOf    []int          // original ID -> sub ID, -1 for prefix tasks
-	list     []int          // phase-1 priority order (sub IDs, topological)
+	orig     []dag.NodeID // sub ID -> original ID
+	subOf    []int        // original ID -> sub ID, -1 for prefix tasks
+	list     []int        // phase-1 priority order (sub IDs, topological)
 	boundary [][]boundaryEdge
 	procs    []int
 	floor    map[int]float64

@@ -78,6 +78,110 @@ func ForkJoin(width int, comm float64) *dag.Graph {
 	return g
 }
 
+// Independent returns n edge-free nodes with weights 1..n — the
+// degenerate "embarrassingly parallel" graph every scheduler must
+// handle without tripping over missing precedence structure.
+func Independent(n int) *dag.Graph {
+	g := dag.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode("", float64(1+i%4))
+	}
+	return g
+}
+
+// ScheduleFunc is the shape the conformance suite exercises: schedule g
+// on procs processors and return the schedule plus the graph it must be
+// validated against. Plain schedulers return g itself; transforming
+// schedulers (task duplication) return their derived graph, whose nodes
+// the schedule is indexed by.
+type ScheduleFunc func(g *dag.Graph, procs int) (*dag.Graph, *sched.Schedule, error)
+
+// Adapt wraps a sched.Scheduler as a ScheduleFunc that validates
+// against the input graph.
+func Adapt(s sched.Scheduler) ScheduleFunc {
+	return func(g *dag.Graph, procs int) (*dag.Graph, *sched.Schedule, error) {
+		out, err := s.Schedule(g, procs)
+		return g, out, err
+	}
+}
+
+// graphCase is one fixed-graph conformance case. Validity of the
+// schedule against the eval graph is always checked; check adds
+// case-specific invariants on top (orig is the input graph, eval the
+// graph the schedule is indexed by).
+type graphCase struct {
+	name  string
+	build func() *dag.Graph
+	procs int
+	check func(t *testing.T, orig, eval *dag.Graph, out *sched.Schedule)
+}
+
+// graphCases is the table of degenerate graphs every scheduler must
+// survive. Bounds are computed on the input graph: they stay valid for
+// transforming schedulers because every original task still runs at
+// least once and duplication never relaxes a dependence chain.
+var graphCases = []graphCase{
+	{
+		name:  "SingleNode",
+		build: func() *dag.Graph { g := dag.New(1); g.AddNode("solo", 3); return g },
+		procs: 2,
+		check: func(t *testing.T, orig, eval *dag.Graph, out *sched.Schedule) {
+			if out.Length() != 3 {
+				t.Fatalf("length = %v, want 3", out.Length())
+			}
+		},
+	},
+	{
+		name:  "ChainStaysSequential",
+		build: func() *dag.Graph { return Chain(10, 5) },
+		procs: 4,
+		check: func(t *testing.T, orig, eval *dag.Graph, out *sched.Schedule) {
+			// A chain cannot beat serial execution; any sane scheduler also
+			// avoids paying communication on every hop, so length must be at
+			// most serial + all comm and at least serial.
+			serial := orig.TotalWork()
+			if out.Length() < serial-1e-9 {
+				t.Fatalf("chain scheduled in %v < serial %v", out.Length(), serial)
+			}
+			if out.Length() > serial+orig.TotalComm()+1e-9 {
+				t.Fatalf("chain scheduled in %v, worse than maximally-communicating bound", out.Length())
+			}
+		},
+	},
+	{
+		name:  "ForkJoinValid",
+		build: func() *dag.Graph { return ForkJoin(8, 1) },
+		procs: 4,
+	},
+	{
+		name:  "WideIndependent",
+		build: func() *dag.Graph { return Independent(12) },
+		procs: 3,
+		check: func(t *testing.T, orig, eval *dag.Graph, out *sched.Schedule) {
+			// No edges: length can never exceed serial execution, and the
+			// area bound holds on whatever processors were used.
+			if out.Length() > orig.TotalWork()+1e-9 {
+				t.Fatalf("independent tasks scheduled in %v > serial %v", out.Length(), orig.TotalWork())
+			}
+			if used := out.ProcsUsed(); used > 0 && out.Length() < orig.TotalWork()/float64(used)-1e-9 {
+				t.Fatalf("length %v beats the area bound on %d procs", out.Length(), used)
+			}
+		},
+	},
+	{
+		name: "ZeroCommGraph",
+		build: func() *dag.Graph {
+			rng := rand.New(rand.NewSource(99))
+			g := RandomLayered(rng, 30)
+			for _, e := range g.Edges() {
+				g.SetEdgeWeight(e.From, e.To, 0)
+			}
+			return g
+		},
+		procs: 4,
+	},
+}
+
 // Conformance runs the shared invariant suite against s.
 //
 // bounded states whether the scheduler honours the procs argument (DSC
@@ -85,85 +189,50 @@ func ForkJoin(width int, comm float64) *dag.Graph {
 // check).
 func Conformance(t *testing.T, s sched.Scheduler, bounded bool) {
 	t.Helper()
+	ConformanceFunc(t, s.Name(), bounded, Adapt(s))
+}
+
+// ConformanceFunc runs the shared invariant suite against an arbitrary
+// scheduling function (see ScheduleFunc); name is reported in place of
+// sched.Scheduler.Name.
+func ConformanceFunc(t *testing.T, name string, bounded bool, f ScheduleFunc) {
+	t.Helper()
 
 	t.Run("EmptyGraphRejected", func(t *testing.T) {
-		if _, err := s.Schedule(dag.New(0), 2); err == nil {
+		if _, _, err := f(dag.New(0), 2); err == nil {
 			t.Fatal("empty graph accepted")
 		}
 	})
 
-	t.Run("SingleNode", func(t *testing.T) {
-		g := dag.New(1)
-		g.AddNode("solo", 3)
-		out, err := s.Schedule(g, 2)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := sched.Validate(g, out); err != nil {
-			t.Fatal(err)
-		}
-		if out.Length() != 3 {
-			t.Fatalf("length = %v, want 3", out.Length())
-		}
-	})
-
-	t.Run("ChainStaysSequential", func(t *testing.T) {
-		g := Chain(10, 5)
-		out, err := s.Schedule(g, 4)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := sched.Validate(g, out); err != nil {
-			t.Fatal(err)
-		}
-		// A chain cannot beat serial execution; any sane scheduler also
-		// avoids paying communication on every hop, so length must be at
-		// most serial + all comm and at least serial.
-		serial := g.TotalWork()
-		if out.Length() < serial-1e-9 {
-			t.Fatalf("chain scheduled in %v < serial %v", out.Length(), serial)
-		}
-		if out.Length() > serial+g.TotalComm()+1e-9 {
-			t.Fatalf("chain scheduled in %v, worse than maximally-communicating bound", out.Length())
-		}
-	})
-
-	t.Run("ForkJoinValid", func(t *testing.T) {
-		g := ForkJoin(8, 1)
-		out, err := s.Schedule(g, 4)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := sched.Validate(g, out); err != nil {
-			t.Fatal(err)
-		}
-	})
-
-	t.Run("ZeroCommGraph", func(t *testing.T) {
-		rng := rand.New(rand.NewSource(99))
-		g := RandomLayered(rng, 30)
-		for _, e := range g.Edges() {
-			g.SetEdgeWeight(e.From, e.To, 0)
-		}
-		out, err := s.Schedule(g, 4)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := sched.Validate(g, out); err != nil {
-			t.Fatal(err)
-		}
-	})
+	for _, c := range graphCases {
+		t.Run(c.name, func(t *testing.T) {
+			g := c.build()
+			eval, out, err := f(g, c.procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sched.Validate(eval, out); err != nil {
+				t.Fatal(err)
+			}
+			if bounded && out.ProcsUsed() > c.procs {
+				t.Fatalf("used %d of %d procs", out.ProcsUsed(), c.procs)
+			}
+			if c.check != nil {
+				c.check(t, g, eval, out)
+			}
+		})
+	}
 
 	t.Run("RandomGraphsValid", func(t *testing.T) {
 		rng := rand.New(rand.NewSource(21))
 		for trial := 0; trial < 25; trial++ {
 			g := RandomLayered(rng, 2+rng.Intn(60))
 			procs := 1 + rng.Intn(6)
-			out, err := s.Schedule(g, procs)
+			eval, out, err := f(g, procs)
 			if err != nil {
 				t.Fatalf("trial %d: %v", trial, err)
 			}
-			if err := sched.Validate(g, out); err != nil {
+			if err := sched.Validate(eval, out); err != nil {
 				t.Fatalf("trial %d: %v", trial, err)
 			}
 			if bounded && out.ProcsUsed() > procs {
@@ -174,7 +243,9 @@ func Conformance(t *testing.T, s sched.Scheduler, bounded bool) {
 			}
 			// Two universal lower bounds: the computation-only critical
 			// path (no schedule can shorten a dependence chain) and the
-			// area bound (total work over processors actually used).
+			// area bound (total work over processors actually used). Both
+			// are computed on the input graph and survive duplication:
+			// clones only add work and never shorten a chain.
 			l, err := dag.ComputeLevels(g)
 			if err != nil {
 				t.Fatal(err)
@@ -197,15 +268,18 @@ func Conformance(t *testing.T, s sched.Scheduler, bounded bool) {
 	t.Run("Deterministic", func(t *testing.T) {
 		rng := rand.New(rand.NewSource(33))
 		g := RandomLayered(rng, 40)
-		a, err := s.Schedule(g, 4)
+		evalA, a, err := f(g, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := s.Schedule(g, 4)
+		evalB, b, err := f(g, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i := 0; i < g.NumNodes(); i++ {
+		if evalA.NumNodes() != evalB.NumNodes() {
+			t.Fatalf("eval graphs differ: %d vs %d nodes", evalA.NumNodes(), evalB.NumNodes())
+		}
+		for i := 0; i < evalA.NumNodes(); i++ {
 			n := dag.NodeID(i)
 			if a.Of(n) != b.Of(n) {
 				t.Fatalf("node %d: %+v vs %+v", n, a.Of(n), b.Of(n))
@@ -214,7 +288,7 @@ func Conformance(t *testing.T, s sched.Scheduler, bounded bool) {
 	})
 
 	t.Run("NameNonEmpty", func(t *testing.T) {
-		if s.Name() == "" {
+		if name == "" {
 			t.Fatal("scheduler has no name")
 		}
 	})

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 
 	"fastsched/internal/dag"
+	"fastsched/internal/obs"
 	"fastsched/internal/sched"
 )
 
@@ -48,6 +49,12 @@ type Config struct {
 	// bit-for-bit; a crash that prevents completion surfaces as a
 	// *CrashError, which internal/resched turns into a repaired run.
 	Faults *FaultPlan
+	// Metrics, when non-nil, receives execution telemetry after the run:
+	// per-kind event counts, messages delivered, retransmissions,
+	// crashes, and tasks completed. The counts are tallied locally and
+	// flushed once, so the event loop itself is untouched; a nil sink
+	// costs nothing.
+	Metrics obs.Sink
 }
 
 // Report is the outcome of one simulated execution.
@@ -157,12 +164,30 @@ func run(g *dag.Graph, s *sched.Schedule, cfg Config, tr *Tracer) (*Report, erro
 
 	completed := 0
 	guard := 0
+	var evCount [4]int64 // popped events per kind, indexed by eventKind
+	if cfg.Metrics != nil {
+		// Flushed on every exit path (success, crash, loss, deadlock);
+		// the deferred closure reads the locals' final values.
+		defer func() {
+			m := cfg.Metrics
+			m.Counter("sim.events.crash").Add(evCount[evCrash])
+			m.Counter("sim.events.arrive").Add(evCount[evArrive])
+			m.Counter("sim.events.try_start").Add(evCount[evTryStart])
+			m.Counter("sim.events.finish").Add(evCount[evFinish])
+			m.Counter("sim.messages").Add(int64(messages))
+			m.Counter("sim.retries").Add(int64(retries))
+			m.Counter("sim.crashes").Add(int64(len(crashed)))
+			m.Counter("sim.tasks_completed").Add(int64(completed))
+			m.Counter("sim.tasks_aborted").Add(int64(len(abortedList)))
+		}()
+	}
 	for events.Len() > 0 {
 		guard++
 		if guard > budget {
 			return nil, errors.New("sim: event budget exceeded (schedule deadlocked?)")
 		}
 		ev := events.pop()
+		evCount[ev.kind]++
 		switch ev.kind {
 		case evCrash:
 			p := ev.proc

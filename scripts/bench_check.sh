@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Gate the FAST local-search hot path against the checked-in baseline.
+#
+# Re-runs the micro-benchmarks recorded in BENCH_search.json and fails
+# when any benchmark's best-of-N ns/op regresses more than THRESHOLD
+# percent against the baseline's best sample. Best-of-N (not mean)
+# keeps the gate robust against scheduler noise on loaded CI machines;
+# a genuine slowdown shifts the whole distribution, including the min.
+#
+# Usage: scripts/bench_check.sh                 # 15% gate, count=3
+#        THRESHOLD=25 COUNT=5 scripts/bench_check.sh
+#        BASELINE=other.json scripts/bench_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${THRESHOLD:-15}"
+COUNT="${COUNT:-3}"
+BASELINE="${BASELINE:-BENCH_search.json}"
+BENCHES='BenchmarkEvaluateFull$|BenchmarkEvaluateIncremental$|BenchmarkSearchStep'
+
+if [ ! -f "$BASELINE" ]; then
+    echo "bench_check.sh: baseline $BASELINE not found" >&2
+    exit 1
+fi
+
+echo "== bench check: ${BENCHES} vs ${BASELINE} (threshold ${THRESHOLD}%, count ${COUNT})"
+raw="$(go test -run '^$' -bench "$BENCHES" -count="$COUNT" ./internal/fast)"
+echo "$raw"
+
+# Baseline minimum ns/op per benchmark, from the JSON's ns_per_op arrays.
+base="$(awk '
+/"name":/ {
+    line = $0
+    sub(/.*"name": *"/, "", line); name = line; sub(/".*/, "", name)
+    sub(/.*"ns_per_op": *\[/, "", line); sub(/\].*/, "", line)
+    gsub(/ /, "", line)
+    n = split(line, vals, ",")
+    min = vals[1] + 0
+    for (i = 2; i <= n; i++) if (vals[i] + 0 < min) min = vals[i] + 0
+    printf "%s %d\n", name, min
+}' "$BASELINE")"
+
+if [ -z "$base" ]; then
+    echo "bench_check.sh: no benchmarks parsed from $BASELINE" >&2
+    exit 1
+fi
+
+echo "$raw" | awk -v threshold="$THRESHOLD" -v baseline="$base" '
+BEGIN {
+    n = split(baseline, lines, "\n")
+    for (i = 1; i <= n; i++) {
+        split(lines[i], kv, " ")
+        basemin[kv[1]] = kv[2] + 0
+    }
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (curmin[name] == "" || $3 + 0 < curmin[name] + 0) curmin[name] = $3 + 0
+    if (!(name in seen)) { seen[name] = 1; order[++cnt] = name }
+}
+END {
+    fail = 0
+    checked = 0
+    for (i = 1; i <= cnt; i++) {
+        name = order[i]
+        if (!(name in basemin)) continue
+        checked++
+        delta = 100 * (curmin[name] - basemin[name]) / basemin[name]
+        verdict = "ok"
+        if (delta > threshold) { verdict = "REGRESSED"; fail = 1 }
+        printf "%-40s base %9d ns/op  now %9d ns/op  %+7.1f%%  %s\n",
+            name, basemin[name], curmin[name], delta, verdict
+    }
+    if (checked == 0) {
+        print "bench_check.sh: no benchmark overlapped the baseline" > "/dev/stderr"
+        exit 1
+    }
+    if (fail) {
+        printf "bench_check.sh: regression beyond %s%% — investigate or re-baseline with scripts/bench.sh\n", threshold > "/dev/stderr"
+        exit 1
+    }
+    print "bench_check.sh: within threshold"
+}'

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a fuzz smoke pass.
+# Tier-1 gate plus a fuzz smoke pass and a benchmark regression check.
 #
 # Runs the checks every PR must keep green — build, vet, tests, race
 # tests — with a hard per-package test timeout, then gives each Fuzz*
 # target a short seeded fuzzing burst (FUZZ_TIME per target, default
 # 5s) so a regression in the parsers or the fault-injecting simulator
-# shows up here instead of in a long offline fuzz run.
+# shows up here instead of in a long offline fuzz run, and finally
+# gates the FAST hot path against BENCH_search.json.
 #
-# Usage: scripts/ci.sh               # full tier-1 + fuzz smoke
+# Usage: scripts/ci.sh               # full tier-1 + fuzz smoke + bench gate
 #        FUZZ_TIME=30s scripts/ci.sh # longer fuzz burst
+#        SKIP_BENCH=1 scripts/ci.sh  # skip the benchmark gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +21,7 @@ go build ./...
 
 echo "== vet"
 go vet ./...
+go vet ./cmd/...
 
 echo "== test"
 go test -timeout 120s ./...
@@ -28,13 +31,29 @@ go test -race -timeout 120s ./...
 
 echo "== fuzz smoke (${FUZZ_TIME} per target)"
 # Discover every fuzz target; each needs its own `go test -fuzz` run
-# (the fuzz engine takes exactly one target per invocation).
-grep -rln 'func Fuzz' --include='*_test.go' . | sort -u | while read -r file; do
+# (the fuzz engine takes exactly one target per invocation). The loops
+# feed from process substitution, not a pipeline, so `fuzz_fail`
+# survives into the final check and one failing target does not stop
+# the remaining targets from running.
+fuzz_fail=0
+while read -r file; do
     pkg="./$(dirname "${file#./}")"
-    grep -o 'func Fuzz[A-Za-z0-9_]*' "$file" | sed 's/func //' | while read -r target; do
+    while read -r target; do
         echo "-- ${pkg} ${target}"
-        go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZ_TIME" "$pkg"
-    done
-done
+        if ! go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZ_TIME" "$pkg"; then
+            echo "ci.sh: fuzz target ${target} in ${pkg} FAILED" >&2
+            fuzz_fail=1
+        fi
+    done < <(grep -o 'func Fuzz[A-Za-z0-9_]*' "$file" | sed 's/func //')
+done < <(grep -rln 'func Fuzz' --include='*_test.go' . | sort -u)
+if [ "$fuzz_fail" -ne 0 ]; then
+    echo "ci.sh: fuzz smoke failed" >&2
+    exit 1
+fi
+
+if [ "${SKIP_BENCH:-0}" != "1" ]; then
+    echo "== bench gate"
+    scripts/bench_check.sh
+fi
 
 echo "ci.sh: all green"
