@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 
+	"fastsched/internal/batch"
 	"fastsched/internal/bounds"
 	"fastsched/internal/casch"
 	"fastsched/internal/codegen"
@@ -24,6 +25,7 @@ import (
 	"fastsched/internal/mh"
 	"fastsched/internal/obs"
 	"fastsched/internal/optimal"
+	"fastsched/internal/report"
 	"fastsched/internal/resched"
 	"fastsched/internal/sched"
 	"fastsched/internal/sim"
@@ -252,6 +254,62 @@ func Instrument(s Scheduler, sink MetricsSink, traj *SearchTrajectory) bool {
 
 // AlgorithmNames lists the names NewScheduler accepts.
 func AlgorithmNames() []string { return casch.AlgorithmNames() }
+
+// Batch serving. The batch engine schedules many DAGs concurrently
+// through a bounded worker pool with backpressure, a content-addressed
+// result cache and single-flight deduplication of identical requests.
+
+// BatchEngine is the concurrent multi-DAG scheduling engine.
+type BatchEngine = batch.Engine
+
+// BatchOptions configures a BatchEngine (workers, queue depth, cache
+// size, metrics sink).
+type BatchOptions = batch.Options
+
+// BatchRequest is one scheduling job: graph, processor count,
+// algorithm, seed, and optional per-request deadline or search budget.
+type BatchRequest = batch.Request
+
+// BatchResult is the outcome of one BatchRequest.
+type BatchResult = batch.Result
+
+// BatchFileResult is one directory entry's outcome in a batch run.
+type BatchFileResult = batch.FileResult
+
+// BatchAggregate summarizes a directory batch run.
+type BatchAggregate = batch.Aggregate
+
+// The batch engine's typed request-rejection errors; classify with
+// errors.Is.
+var (
+	ErrBatchClosed       = batch.ErrClosed
+	ErrBatchQueueFull    = batch.ErrQueueFull
+	ErrBatchNilGraph     = batch.ErrNilGraph
+	ErrBatchEmptyGraph   = batch.ErrEmptyGraph
+	ErrBatchBadDeadline  = batch.ErrBadDeadline
+	ErrBatchBadBudget    = batch.ErrBadBudget
+	ErrBatchBadAlgorithm = batch.ErrBadAlgorithm
+	ErrBatchBadGraph     = batch.ErrBadGraph
+)
+
+// NewBatchEngine returns a started engine; Close it when done.
+func NewBatchEngine(opts BatchOptions) *BatchEngine { return batch.New(opts) }
+
+// RunBatchDir schedules every *.json task graph of dir through e
+// concurrently, using tmpl for everything but ID and Graph.
+func RunBatchDir(ctx context.Context, e *BatchEngine, dir string, tmpl BatchRequest) ([]BatchFileResult, BatchAggregate, error) {
+	return batch.RunDir(ctx, e, dir, tmpl)
+}
+
+// WriteBatchJSONL emits one compact JSON object per batch file result.
+func WriteBatchJSONL(w io.Writer, results []BatchFileResult) error {
+	return batch.WriteJSONL(w, results)
+}
+
+// FormatBatchAggregate renders a batch run's aggregate as plain text.
+func FormatBatchAggregate(agg BatchAggregate, workers int) string {
+	return report.BatchText(agg, workers)
+}
 
 // Validate checks that s is a legal execution of g: complete, overlap-
 // free, and respecting every precedence and communication delay.

@@ -1,0 +1,50 @@
+package fastsched_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"fastsched"
+)
+
+// TestBatchAPISurface exercises the root-package batch exports: engine
+// lifecycle, typed errors, cache-hit determinism, and the aggregate
+// formatter.
+func TestBatchAPISurface(t *testing.T) {
+	reg := fastsched.NewMetricsRegistry()
+	e := fastsched.NewBatchEngine(fastsched.BatchOptions{Workers: 2, Metrics: reg})
+	defer e.Close()
+
+	g := fastsched.PaperExampleGraph()
+	req := fastsched.BatchRequest{Graph: g, Procs: 2, Algorithm: "fast", Seed: 1}
+	first := e.Do(context.Background(), req)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if err := fastsched.Validate(g, first.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	second := e.Do(context.Background(), req)
+	if second.Err != nil || !second.CacheHit {
+		t.Fatalf("second identical request: err=%v hit=%v", second.Err, second.CacheHit)
+	}
+	if first.Makespan != second.Makespan {
+		t.Fatalf("cache hit makespan %v != cold %v", second.Makespan, first.Makespan)
+	}
+
+	if res := e.Do(context.Background(), fastsched.BatchRequest{}); !errors.Is(res.Err, fastsched.ErrBatchNilGraph) {
+		t.Fatalf("nil graph error = %v, want ErrBatchNilGraph", res.Err)
+	}
+
+	var agg fastsched.BatchAggregate
+	agg.Requested, agg.Succeeded = 2, 2
+	agg.MakespanSum, agg.MakespanMax = 40, 24
+	text := fastsched.FormatBatchAggregate(agg, 2)
+	for _, want := range []string{"2 graphs", "mean makespan 20", "max makespan  24"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("aggregate text missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastsched"
+	"fastsched/internal/schedtest"
+)
+
+// writeGraphDir populates dir with n random task-graph JSON files and
+// returns their base names.
+func writeGraphDir(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("g%02d.json", i)
+		f, err := os.Create(filepath.Join(dir, names[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := schedtest.RandomLayered(rng, 5+rng.Intn(20))
+		if err := fastsched.WriteGraphJSON(f, g, names[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return names
+}
+
+func TestRunBatchDirectory(t *testing.T) {
+	dir := t.TempDir()
+	names := writeGraphDir(t, dir, 12)
+	out := filepath.Join(dir, "results.jsonl")
+
+	o := demoOpts()
+	o.demo = false
+	o.batchDir = dir
+	o.workers = 4
+	o.batchOut = out
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var fr fastsched.BatchFileResult
+		if err := json.Unmarshal(sc.Bytes(), &fr); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if fr.Error != "" {
+			t.Fatalf("%s failed: %s", fr.File, fr.Error)
+		}
+		if fr.Makespan <= 0 || fr.Algorithm != "fast" {
+			t.Fatalf("implausible result: %+v", fr)
+		}
+		seen[fr.File] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if !seen[name] {
+			t.Fatalf("no JSONL line for %s", name)
+		}
+	}
+}
+
+func TestRunBatchMetricsAndFailure(t *testing.T) {
+	dir := t.TempDir()
+	writeGraphDir(t, dir, 3)
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	metrics := filepath.Join(dir, "metrics.json")
+
+	o := demoOpts()
+	o.demo = false
+	o.batchDir = dir
+	o.batchOut = filepath.Join(dir, "out.jsonl")
+	o.metrics = metrics
+	err := run(o)
+	if err == nil || !strings.Contains(err.Error(), "1 of 4 graphs failed") {
+		t.Fatalf("run() = %v, want a 1-of-4 failure report", err)
+	}
+	raw, rerr := os.ReadFile(metrics)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !strings.Contains(string(raw), "batch.completed") {
+		t.Fatalf("metrics dump missing batch counters:\n%s", raw)
+	}
+}
+
+func TestRunBatchEmptyDirErrors(t *testing.T) {
+	o := demoOpts()
+	o.demo = false
+	o.batchDir = t.TempDir()
+	if err := run(o); err == nil {
+		t.Fatal("empty batch directory accepted")
+	}
+}

@@ -53,6 +53,12 @@ type options struct {
 	cpuProfile string
 	memProfile string
 	execTrace  string
+
+	// Batch mode: schedule a directory of task graphs concurrently.
+	batchDir string // directory of *.json graphs; "" disables batch mode
+	workers  int    // worker-pool size (<= 0: GOMAXPROCS)
+	batchOut string // JSONL result stream destination ("-" for stdout)
+	noCache  bool   // disable the content-addressed result cache
 }
 
 func main() {
@@ -74,6 +80,10 @@ func main() {
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file")
 	flag.StringVar(&o.execTrace, "exectrace", "", "write a runtime execution trace to this file")
+	flag.StringVar(&o.batchDir, "batch", "", "batch mode: schedule every *.json task graph in this directory concurrently")
+	flag.IntVar(&o.workers, "workers", 0, "batch worker-pool size (<= 0: GOMAXPROCS)")
+	flag.StringVar(&o.batchOut, "batch-out", "-", "batch mode: JSONL result stream destination (\"-\" for stdout)")
+	flag.BoolVar(&o.noCache, "no-cache", false, "batch mode: disable the content-addressed result cache")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -202,7 +212,65 @@ func dumpTelemetry(o options, reg *fastsched.MetricsRegistry, traj *fastsched.Se
 	return nil
 }
 
+// runBatch is the -batch mode: schedule every task graph of a
+// directory through the concurrent engine, stream JSONL results, and
+// print the aggregate report.
+func runBatch(o options) error {
+	if o.deadline < 0 {
+		return fmt.Errorf("-deadline must be positive, got %v", o.deadline)
+	}
+	var reg *fastsched.MetricsRegistry
+	if o.metrics != "" {
+		reg = fastsched.NewMetricsRegistry()
+	}
+	eng := fastsched.NewBatchEngine(fastsched.BatchOptions{
+		Workers: o.workers,
+		Metrics: reg,
+	})
+	defer eng.Close()
+
+	tmpl := fastsched.BatchRequest{
+		Procs:     o.procs,
+		Algorithm: o.algo,
+		Seed:      o.seed,
+		Deadline:  o.deadline,
+		NoCache:   o.noCache,
+	}
+	results, agg, err := fastsched.RunBatchDir(context.Background(), eng, o.batchDir, tmpl)
+	if err != nil {
+		return err
+	}
+
+	w, closeW, err := openSink(o.batchOut)
+	if err != nil {
+		return err
+	}
+	err = fastsched.WriteBatchJSONL(w, results)
+	if cerr := closeW(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+
+	workers := o.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprint(os.Stderr, fastsched.FormatBatchAggregate(agg, workers))
+	if err := dumpTelemetry(o, reg, nil); err != nil {
+		return err
+	}
+	if agg.Failed > 0 {
+		return fmt.Errorf("%d of %d graphs failed", agg.Failed, agg.Requested)
+	}
+	return nil
+}
+
 func run(o options) error {
+	if o.batchDir != "" {
+		return runBatch(o)
+	}
 	var g *fastsched.Graph
 	name := "graph"
 	switch {

@@ -1,0 +1,481 @@
+// Package batch is the serving layer of the repository: a concurrent
+// multi-DAG scheduling engine that accepts a stream of scheduling
+// requests (graph + processor count + algorithm + per-request deadline
+// or search budget) and drives them through a bounded worker pool with
+// backpressure.
+//
+// The engine reuses the context plumbing of the FAST family (a request
+// deadline becomes a context deadline handed to Scheduler.Find) and the
+// obs metrics core: queue depth gauge, per-request latency histogram,
+// admission/rejection/completion counters, cache hit and coalescing
+// counters. A content-addressed result cache (graph + options hash →
+// schedule) with single-flight deduplication coalesces identical
+// requests so a burst of duplicate graphs costs one scheduling run.
+//
+// Concurrency contract: Submit and Do are safe for concurrent use from
+// any number of producers. Close drains the queue and blocks until
+// every worker has exited; Submit after Close returns ErrClosed. A
+// schedule returned by the engine is owned by the caller — cache hits
+// and coalesced waiters each receive their own clone, so results can be
+// mutated freely and are always bit-identical to a cold scheduling run.
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastsched/internal/casch"
+	"fastsched/internal/dag"
+	"fastsched/internal/fast"
+	"fastsched/internal/obs"
+	"fastsched/internal/sched"
+)
+
+// Typed errors. Every request-validation failure is one of these
+// (possibly wrapped with detail), so callers and the fuzz harness can
+// classify rejections with errors.Is.
+var (
+	// ErrClosed marks a submission to an engine that has been closed.
+	ErrClosed = errors.New("batch: engine closed")
+	// ErrQueueFull marks a non-blocking submission rejected because the
+	// request queue is at capacity (backpressure).
+	ErrQueueFull = errors.New("batch: queue full")
+	// ErrNilGraph marks a request without a graph.
+	ErrNilGraph = errors.New("batch: nil graph")
+	// ErrEmptyGraph marks a request whose graph has no nodes.
+	ErrEmptyGraph = errors.New("batch: empty graph")
+	// ErrBadDeadline marks a negative per-request deadline.
+	ErrBadDeadline = errors.New("batch: negative deadline")
+	// ErrBadBudget marks a negative per-request search budget.
+	ErrBadBudget = errors.New("batch: negative budget")
+	// ErrBadAlgorithm marks an algorithm name the registry rejects.
+	ErrBadAlgorithm = errors.New("batch: unknown algorithm")
+	// ErrBadGraph marks a graph that fails structural validation
+	// (cycles, NaN/negative weights, corrupt adjacency).
+	ErrBadGraph = errors.New("batch: invalid graph")
+)
+
+// DefaultAlgorithm is used when Request.Algorithm is empty.
+const DefaultAlgorithm = "fast"
+
+// Request is one scheduling job.
+type Request struct {
+	// ID is an opaque caller tag echoed in the Result (a file name, a
+	// tenant ID); the engine never interprets it.
+	ID string
+	// Graph is the task graph to schedule. The engine treats it as
+	// read-only; callers must not mutate it while the request is in
+	// flight.
+	Graph *dag.Graph
+	// Procs is the processor count (<= 0: unbounded, one per node).
+	Procs int
+	// Algorithm names the scheduler (the casch registry names: fast,
+	// pfast, etf, dls, ...). Empty selects DefaultAlgorithm.
+	Algorithm string
+	// Seed drives the FAST family's local search.
+	Seed int64
+	// Deadline, when positive, bounds the wall-clock scheduling time of
+	// this request; on expiry the FAST family returns its best partial
+	// schedule together with context.DeadlineExceeded. Zero means no
+	// per-request deadline; negative is rejected with ErrBadDeadline.
+	Deadline time.Duration
+	// Budget, when positive, makes the FAST greedy search anytime for
+	// this request (see fast.Options.Budget). Budgeted runs are
+	// wall-clock dependent and therefore bypass the result cache.
+	// Negative is rejected with ErrBadBudget.
+	Budget time.Duration
+	// NoCache bypasses the result cache for this request.
+	NoCache bool
+}
+
+// Result is the outcome of one request.
+type Result struct {
+	// ID echoes Request.ID.
+	ID string
+	// Algorithm is the resolved scheduler name.
+	Algorithm string
+	// Schedule is the produced schedule; nil when Err is a hard
+	// failure. On a deadline expiry it may be a valid partial-search
+	// best-so-far schedule alongside Err == context.DeadlineExceeded.
+	Schedule *sched.Schedule
+	// Makespan is Schedule.Length() (0 when Schedule is nil).
+	Makespan float64
+	// ProcsUsed is Schedule.ProcsUsed() (0 when Schedule is nil).
+	ProcsUsed int
+	// CacheHit reports that the schedule came from the result cache.
+	CacheHit bool
+	// Coalesced reports that this request waited on an identical
+	// in-flight request instead of scheduling on its own.
+	Coalesced bool
+	// Elapsed is the request's latency inside the engine: queue wait
+	// plus scheduling time.
+	Elapsed time.Duration
+	// Err is the request's failure, nil on success.
+	Err error
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the request queue; Submit blocks (and TrySubmit
+	// rejects) when it is full. Default: 2 × Workers.
+	QueueDepth int
+	// CacheSize bounds the result cache in entries (default 1024);
+	// negative disables caching entirely.
+	CacheSize int
+	// Metrics, when non-nil, receives the engine's telemetry under the
+	// batch.* namespace. Nil disables it at the usual obs zero cost.
+	Metrics obs.Sink
+}
+
+// Engine is the concurrent batch scheduler. Create with New, feed with
+// Submit/Do, and Close when done.
+type Engine struct {
+	opts   Options
+	queue  chan *job
+	wg     sync.WaitGroup // workers
+	subWG  sync.WaitGroup // blocking submitters not yet enqueued
+	cache  *cache
+	flight *flightGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	inFlight atomic.Int64 // jobs admitted and not yet completed
+
+	// Metrics, resolved once; all nil (and free) without a sink.
+	mQueueDepth *obs.Gauge     // batch.queue_depth
+	mAdmitted   *obs.Counter   // batch.admitted
+	mRejected   *obs.Counter   // batch.rejected
+	mCompleted  *obs.Counter   // batch.completed
+	mFailed     *obs.Counter   // batch.failed
+	mCacheHits  *obs.Counter   // batch.cache_hits
+	mCoalesced  *obs.Counter   // batch.coalesced
+	mLatency    *obs.Histogram // batch.latency_ms
+}
+
+// job is one admitted request plus its completion channel.
+type job struct {
+	ctx     context.Context
+	req     Request
+	queued  time.Time
+	done    chan Result // buffered(1); exactly one send
+}
+
+// New returns a started engine. The returned engine owns Workers
+// goroutines until Close.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 2 * opts.Workers
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 1024
+	}
+	e := &Engine{
+		opts:   opts,
+		queue:  make(chan *job, opts.QueueDepth),
+		flight: newFlightGroup(),
+	}
+	if opts.CacheSize > 0 {
+		e.cache = newCache(opts.CacheSize)
+	}
+	if s := opts.Metrics; s != nil {
+		e.mQueueDepth = s.Gauge("batch.queue_depth")
+		e.mAdmitted = s.Counter("batch.admitted")
+		e.mRejected = s.Counter("batch.rejected")
+		e.mCompleted = s.Counter("batch.completed")
+		e.mFailed = s.Counter("batch.failed")
+		e.mCacheHits = s.Counter("batch.cache_hits")
+		e.mCoalesced = s.Counter("batch.coalesced")
+		e.mLatency = s.Histogram("batch.latency_ms", obs.ExpBuckets(0.01, 4, 12))
+	}
+	for w := 0; w < opts.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// validate rejects malformed requests with typed errors before they
+// consume a queue slot.
+func validate(req Request) error {
+	if req.Graph == nil {
+		return ErrNilGraph
+	}
+	if req.Graph.NumNodes() == 0 {
+		return ErrEmptyGraph
+	}
+	if req.Deadline < 0 {
+		return fmt.Errorf("%w: %v", ErrBadDeadline, req.Deadline)
+	}
+	if req.Budget < 0 {
+		return fmt.Errorf("%w: %v", ErrBadBudget, req.Budget)
+	}
+	if err := req.Graph.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadGraph, err)
+	}
+	name := req.Algorithm
+	if name == "" {
+		name = DefaultAlgorithm
+	}
+	if _, err := casch.NewScheduler(name, req.Seed); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadAlgorithm, err)
+	}
+	return nil
+}
+
+// Submit validates and enqueues a request, blocking while the queue is
+// full (backpressure). It returns a channel that delivers exactly one
+// Result. ctx cancels both the queue wait and the scheduling run;
+// validation failures and ErrClosed are returned synchronously.
+func (e *Engine) Submit(ctx context.Context, req Request) (<-chan Result, error) {
+	return e.submit(ctx, req, true)
+}
+
+// TrySubmit is Submit without blocking: a full queue is rejected
+// immediately with ErrQueueFull, making backpressure visible to
+// load-shedding callers.
+func (e *Engine) TrySubmit(ctx context.Context, req Request) (<-chan Result, error) {
+	return e.submit(ctx, req, false)
+}
+
+func (e *Engine) submit(ctx context.Context, req Request, wait bool) (<-chan Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validate(req); err != nil {
+		e.mRejected.Inc()
+		return nil, err
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = DefaultAlgorithm
+	}
+	j := &job{ctx: ctx, req: req, queued: time.Now(), done: make(chan Result, 1)}
+
+	// The closed check and the enqueue race against Close closing the
+	// channel; holding mu across the send is the simplest correct
+	// ordering and the send itself never blocks for long when wait is
+	// false. For the blocking path, re-check closed around a select so
+	// Close cannot close the channel mid-send.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.mRejected.Inc()
+		return nil, ErrClosed
+	}
+	if !wait {
+		select {
+		case e.queue <- j:
+			e.admit()
+			e.mu.Unlock()
+			return j.done, nil
+		default:
+			e.mu.Unlock()
+			e.mRejected.Inc()
+			return nil, ErrQueueFull
+		}
+	}
+	// Blocking admission: try a fast non-blocking send under the lock,
+	// then fall back to a lock-free blocking wait. Close waits for
+	// pending blocking sends via subWG before closing the channel, so a
+	// submitter can never send on a closed queue.
+	select {
+	case e.queue <- j:
+		e.admit()
+		e.mu.Unlock()
+		return j.done, nil
+	default:
+	}
+	e.subWG.Add(1)
+	e.mu.Unlock()
+	defer e.subWG.Done()
+	select {
+	case e.queue <- j:
+		e.admit()
+		return j.done, nil
+	case <-ctx.Done():
+		e.mRejected.Inc()
+		return nil, ctx.Err()
+	}
+}
+
+func (e *Engine) admit() {
+	e.mAdmitted.Inc()
+	e.mQueueDepth.Add(1)
+	e.inFlight.Add(1)
+}
+
+// Do is the synchronous convenience wrapper: submit and wait. A context
+// cancellation while queued or scheduling surfaces as Result.Err.
+func (e *Engine) Do(ctx context.Context, req Request) Result {
+	ch, err := e.Submit(ctx, req)
+	if err != nil {
+		return Result{ID: req.ID, Algorithm: req.Algorithm, Err: err}
+	}
+	return <-ch
+}
+
+// InFlight returns the number of admitted-but-uncompleted requests.
+func (e *Engine) InFlight() int { return int(e.inFlight.Load()) }
+
+// Close stops admission, drains every already-admitted request, and
+// blocks until all workers have exited. Safe to call more than once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	// Blocking submitters that passed the closed check keep their right
+	// to enqueue (workers are still draining); wait them out before
+	// closing the channel.
+	e.subWG.Wait()
+	close(e.queue)
+	e.wg.Wait()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.mQueueDepth.Add(-1)
+		res := e.execute(j)
+		res.Elapsed = time.Since(j.queued)
+		e.mLatency.Observe(float64(res.Elapsed) / float64(time.Millisecond))
+		if res.Err != nil {
+			e.mFailed.Inc()
+		} else {
+			e.mCompleted.Inc()
+		}
+		e.inFlight.Add(-1)
+		j.done <- res
+	}
+}
+
+// execute runs one admitted job: cache lookup, single-flight coalesce,
+// cold scheduling run, cache fill.
+func (e *Engine) execute(j *job) Result {
+	req := j.req
+	res := Result{ID: req.ID, Algorithm: req.Algorithm}
+	if err := j.ctx.Err(); err != nil {
+		// Cancelled while queued: don't pay for a scheduling run the
+		// caller no longer wants.
+		res.Err = err
+		return res
+	}
+
+	cacheable := !req.NoCache && req.Budget == 0 && e.cache != nil
+	var key string
+	if cacheable {
+		key = requestKey(req)
+		if s, ok := e.cache.get(key); ok {
+			e.mCacheHits.Inc()
+			res.Schedule = s.Clone()
+			res.Makespan = res.Schedule.Length()
+			res.ProcsUsed = res.Schedule.ProcsUsed()
+			res.CacheHit = true
+			return res
+		}
+		// Single-flight: the first request for a key schedules; every
+		// concurrent duplicate waits for that run and gets a clone.
+		leader, call := e.flight.join(key)
+		if !leader {
+			select {
+			case <-call.ready:
+			case <-j.ctx.Done():
+				res.Err = j.ctx.Err()
+				return res
+			}
+			if call.err == nil && call.sched != nil {
+				e.mCoalesced.Inc()
+				res.Schedule = call.sched.Clone()
+				res.Makespan = res.Schedule.Length()
+				res.ProcsUsed = res.Schedule.ProcsUsed()
+				res.Coalesced = true
+				return res
+			}
+			// The leader failed (or returned a partial result); fall
+			// through and run this request on its own rather than
+			// propagating another caller's context error.
+		} else {
+			defer func() {
+				// Publish only clean results to waiters and the cache:
+				// partial deadline results are wall-clock dependent. One
+				// private clone backs both, so the leader's caller owns
+				// its schedule outright; waiters and future cache hits
+				// clone again from the published copy.
+				if res.Err == nil && res.Schedule != nil {
+					published := res.Schedule.Clone()
+					call.sched = published
+					e.cache.put(key, published)
+				}
+				call.err = res.Err
+				e.flight.leave(key, call)
+			}()
+		}
+	}
+
+	schedule, err := e.run(j.ctx, req)
+	if schedule != nil {
+		res.Schedule = schedule
+		res.Makespan = schedule.Length()
+		res.ProcsUsed = schedule.ProcsUsed()
+	}
+	res.Err = err
+	return res
+}
+
+// run performs one cold scheduling run under the request's context and
+// deadline.
+func (e *Engine) run(ctx context.Context, req Request) (*sched.Schedule, error) {
+	s, err := casch.NewScheduler(req.Algorithm, req.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadAlgorithm, err)
+	}
+	if req.Budget > 0 {
+		b, ok := s.(interface {
+			WithBudget(time.Duration) *fast.Scheduler
+		})
+		if !ok {
+			return nil, fmt.Errorf("%w: budget is only supported by the FAST family, not %q", ErrBadBudget, req.Algorithm)
+		}
+		s = b.WithBudget(req.Budget)
+	}
+	if req.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+		defer cancel()
+	}
+	type finder interface {
+		Find(ctx context.Context, g *dag.Graph, procs int) (*sched.Schedule, error)
+	}
+	var out *sched.Schedule
+	var err2 error
+	if f, ok := s.(finder); ok {
+		out, err2 = f.Find(ctx, req.Graph, req.Procs)
+	} else {
+		// Non-FAST schedulers have no context plumbing; honour the
+		// context at the request boundary at least.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		out, err2 = s.Schedule(req.Graph, req.Procs)
+	}
+	if out != nil && err2 == nil {
+		if verr := sched.Validate(req.Graph, out); verr != nil {
+			return nil, fmt.Errorf("batch: %s produced an invalid schedule: %w", req.Algorithm, verr)
+		}
+	}
+	return out, err2
+}

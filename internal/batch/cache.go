@@ -1,0 +1,169 @@
+package batch
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sync"
+	"time"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+)
+
+// requestKey derives the content-addressed cache key of a request: a
+// SHA-256 over the full scheduling input — algorithm name, seed,
+// normalized processor count, and the graph's structure and weights.
+// Two requests with equal keys are guaranteed to describe the same
+// scheduling problem, so their (deterministic) results are
+// interchangeable. Labels are excluded: they never influence a
+// schedule. The per-request deadline is excluded too — a request that
+// finishes inside its deadline is bit-identical to an unbounded one,
+// and partial (expired) results are never cached.
+//
+// Adjacency is hashed in *stored* order, not canonicalized: the
+// schedulers' tie-breaks (and FAST's random transfer sequence) depend
+// on the order edges were inserted, so two graphs with the same edge
+// set but different insertion orders can legally schedule differently.
+// Hashing the graph exactly as the scheduler sees it keeps the cache's
+// guarantee bit-exact; structurally equal graphs built in different
+// orders simply miss each other's entries.
+func requestKey(req Request) string {
+	h := sha256.New()
+	var buf [8]byte
+
+	writeU64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	writeF64 := func(x float64) { writeU64(math.Float64bits(x)) }
+
+	h.Write([]byte(req.Algorithm))
+	h.Write([]byte{0})
+	writeU64(uint64(req.Seed))
+	procs := req.Procs
+	if procs <= 0 {
+		procs = 0 // every non-positive count means "unbounded"
+	}
+	writeU64(uint64(procs))
+
+	g := req.Graph
+	writeU64(uint64(g.NumNodes()))
+	for i := 0; i < g.NumNodes(); i++ {
+		writeF64(g.Weight(dag.NodeID(i)))
+	}
+	writeU64(uint64(g.NumEdges()))
+	for i := 0; i < g.NumNodes(); i++ {
+		succ := g.Succ(dag.NodeID(i))
+		writeU64(uint64(len(succ)))
+		for _, e := range succ { // stored order, deliberately not sorted
+			writeU64(uint64(e.To))
+			writeF64(e.Weight)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cache is a bounded LRU over content-addressed schedule results.
+// Stored schedules are immutable by convention: the engine only ever
+// hands out clones.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+}
+
+type cacheEntry struct {
+	key   string
+	sched *sched.Schedule
+}
+
+func newCache(max int) *cache {
+	return &cache{max: max, entries: make(map[string]*list.Element), order: list.New()}
+}
+
+func (c *cache) get(key string) (*sched.Schedule, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).sched, true
+}
+
+func (c *cache) put(key string, s *sched.Schedule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).sched = s
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, sched: s})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count (for tests and reports).
+func (c *cache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flightGroup deduplicates concurrent identical requests: the first
+// joiner of a key becomes the leader and runs the scheduling; later
+// joiners wait for the leader's published result. A minimal in-package
+// single-flight (the module is dependency-free by policy).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	ready chan struct{} // closed by the leader in leave
+	sched *sched.Schedule
+	err   error
+	// joined counts waiters for the stats in tests.
+	joined int
+	at     time.Time
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// join registers interest in key. The first caller gets leader == true
+// and must eventually call leave with the same call; others receive the
+// leader's call to wait on.
+func (f *flightGroup) join(key string) (leader bool, c *flightCall) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[key]; ok {
+		c.joined++
+		return false, c
+	}
+	c = &flightCall{ready: make(chan struct{}), at: time.Now()}
+	f.calls[key] = c
+	return true, c
+}
+
+// leave publishes the leader's result (already stored in c) and wakes
+// every waiter.
+func (f *flightGroup) leave(key string, c *flightCall) {
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.ready)
+}

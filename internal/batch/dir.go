@@ -1,0 +1,184 @@
+package batch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"fastsched/internal/dag"
+)
+
+// FileResult is one directory entry's outcome, serialized as one JSONL
+// line by WriteJSONL.
+type FileResult struct {
+	File      string  `json:"file"`
+	Algorithm string  `json:"algorithm"`
+	Nodes     int     `json:"nodes"`
+	Edges     int     `json:"edges"`
+	Procs     int     `json:"procs"`
+	Makespan  float64 `json:"makespan"`
+	ProcsUsed int     `json:"procs_used"`
+	CacheHit  bool    `json:"cache_hit,omitempty"`
+	Coalesced bool    `json:"coalesced,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// Aggregate summarizes one directory batch run.
+type Aggregate struct {
+	Requested  int           `json:"requested"`
+	Succeeded  int           `json:"succeeded"`
+	Failed     int           `json:"failed"`
+	CacheHits  int           `json:"cache_hits"`
+	Coalesced  int           `json:"coalesced"`
+	Wall       time.Duration `json:"wall_ns"`
+	SumLatency time.Duration `json:"sum_latency_ns"`
+	// MakespanSum and MakespanMax aggregate the successful schedules.
+	MakespanSum float64 `json:"makespan_sum"`
+	MakespanMax float64 `json:"makespan_max"`
+}
+
+// Throughput returns completed graphs per second of wall time.
+func (a Aggregate) Throughput() float64 {
+	if a.Wall <= 0 {
+		return 0
+	}
+	return float64(a.Succeeded+a.Failed) / a.Wall.Seconds()
+}
+
+// MeanLatency returns the average in-engine request latency.
+func (a Aggregate) MeanLatency() time.Duration {
+	n := a.Succeeded + a.Failed
+	if n == 0 {
+		return 0
+	}
+	return a.SumLatency / time.Duration(n)
+}
+
+// ListGraphFiles returns the sorted *.json task-graph files of dir.
+func ListGraphFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".json" {
+			continue
+		}
+		files = append(files, filepath.Join(dir, ent.Name()))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// loadGraph reads one task-graph JSON file.
+func loadGraph(path string) (*dag.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, _, err := dag.ReadJSON(f)
+	return g, err
+}
+
+// RunDir schedules every *.json graph of dir through the engine
+// concurrently (admission paced by the engine's backpressure) and
+// returns the per-file results in file order plus the aggregate. A
+// file that fails to load or schedule is reported in its FileResult;
+// RunDir only errors when the directory itself is unreadable or empty.
+func RunDir(ctx context.Context, e *Engine, dir string, tmpl Request) ([]FileResult, Aggregate, error) {
+	files, err := ListGraphFiles(dir)
+	if err != nil {
+		return nil, Aggregate{}, err
+	}
+	if len(files) == 0 {
+		return nil, Aggregate{}, fmt.Errorf("batch: no *.json task graphs in %s", dir)
+	}
+
+	begin := time.Now()
+	out := make([]FileResult, len(files))
+	var wg sync.WaitGroup
+	for i, path := range files {
+		fr := FileResult{File: filepath.Base(path), Algorithm: tmpl.Algorithm, Procs: tmpl.Procs}
+		if fr.Algorithm == "" {
+			fr.Algorithm = DefaultAlgorithm
+		}
+		g, err := loadGraph(path)
+		if err != nil {
+			fr.Error = err.Error()
+			out[i] = fr
+			continue
+		}
+		fr.Nodes, fr.Edges = g.NumNodes(), g.NumEdges()
+		req := tmpl
+		req.ID = fr.File
+		req.Graph = g
+
+		// Submit applies backpressure: this loop blocks while the queue
+		// is full, so a huge directory never materializes as unbounded
+		// in-memory jobs.
+		ch, err := e.Submit(ctx, req)
+		if err != nil {
+			fr.Error = err.Error()
+			out[i] = fr
+			continue
+		}
+		out[i] = fr
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := <-ch
+			fr := &out[i]
+			fr.ElapsedMS = float64(res.Elapsed) / float64(time.Millisecond)
+			fr.CacheHit = res.CacheHit
+			fr.Coalesced = res.Coalesced
+			if res.Err != nil {
+				fr.Error = res.Err.Error()
+				return
+			}
+			fr.Makespan = res.Makespan
+			fr.ProcsUsed = res.ProcsUsed
+		}(i)
+	}
+	wg.Wait()
+
+	agg := Aggregate{Requested: len(files), Wall: time.Since(begin)}
+	for _, fr := range out {
+		agg.SumLatency += time.Duration(fr.ElapsedMS * float64(time.Millisecond))
+		if fr.Error != "" {
+			agg.Failed++
+			continue
+		}
+		agg.Succeeded++
+		if fr.CacheHit {
+			agg.CacheHits++
+		}
+		if fr.Coalesced {
+			agg.Coalesced++
+		}
+		agg.MakespanSum += fr.Makespan
+		if fr.Makespan > agg.MakespanMax {
+			agg.MakespanMax = fr.Makespan
+		}
+	}
+	return out, agg, nil
+}
+
+// WriteJSONL emits one compact JSON object per file result.
+func WriteJSONL(w io.Writer, results []FileResult) error {
+	enc := json.NewEncoder(w)
+	for _, fr := range results {
+		if err := enc.Encode(fr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/obs"
+	"fastsched/internal/schedtest"
+)
+
+// TestSoakRandomCancellations is the engine's race/soak gate: many
+// producers hammer a small worker pool with requests drawn from a pool
+// of repeated graphs (so the cache and single-flight paths are hot)
+// while a fraction of the contexts are cancelled at random points.
+// Every successful result — cold, cached, or coalesced — must be
+// bit-identical to the sequential cold-path schedule, and the engine
+// must drain completely. Run under -race by the tier-1 suite.
+func TestSoakRandomCancellations(t *testing.T) {
+	const (
+		workers   = 8
+		producers = 16
+		requests  = 400
+		pool      = 24
+	)
+	rng := rand.New(rand.NewSource(2024))
+	type variant struct {
+		g     *dag.Graph
+		procs int
+		seed  int64
+		want  map[dag.NodeID]struct {
+			proc          int
+			start, finish float64
+		}
+	}
+	variants := make([]variant, pool)
+	for i := range variants {
+		v := variant{
+			g:     schedtest.RandomLayered(rng, 6+rng.Intn(36)),
+			procs: 1 + rng.Intn(6),
+			seed:  int64(rng.Intn(4)),
+		}
+		ref := coldSchedule(t, v.g, "fast", v.seed, v.procs)
+		v.want = make(map[dag.NodeID]struct {
+			proc          int
+			start, finish float64
+		}, v.g.NumNodes())
+		for n := 0; n < v.g.NumNodes(); n++ {
+			pl := ref.Of(dag.NodeID(n))
+			v.want[dag.NodeID(n)] = struct {
+				proc          int
+				start, finish float64
+			}{pl.Proc, pl.Start, pl.Finish}
+		}
+		variants[i] = v
+	}
+
+	before := runtime.NumGoroutine()
+	reg := obs.NewRegistry()
+	e := New(Options{Workers: workers, QueueDepth: 4, Metrics: reg})
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, producers*requests/producers+1)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			prng := rand.New(rand.NewSource(int64(p) * 7919))
+			for i := 0; i < requests/producers; i++ {
+				v := variants[prng.Intn(len(variants))]
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if prng.Intn(100) < 30 { // ~30% cancelled mid-flight
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(prng.Intn(2_000))*time.Microsecond)
+				}
+				res := e.Do(ctx, Request{
+					ID:    fmt.Sprintf("p%d-%d", p, i),
+					Graph: v.g, Procs: v.procs, Algorithm: "fast", Seed: v.seed,
+				})
+				if cancel != nil {
+					cancel()
+				}
+				if res.Err != nil {
+					if !errors.Is(res.Err, context.Canceled) && !errors.Is(res.Err, context.DeadlineExceeded) {
+						errCh <- fmt.Errorf("%s: unexpected error %w", res.ID, res.Err)
+					}
+					continue
+				}
+				for n, want := range v.want {
+					pl := res.Schedule.Of(n)
+					if pl.Proc != want.proc || pl.Start != want.start || pl.Finish != want.finish {
+						errCh <- fmt.Errorf("%s (hit=%v coalesced=%v): node %d = %+v, want %+v",
+							res.ID, res.CacheHit, res.Coalesced, n, pl, want)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	e.Close()
+	if got := e.InFlight(); got != 0 {
+		t.Fatalf("in-flight = %d after Close", got)
+	}
+	admitted := reg.Counter("batch.admitted").Value()
+	done := reg.Counter("batch.completed").Value() + reg.Counter("batch.failed").Value()
+	if admitted != done {
+		t.Fatalf("admitted %d != completed+failed %d", admitted, done)
+	}
+
+	// Worker-leak check: all engine goroutines must be gone. Give the
+	// runtime a moment to reap exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 || time.Now().After(deadline) {
+			if n > before+2 {
+				t.Fatalf("goroutine leak: %d before, %d after", before, n)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -174,6 +174,19 @@ func (f *Scheduler) Instrument(sink obs.Sink, traj *obs.Trajectory) {
 	f.opts.Trajectory = traj
 }
 
+// WithBudget returns a copy of the scheduler whose greedy search is
+// anytime-bounded by d (see Options.Budget). The batch engine uses this
+// to apply a per-request budget to a shared scheduler configuration
+// without mutating it under concurrent use; d <= 0 clears the budget.
+func (f *Scheduler) WithBudget(d time.Duration) *Scheduler {
+	c := *f
+	if d < 0 {
+		d = 0
+	}
+	c.opts.Budget = d
+	return &c
+}
+
 // Default returns a FAST scheduler with the paper's configuration
 // (CPN-Dominate list, ready-time placement, MAXSTEP=64, seed 1).
 func Default() *Scheduler { return New(Options{Seed: 1}) }

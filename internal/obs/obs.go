@@ -87,6 +87,22 @@ func (g *Gauge) Set(x float64) {
 	g.set.Store(true)
 }
 
+// Add atomically adds delta to the gauge — the up/down form queue-depth
+// and in-flight gauges need (Set would race between load and store).
+// No-op on a nil gauge.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			g.set.Store(true)
+			return
+		}
+	}
+}
+
 // Value returns the last stored value (0 on nil or never-set).
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -165,7 +165,11 @@ type searcher struct {
 	onImprove func(float64)
 }
 
-var errBudget = errors.New("optimal: expansion budget exceeded (instance too large for exact solving)")
+// ErrBudgetExceeded reports that the branch-and-bound search hit its
+// expansion cap before proving optimality. Callers that feed the solver
+// arbitrary instances (property tests, sweeps) should treat it as
+// "instance too large", not as a solver defect.
+var ErrBudgetExceeded = errors.New("optimal: expansion budget exceeded (instance too large for exact solving)")
 
 func (s *searcher) dfs(scheduled int) error {
 	v := s.g.NumNodes()
@@ -200,7 +204,7 @@ func (s *searcher) dfs(scheduled int) error {
 			}
 			s.expansions++
 			if s.expansions > s.budget {
-				return errBudget
+				return ErrBudgetExceeded
 			}
 			if err := s.place(n, p, scheduled); err != nil {
 				return err

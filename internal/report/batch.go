@@ -1,0 +1,29 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fastsched/internal/batch"
+)
+
+// BatchText renders a directory batch run's aggregate as the plain-text
+// report fastsched's batch mode prints after the JSONL stream — the
+// same fixed-width style as the schedule tables.
+func BatchText(agg batch.Aggregate, workers int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch: %d graphs, %d workers\n", agg.Requested, workers)
+	fmt.Fprintf(&b, "  succeeded     %d\n", agg.Succeeded)
+	fmt.Fprintf(&b, "  failed        %d\n", agg.Failed)
+	fmt.Fprintf(&b, "  cache hits    %d\n", agg.CacheHits)
+	fmt.Fprintf(&b, "  coalesced     %d\n", agg.Coalesced)
+	fmt.Fprintf(&b, "  wall time     %v\n", agg.Wall.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  throughput    %.1f graphs/s\n", agg.Throughput())
+	fmt.Fprintf(&b, "  mean latency  %v\n", agg.MeanLatency())
+	if agg.Succeeded > 0 {
+		fmt.Fprintf(&b, "  mean makespan %.6g\n", agg.MakespanSum/float64(agg.Succeeded))
+		fmt.Fprintf(&b, "  max makespan  %.6g\n", agg.MakespanMax)
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package schedtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+)
+
+// This file holds the property-based metamorphic suite: known input
+// transformations with provable output relations, checked on random
+// graphs. Golden files prove one run is still the same run; these
+// properties prove whole families of runs relate the way the scheduling
+// model says they must.
+//
+// The three properties:
+//
+//   - Permutation invariance: relabeling the nodes of a graph (and
+//     rebuilding its adjacency in the new order) must not change the
+//     makespan of a deterministic, ID-independent scheduler. Holds only
+//     on tie-free graphs — every scheduler in the repository breaks
+//     priority ties by node ID, which is exactly what TieFreeRandom's
+//     distinct weights make unreachable. Randomized searchers (FAST's
+//     greedy walk draws node indices from the rng) are exempt by
+//     construction.
+//
+//   - Scale invariance: multiplying every node and edge weight by a
+//     positive constant must scale the makespan by exactly that
+//     constant. Every scheduling decision in the repository compares
+//     sums and maxima of weights, which are homogeneous of degree one;
+//     with a power-of-two factor the float arithmetic is exact, so even
+//     FAST's randomized search makes bit-identical decisions and the
+//     relation holds with zero tolerance.
+//
+//   - Zero-sink neutrality: attaching a zero-weight sink below every
+//     exit node (with zero-weight edges) adds no work, no
+//     communication, and no constraint, so the makespan must not
+//     increase.
+type MetamorphicProps struct {
+	Permutation bool
+	Scaling     bool
+	ZeroSink    bool
+	// MaxNodes caps the random-graph size (0: the suite default of 40).
+	// Exhaustive schedulers (branch-and-bound) set a small cap.
+	MaxNodes int
+	// Trials overrides the per-property trial count (0: default 8).
+	Trials int
+}
+
+// TieFreeRandom builds a random layered DAG whose node and edge weights
+// are all distinct irrationals-ish floats, so no two priorities
+// (levels, sums of weights along paths) ever tie. This is the input
+// class on which permutation invariance is provable: with ties,
+// ID-based tie-breaking legitimately changes schedules.
+func TieFreeRandom(rng *rand.Rand, v int) *dag.Graph {
+	g := dag.New(v)
+	next := 1.0
+	weight := func() float64 {
+		next += 0.5 + rng.Float64() // strictly increasing: never equal
+		return next * (1 + 1e-9*rng.Float64())
+	}
+	var layers [][]dag.NodeID
+	placed := 0
+	for placed < v {
+		width := 1 + rng.Intn(4)
+		if placed+width > v {
+			width = v - placed
+		}
+		layer := make([]dag.NodeID, 0, width)
+		for i := 0; i < width; i++ {
+			layer = append(layer, g.AddNode("", weight()))
+			placed++
+		}
+		layers = append(layers, layer)
+	}
+	for li := 1; li < len(layers); li++ {
+		for _, n := range layers[li] {
+			k := 1 + rng.Intn(3)
+			for j := 0; j < k; j++ {
+				src := layers[rng.Intn(li)]
+				p := src[rng.Intn(len(src))]
+				_ = g.AddEdge(p, n, weight())
+			}
+		}
+	}
+	return g
+}
+
+// PermuteGraph relabels g's nodes by perm (old ID i becomes perm[i])
+// and rebuilds the adjacency in new-ID order, producing the graph an
+// independent author would have built for the same problem.
+func PermuteGraph(g *dag.Graph, perm []int) *dag.Graph {
+	v := g.NumNodes()
+	out := dag.New(v)
+	inv := make([]int, v) // inv[new] = old
+	for old, new := range perm {
+		inv[new] = old
+	}
+	for new := 0; new < v; new++ {
+		old := dag.NodeID(inv[new])
+		out.AddNode(g.Label(old), g.Weight(old))
+	}
+	for new := 0; new < v; new++ {
+		old := dag.NodeID(inv[new])
+		for _, e := range g.Succ(old) {
+			out.MustAddEdge(dag.NodeID(new), dag.NodeID(perm[e.To]), e.Weight)
+		}
+	}
+	return out
+}
+
+// ScaleWeights returns a copy of g with every node and edge weight
+// multiplied by c.
+func ScaleWeights(g *dag.Graph, c float64) *dag.Graph {
+	out := g.Clone()
+	for i := 0; i < out.NumNodes(); i++ {
+		out.SetWeight(dag.NodeID(i), out.Weight(dag.NodeID(i))*c)
+	}
+	for _, e := range g.Edges() {
+		out.SetEdgeWeight(e.From, e.To, e.Weight*c)
+	}
+	return out
+}
+
+// AddZeroSink returns a copy of g with one zero-weight node appended
+// below every exit node via zero-weight edges — extra structure that
+// adds no work and no communication.
+func AddZeroSink(g *dag.Graph) *dag.Graph {
+	out := g.Clone()
+	sink := out.AddNode("sink", 0)
+	for _, exit := range g.ExitNodes() {
+		out.MustAddEdge(exit, sink, 0)
+	}
+	return out
+}
+
+// Metamorphic runs the enabled metamorphic properties against f.
+// Schedulers are exempted per property with documented cause by the
+// caller (see the registry table in the tests), never silently.
+func Metamorphic(t *testing.T, name string, f ScheduleFunc, props MetamorphicProps) {
+	t.Helper()
+	maxNodes := props.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 40
+	}
+	trials := props.Trials
+	if trials <= 0 {
+		trials = 8
+	}
+	makespan := func(t *testing.T, g *dag.Graph, procs int) float64 {
+		t.Helper()
+		_, out, err := f(g, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Length()
+	}
+
+	if props.Permutation {
+		t.Run("PermutationInvariance", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(101))
+			for trial := 0; trial < trials; trial++ {
+				g := TieFreeRandom(rng, 2+rng.Intn(maxNodes-1))
+				procs := 1 + rng.Intn(4)
+				perm := rng.Perm(g.NumNodes())
+				base := makespan(t, g, procs)
+				perturbed := makespan(t, PermuteGraph(g, perm), procs)
+				if math.Abs(base-perturbed) > 1e-9*(1+base) {
+					t.Fatalf("trial %d (%s): makespan %v became %v after node relabeling",
+						trial, name, base, perturbed)
+				}
+			}
+		})
+	}
+
+	if props.Scaling {
+		t.Run("ScaleInvariance", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(202))
+			for trial := 0; trial < trials; trial++ {
+				g := TieFreeRandom(rng, 2+rng.Intn(maxNodes-1))
+				procs := 1 + rng.Intn(4)
+				c := []float64{2, 4, 0.5}[trial%3] // powers of two: exact float scaling
+				base := makespan(t, g, procs)
+				scaled := makespan(t, ScaleWeights(g, c), procs)
+				if scaled != c*base {
+					t.Fatalf("trial %d (%s): makespan %v scaled by %v gave %v, want exactly %v",
+						trial, name, base, c, scaled, c*base)
+				}
+			}
+		})
+	}
+
+	if props.ZeroSink {
+		t.Run("ZeroSinkNeverWorsens", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(303))
+			for trial := 0; trial < trials; trial++ {
+				g := TieFreeRandom(rng, 2+rng.Intn(maxNodes-1))
+				procs := 1 + rng.Intn(4)
+				base := makespan(t, g, procs)
+				augmented := makespan(t, AddZeroSink(g), procs)
+				if augmented > base+1e-9 {
+					t.Fatalf("trial %d (%s): zero-weight sink raised makespan %v -> %v",
+						trial, name, base, augmented)
+				}
+			}
+		})
+	}
+}

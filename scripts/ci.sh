@@ -5,10 +5,11 @@
 # tests — with a hard per-package test timeout, then gives each Fuzz*
 # target a short seeded fuzzing burst (FUZZ_TIME per target, default
 # 5s) so a regression in the parsers or the fault-injecting simulator
-# shows up here instead of in a long offline fuzz run, and finally
-# gates the FAST hot path against BENCH_search.json.
+# shows up here instead of in a long offline fuzz run, then enforces
+# the per-package coverage floors in COVERAGE.txt, and finally gates
+# the FAST hot path against BENCH_search.json.
 #
-# Usage: scripts/ci.sh               # full tier-1 + fuzz smoke + bench gate
+# Usage: scripts/ci.sh               # full tier-1 + fuzz smoke + coverage + bench gate
 #        FUZZ_TIME=30s scripts/ci.sh # longer fuzz burst
 #        SKIP_BENCH=1 scripts/ci.sh  # skip the benchmark gate
 set -euo pipefail
@@ -48,6 +49,32 @@ while read -r file; do
 done < <(grep -rln 'func Fuzz' --include='*_test.go' . | sort -u)
 if [ "$fuzz_fail" -ne 0 ]; then
     echo "ci.sh: fuzz smoke failed" >&2
+    exit 1
+fi
+
+echo "== coverage gate"
+# COVERAGE.txt lists per-package statement-coverage floors. Each gated
+# package is retested with -cover and its percentage compared against
+# the floor; a drop below fails the gate.
+cover_fail=0
+while read -r pkg floor; do
+    case "$pkg" in ''|'#'*) continue ;; esac
+    line="$(go test -cover "$pkg" | tail -n 1)"
+    pct="$(printf '%s\n' "$line" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*')"
+    if [ -z "$pct" ]; then
+        echo "ci.sh: no coverage figure for ${pkg}: ${line}" >&2
+        cover_fail=1
+        continue
+    fi
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+        echo "ci.sh: ${pkg} coverage ${pct}% fell below the ${floor}% floor" >&2
+        cover_fail=1
+    else
+        echo "-- ${pkg} ${pct}% (floor ${floor}%)"
+    fi
+done < COVERAGE.txt
+if [ "$cover_fail" -ne 0 ]; then
+    echo "ci.sh: coverage gate failed" >&2
     exit 1
 fi
 
