@@ -25,6 +25,7 @@ import (
 	"fastsched/internal/mh"
 	"fastsched/internal/obs"
 	"fastsched/internal/optimal"
+	"fastsched/internal/plan"
 	"fastsched/internal/report"
 	"fastsched/internal/resched"
 	"fastsched/internal/sched"
@@ -254,6 +255,54 @@ func Instrument(s Scheduler, sink MetricsSink, traj *SearchTrajectory) bool {
 
 // AlgorithmNames lists the names NewScheduler accepts.
 func AlgorithmNames() []string { return casch.AlgorithmNames() }
+
+// Compiled plans. A compiled graph bundles every immutable per-graph
+// artifact the schedulers consume — CSR adjacency, level metrics,
+// node classification, the CPN-Dominate list — computed once per
+// unique graph and shared read-only across runs. Serving paths that
+// schedule the same graph repeatedly (the batch engine does this
+// automatically) skip the per-request graph analysis entirely;
+// results are bit-identical to uncompiled runs.
+
+// CompiledGraph is the immutable compiled form of a task graph.
+type CompiledGraph = plan.CompiledGraph
+
+// GraphContentKey is a graph's content address: a SHA-256 over its
+// weights and adjacency in stored order.
+type GraphContentKey = plan.Key
+
+// PlanCache is a content-addressed, lock-striped LRU over compiled
+// graphs with single-flight compilation.
+type PlanCache = plan.Cache
+
+// CompileGraph analyzes g once; it errors when g is empty or cyclic.
+func CompileGraph(g *Graph) (*CompiledGraph, error) { return plan.Compile(g) }
+
+// GraphKey returns g's content address without compiling it.
+func GraphKey(g *Graph) GraphContentKey { return plan.GraphKey(g) }
+
+// NewPlanCache returns a compilation cache holding at most max
+// compiled graphs (0 selects the default size); sink, when non-nil,
+// receives the plan.* metrics.
+func NewPlanCache(max int, sink MetricsSink) *PlanCache { return plan.NewCache(max, sink) }
+
+// compiledScheduler is implemented by schedulers with a compiled-plan
+// entry point (the FAST family via FindCompiled/ScheduleCompiled, and
+// the ETF/DLS/HLFET/DSC baselines via ScheduleCompiled).
+type compiledScheduler interface {
+	ScheduleCompiled(cg *plan.CompiledGraph, procs int) (*sched.Schedule, error)
+}
+
+// ScheduleCompiled schedules a pre-compiled graph with s when s has a
+// compiled-plan entry point, falling back to s.Schedule(cg.Graph, ...)
+// otherwise. Either way the result is bit-identical to s.Schedule on
+// the original graph.
+func ScheduleCompiled(s Scheduler, cg *CompiledGraph, procs int) (*Schedule, error) {
+	if cs, ok := s.(compiledScheduler); ok {
+		return cs.ScheduleCompiled(cg, procs)
+	}
+	return s.Schedule(cg.Graph, procs)
+}
 
 // Batch serving. The batch engine schedules many DAGs concurrently
 // through a bounded worker pool with backpressure, a content-addressed

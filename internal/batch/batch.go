@@ -33,6 +33,7 @@ import (
 	"fastsched/internal/dag"
 	"fastsched/internal/fast"
 	"fastsched/internal/obs"
+	"fastsched/internal/plan"
 	"fastsched/internal/sched"
 )
 
@@ -129,6 +130,16 @@ type Options struct {
 	// CacheSize bounds the result cache in entries (default 1024);
 	// negative disables caching entirely.
 	CacheSize int
+	// PlanCacheSize bounds the graph-compilation cache in compiled
+	// graphs (default plan.DefaultCacheSize); negative disables it, in
+	// which case every run re-derives the graph artifacts ad hoc.
+	PlanCacheSize int
+	// DisableCompilation forces the legacy serving path: no plan cache
+	// and no compiled dispatch, every request re-analyzing its graph
+	// from scratch. Results are bit-identical either way (pinned by the
+	// differential tests); the switch exists for benchmarking the
+	// compiled path against the pre-compilation engine.
+	DisableCompilation bool
 	// Metrics, when non-nil, receives the engine's telemetry under the
 	// batch.* namespace. Nil disables it at the usual obs zero cost.
 	Metrics obs.Sink
@@ -142,6 +153,7 @@ type Engine struct {
 	wg     sync.WaitGroup // workers
 	subWG  sync.WaitGroup // blocking submitters not yet enqueued
 	cache  *cache
+	plans  *plan.Cache // compiled-graph cache; nil when compilation is off
 	flight *flightGroup
 
 	mu     sync.Mutex
@@ -162,10 +174,12 @@ type Engine struct {
 
 // job is one admitted request plus its completion channel.
 type job struct {
-	ctx     context.Context
-	req     Request
-	queued  time.Time
-	done    chan Result // buffered(1); exactly one send
+	ctx    context.Context
+	req    Request
+	queued time.Time
+	done   chan Result // buffered(1); exactly one send
+	gk     plan.Key    // graph content hash, computed at admission
+	hasGK  bool        // gk is set (engine has a plan cache)
 }
 
 // New returns a started engine. The returned engine owns Workers
@@ -188,6 +202,9 @@ func New(opts Options) *Engine {
 	if opts.CacheSize > 0 {
 		e.cache = newCache(opts.CacheSize)
 	}
+	if !opts.DisableCompilation && opts.PlanCacheSize >= 0 {
+		e.plans = plan.NewCache(opts.PlanCacheSize, opts.Metrics)
+	}
 	if s := opts.Metrics; s != nil {
 		e.mQueueDepth = s.Gauge("batch.queue_depth")
 		e.mAdmitted = s.Counter("batch.admitted")
@@ -207,30 +224,47 @@ func New(opts Options) *Engine {
 
 // validate rejects malformed requests with typed errors before they
 // consume a queue slot.
-func validate(req Request) error {
+//
+// The O(v+e) structural graph check (cycle detection, weight checks) is
+// memoized by content: every graph the engine has ever compiled passed
+// Graph.Validate before reaching the compiler, so a compilation-cache
+// hit on the graph's content key proves the identical bytes are valid
+// and the re-check is pure overhead. The SHA-256 computed for that
+// lookup is returned alongside (hasGK) and carried on the job into
+// execute, preserving the hash-once-per-request contract. A cache miss
+// — first sight of a graph, an evicted entry, or a compilation-disabled
+// engine — always runs the full structural check.
+func (e *Engine) validate(req Request) (gk plan.Key, hasGK bool, err error) {
 	if req.Graph == nil {
-		return ErrNilGraph
+		return gk, false, ErrNilGraph
 	}
 	if req.Graph.NumNodes() == 0 {
-		return ErrEmptyGraph
+		return gk, false, ErrEmptyGraph
 	}
 	if req.Deadline < 0 {
-		return fmt.Errorf("%w: %v", ErrBadDeadline, req.Deadline)
+		return gk, false, fmt.Errorf("%w: %v", ErrBadDeadline, req.Deadline)
 	}
 	if req.Budget < 0 {
-		return fmt.Errorf("%w: %v", ErrBadBudget, req.Budget)
+		return gk, false, fmt.Errorf("%w: %v", ErrBadBudget, req.Budget)
 	}
-	if err := req.Graph.Validate(); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadGraph, err)
+	known := false
+	if e.plans != nil {
+		gk, hasGK = plan.GraphKey(req.Graph), true
+		known = e.plans.Peek(gk)
+	}
+	if !known {
+		if err := req.Graph.Validate(); err != nil {
+			return gk, hasGK, fmt.Errorf("%w: %v", ErrBadGraph, err)
+		}
 	}
 	name := req.Algorithm
 	if name == "" {
 		name = DefaultAlgorithm
 	}
 	if _, err := casch.NewScheduler(name, req.Seed); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadAlgorithm, err)
+		return gk, hasGK, fmt.Errorf("%w: %v", ErrBadAlgorithm, err)
 	}
-	return nil
+	return gk, hasGK, nil
 }
 
 // Submit validates and enqueues a request, blocking while the queue is
@@ -252,14 +286,15 @@ func (e *Engine) submit(ctx context.Context, req Request, wait bool) (<-chan Res
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := validate(req); err != nil {
+	gk, hasGK, err := e.validate(req)
+	if err != nil {
 		e.mRejected.Inc()
 		return nil, err
 	}
 	if req.Algorithm == "" {
 		req.Algorithm = DefaultAlgorithm
 	}
-	j := &job{ctx: ctx, req: req, queued: time.Now(), done: make(chan Result, 1)}
+	j := &job{ctx: ctx, req: req, queued: time.Now(), done: make(chan Result, 1), gk: gk, hasGK: hasGK}
 
 	// The closed check and the enqueue race against Close closing the
 	// channel; holding mu across the send is the simplest correct
@@ -375,10 +410,19 @@ func (e *Engine) execute(j *job) Result {
 		return res
 	}
 
+	// Hash the graph once: admission already computed the digest when
+	// the engine has a plan cache (it addresses the compilation cache
+	// and memoizes validation); it also seeds the result-cache key.
+	var gk plan.Key
 	cacheable := !req.NoCache && req.Budget == 0 && e.cache != nil
-	var key string
+	if j.hasGK {
+		gk = j.gk
+	} else if cacheable {
+		gk = plan.GraphKey(req.Graph)
+	}
+	var key resultKey
 	if cacheable {
-		key = requestKey(req)
+		key = requestKeyFrom(req, gk)
 		if s, ok := e.cache.get(key); ok {
 			e.mCacheHits.Inc()
 			res.Schedule = s.Clone()
@@ -426,7 +470,7 @@ func (e *Engine) execute(j *job) Result {
 		}
 	}
 
-	schedule, err := e.run(j.ctx, req)
+	schedule, err := e.run(j.ctx, req, gk)
 	if schedule != nil {
 		res.Schedule = schedule
 		res.Makespan = schedule.Length()
@@ -437,8 +481,11 @@ func (e *Engine) execute(j *job) Result {
 }
 
 // run performs one cold scheduling run under the request's context and
-// deadline.
-func (e *Engine) run(ctx context.Context, req Request) (*sched.Schedule, error) {
+// deadline. With the plan cache enabled, schedulers that accept a
+// compiled graph are dispatched through it — the compilation happens
+// (and is cached) once per unique graph; the produced schedules are
+// bit-identical to the ad-hoc path (pinned by the differential tests).
+func (e *Engine) run(ctx context.Context, req Request, gk plan.Key) (*sched.Schedule, error) {
 	s, err := casch.NewScheduler(req.Algorithm, req.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadAlgorithm, err)
@@ -457,16 +504,44 @@ func (e *Engine) run(ctx context.Context, req Request) (*sched.Schedule, error) 
 		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
 		defer cancel()
 	}
+	type compiledFinder interface {
+		FindCompiled(ctx context.Context, cg *plan.CompiledGraph, procs int) (*sched.Schedule, error)
+	}
+	type compiledScheduler interface {
+		ScheduleCompiled(cg *plan.CompiledGraph, procs int) (*sched.Schedule, error)
+	}
 	type finder interface {
 		Find(ctx context.Context, g *dag.Graph, procs int) (*sched.Schedule, error)
 	}
+	var cg *plan.CompiledGraph
+	if e.plans != nil {
+		switch s.(type) {
+		case compiledFinder, compiledScheduler:
+			if cg, err = e.plans.GetKeyed(req.Graph, gk); err != nil {
+				// Unreachable after validate (Compile only fails on empty
+				// or cyclic graphs), but don't run with a nil plan.
+				return nil, fmt.Errorf("%w: %v", ErrBadGraph, err)
+			}
+		}
+	}
 	var out *sched.Schedule
 	var err2 error
-	if f, ok := s.(finder); ok {
+	if cg != nil {
+		// cg is only compiled when s matched one of the two interfaces.
+		switch cs := s.(type) {
+		case compiledFinder: // the FAST family: context plumbed through
+			out, err2 = cs.FindCompiled(ctx, cg, req.Procs)
+		case compiledScheduler:
+			// Compiled baselines have no context plumbing; honour the
+			// context at the request boundary at least.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			out, err2 = cs.ScheduleCompiled(cg, req.Procs)
+		}
+	} else if f, ok := s.(finder); ok {
 		out, err2 = f.Find(ctx, req.Graph, req.Procs)
 	} else {
-		// Non-FAST schedulers have no context plumbing; honour the
-		// context at the request boundary at least.
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}

@@ -4,131 +4,166 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/hex"
-	"math"
 	"sync"
 	"time"
 
-	"fastsched/internal/dag"
+	"fastsched/internal/plan"
 	"fastsched/internal/sched"
 )
 
-// requestKey derives the content-addressed cache key of a request: a
-// SHA-256 over the full scheduling input — algorithm name, seed,
-// normalized processor count, and the graph's structure and weights.
-// Two requests with equal keys are guaranteed to describe the same
-// scheduling problem, so their (deterministic) results are
-// interchangeable. Labels are excluded: they never influence a
-// schedule. The per-request deadline is excluded too — a request that
-// finishes inside its deadline is bit-identical to an unbounded one,
-// and partial (expired) results are never cached.
+// resultKey is the content address of one scheduling request: a
+// SHA-256 over the full scheduling input. Two requests with equal keys
+// are guaranteed to describe the same scheduling problem, so their
+// (deterministic) results are interchangeable.
+type resultKey [32]byte
+
+// requestKey derives the content-addressed cache key of a request.
+// The graph — the expensive part of the input — is hashed exactly once
+// per request via plan.GraphKey, the same digest that addresses the
+// compilation cache; requestKeyFrom then folds in the scalar options
+// with a second, cheap hash over 56 bytes plus the algorithm name.
 //
-// Adjacency is hashed in *stored* order, not canonicalized: the
-// schedulers' tie-breaks (and FAST's random transfer sequence) depend
-// on the order edges were inserted, so two graphs with the same edge
-// set but different insertion orders can legally schedule differently.
-// Hashing the graph exactly as the scheduler sees it keeps the cache's
-// guarantee bit-exact; structurally equal graphs built in different
-// orders simply miss each other's entries.
-func requestKey(req Request) string {
-	h := sha256.New()
-	var buf [8]byte
+// Labels are excluded: they never influence a schedule. The
+// per-request deadline is excluded too — a request that finishes
+// inside its deadline is bit-identical to an unbounded one, and
+// partial (expired) results are never cached. plan.GraphKey hashes the
+// adjacency in *stored* order, not canonicalized: the schedulers'
+// tie-breaks (and FAST's random transfer sequence) depend on the order
+// edges were inserted, so two graphs with the same edge set but
+// different insertion orders can legally schedule differently.
+func requestKey(req Request) resultKey {
+	return requestKeyFrom(req, plan.GraphKey(req.Graph))
+}
 
-	writeU64 := func(x uint64) {
-		binary.LittleEndian.PutUint64(buf[:], x)
-		h.Write(buf[:])
-	}
-	writeF64 := func(x float64) { writeU64(math.Float64bits(x)) }
+// keyBufPool recycles requestKeyFrom's serialization buffers so the
+// warm lookup path allocates nothing.
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
-	h.Write([]byte(req.Algorithm))
-	h.Write([]byte{0})
-	writeU64(uint64(req.Seed))
+// requestKeyFrom is requestKey with the graph digest already in hand
+// ("hash once, use for both caches").
+func requestKeyFrom(req Request, gk plan.Key) resultKey {
+	bp := keyBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, req.Algorithm...)
+	buf = append(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(req.Seed))
 	procs := req.Procs
 	if procs <= 0 {
 		procs = 0 // every non-positive count means "unbounded"
 	}
-	writeU64(uint64(procs))
-
-	g := req.Graph
-	writeU64(uint64(g.NumNodes()))
-	for i := 0; i < g.NumNodes(); i++ {
-		writeF64(g.Weight(dag.NodeID(i)))
-	}
-	writeU64(uint64(g.NumEdges()))
-	for i := 0; i < g.NumNodes(); i++ {
-		succ := g.Succ(dag.NodeID(i))
-		writeU64(uint64(len(succ)))
-		for _, e := range succ { // stored order, deliberately not sorted
-			writeU64(uint64(e.To))
-			writeF64(e.Weight)
-		}
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(procs))
+	buf = append(buf, gk[:]...)
+	k := resultKey(sha256.Sum256(buf))
+	*bp = buf
+	keyBufPool.Put(bp)
+	return k
 }
 
-// cache is a bounded LRU over content-addressed schedule results.
-// Stored schedules are immutable by convention: the engine only ever
-// hands out clones.
+// cacheShards stripes the result cache. Power of two so the shard
+// index is a mask over the key's first byte — which is uniformly
+// distributed (SHA-256 output), so capacity and lock contention spread
+// evenly across shards instead of serializing every worker behind one
+// mutex.
+const cacheShards = 16
+
+// cache is a bounded, lock-striped LRU over content-addressed schedule
+// results. Stored schedules are immutable by convention: the engine
+// only ever hands out clones. The capacity bound is enforced per shard
+// at max/cacheShards (minimum 1), and LRU order is likewise per shard;
+// what a hit returns is unchanged from the single-lock cache — the
+// striping only relaxes *which* entry is evicted under pressure, never
+// the bit-identity of a hit.
 type cache struct {
+	shards [cacheShards]resultShard
+}
+
+type resultShard struct {
 	mu      sync.Mutex
 	max     int
-	entries map[string]*list.Element
+	entries map[resultKey]*list.Element
 	order   *list.List // front = most recent
 }
 
 type cacheEntry struct {
-	key   string
+	key   resultKey
 	sched *sched.Schedule
 }
 
 func newCache(max int) *cache {
-	return &cache{max: max, entries: make(map[string]*list.Element), order: list.New()}
+	perShard := max / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &cache{}
+	for i := range c.shards {
+		c.shards[i] = resultShard{
+			max:     perShard,
+			entries: make(map[resultKey]*list.Element),
+			order:   list.New(),
+		}
+	}
+	return c
 }
 
-func (c *cache) get(key string) (*sched.Schedule, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+func (c *cache) shard(key resultKey) *resultShard {
+	return &c.shards[key[0]&(cacheShards-1)]
+}
+
+func (c *cache) get(key resultKey) (*sched.Schedule, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
 	if !ok {
 		return nil, false
 	}
-	c.order.MoveToFront(el)
+	s.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).sched, true
 }
 
-func (c *cache) put(key string, s *sched.Schedule) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).sched = s
-		c.order.MoveToFront(el)
+func (c *cache) put(key resultKey, sc *sched.Schedule) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*cacheEntry).sched = sc
+		s.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, sched: s})
-	for c.order.Len() > c.max {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	s.entries[key] = s.order.PushFront(&cacheEntry{key: key, sched: sc})
+	for s.order.Len() > s.max {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.entries, oldest.Value.(*cacheEntry).key)
 	}
 }
 
-// len returns the current entry count (for tests and reports).
+// len returns the current entry count across shards (for tests and
+// reports).
 func (c *cache) len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // flightGroup deduplicates concurrent identical requests: the first
 // joiner of a key becomes the leader and runs the scheduling; later
 // joiners wait for the leader's published result. A minimal in-package
-// single-flight (the module is dependency-free by policy).
+// single-flight (the module is dependency-free by policy). Flight
+// entries are transient — they live only while a run is in progress —
+// so a single mutex stays uncontended and the single-flight semantics
+// are untouched by the result cache's striping.
 type flightGroup struct {
 	mu    sync.Mutex
-	calls map[string]*flightCall
+	calls map[resultKey]*flightCall
 }
 
 type flightCall struct {
@@ -141,13 +176,13 @@ type flightCall struct {
 }
 
 func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
+	return &flightGroup{calls: make(map[resultKey]*flightCall)}
 }
 
 // join registers interest in key. The first caller gets leader == true
 // and must eventually call leave with the same call; others receive the
 // leader's call to wait on.
-func (f *flightGroup) join(key string) (leader bool, c *flightCall) {
+func (f *flightGroup) join(key resultKey) (leader bool, c *flightCall) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if c, ok := f.calls[key]; ok {
@@ -161,7 +196,7 @@ func (f *flightGroup) join(key string) (leader bool, c *flightCall) {
 
 // leave publishes the leader's result (already stored in c) and wakes
 // every waiter.
-func (f *flightGroup) leave(key string, c *flightCall) {
+func (f *flightGroup) leave(key resultKey, c *flightCall) {
 	f.mu.Lock()
 	delete(f.calls, key)
 	f.mu.Unlock()

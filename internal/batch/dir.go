@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -89,11 +90,56 @@ func loadGraph(path string) (*dag.Graph, error) {
 	return g, err
 }
 
+// loadAhead bounds how many parsed graphs the RunDir prefetcher may
+// hold ahead of the submit loop. Parsing is the CPU-bound half of
+// directory ingest; a small window keeps every core busy without
+// materializing an unbounded directory in memory.
+func loadAhead() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// prefetchGraphs parses the files concurrently but delivers them
+// strictly in file order: loads[i] carries file i's graph (or load
+// error) and the window semaphore caps outstanding parsed-but-not-yet-
+// consumed graphs. The consumer must receive from every channel in
+// order and release one window token per receive.
+func prefetchGraphs(files []string) (loads []chan loadResult, window chan struct{}) {
+	loads = make([]chan loadResult, len(files))
+	for i := range loads {
+		loads[i] = make(chan loadResult, 1)
+	}
+	window = make(chan struct{}, loadAhead())
+	go func() {
+		for i, path := range files {
+			window <- struct{}{} // blocks while the consumer is behind
+			go func(i int, path string) {
+				g, err := loadGraph(path)
+				loads[i] <- loadResult{g: g, err: err}
+			}(i, path)
+		}
+	}()
+	return loads, window
+}
+
+type loadResult struct {
+	g   *dag.Graph
+	err error
+}
+
 // RunDir schedules every *.json graph of dir through the engine
 // concurrently (admission paced by the engine's backpressure) and
 // returns the per-file results in file order plus the aggregate. A
 // file that fails to load or schedule is reported in its FileResult;
 // RunDir only errors when the directory itself is unreadable or empty.
+//
+// Loading is pipelined: a bounded pool parses files ahead of the
+// submit loop, which stays sequential in file order — so the engine's
+// backpressure, the admission order, and the JSONL output order are
+// all identical to the previous sequential loader.
 func RunDir(ctx context.Context, e *Engine, dir string, tmpl Request) ([]FileResult, Aggregate, error) {
 	files, err := ListGraphFiles(dir)
 	if err != nil {
@@ -105,13 +151,16 @@ func RunDir(ctx context.Context, e *Engine, dir string, tmpl Request) ([]FileRes
 
 	begin := time.Now()
 	out := make([]FileResult, len(files))
+	loads, window := prefetchGraphs(files)
 	var wg sync.WaitGroup
 	for i, path := range files {
 		fr := FileResult{File: filepath.Base(path), Algorithm: tmpl.Algorithm, Procs: tmpl.Procs}
 		if fr.Algorithm == "" {
 			fr.Algorithm = DefaultAlgorithm
 		}
-		g, err := loadGraph(path)
+		ld := <-loads[i]
+		<-window
+		g, err := ld.g, ld.err
 		if err != nil {
 			fr.Error = err.Error()
 			out[i] = fr

@@ -53,8 +53,12 @@ func ReadSTG(r io.Reader, defaultComm float64) (*Graph, error) {
 		cost  float64
 		preds []int
 	}
-	rows := make([]row, n)
-	seen := make([]bool, n)
+	// Keyed by task id rather than a pre-sized slice: the declared
+	// count is untrusted input, and sizing allocations by it would let
+	// a few-byte header demand gigabytes (found by FuzzReadSTG). With a
+	// map, memory tracks the rows actually read, and the final graph
+	// allocation below happens only after all n rows were consumed.
+	rows := make(map[int]row)
 	for i := 0; i < n; i++ {
 		f, err := nextFields()
 		if err != nil {
@@ -67,10 +71,9 @@ func ReadSTG(r io.Reader, defaultComm float64) (*Graph, error) {
 		if err != nil || id < 0 || id >= n {
 			return nil, fmt.Errorf("dag: stg: bad task id %q", f[0])
 		}
-		if seen[id] {
+		if _, dup := rows[id]; dup {
 			return nil, fmt.Errorf("dag: stg: duplicate task id %d", id)
 		}
-		seen[id] = true
 		cost, err := strconv.ParseFloat(f[1], 64)
 		if err != nil || cost < 0 {
 			return nil, fmt.Errorf("dag: stg: bad cost %q for task %d", f[1], id)

@@ -21,6 +21,7 @@ import (
 	"errors"
 
 	"fastsched/internal/dag"
+	"fastsched/internal/plan"
 	"fastsched/internal/sched"
 )
 
@@ -37,14 +38,31 @@ func (*Scheduler) Name() string { return "DSC" }
 // of processors and ignores procs entirely (the paper's experiments do
 // the same: DSC "in general uses O(v) processors").
 func (*Scheduler) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
-	v := g.NumNodes()
-	if v == 0 {
+	if g.NumNodes() == 0 {
 		return nil, errors.New("dsc: empty graph")
 	}
 	l, err := dag.ComputeLevels(g)
 	if err != nil {
 		return nil, err
 	}
+	return scheduleWithLevels(g, l)
+}
+
+// ScheduleCompiled schedules against a pre-compiled plan, reusing its
+// level tables instead of recomputing them. Bit-identical to Schedule;
+// procs is ignored exactly as in Schedule.
+func (*Scheduler) ScheduleCompiled(cg *plan.CompiledGraph, procs int) (*sched.Schedule, error) {
+	if cg.Graph.NumNodes() == 0 {
+		return nil, errors.New("dsc: empty graph")
+	}
+	return scheduleWithLevels(cg.Graph, cg.Levels)
+}
+
+// scheduleWithLevels runs the DSC examination loop. It reads l.BLevel
+// and copies l.TLevel (the t-levels are updated incrementally), so a
+// shared CompiledGraph's tables are never mutated.
+func scheduleWithLevels(g *dag.Graph, l *dag.Levels) (*sched.Schedule, error) {
+	v := g.NumNodes()
 
 	cluster := make([]int, v) // -1 while unexamined
 	for i := range cluster {

@@ -13,6 +13,7 @@ import (
 
 	"fastsched/internal/dag"
 	"fastsched/internal/listsched"
+	"fastsched/internal/plan"
 	"fastsched/internal/sched"
 )
 
@@ -31,12 +32,25 @@ func (*Scheduler) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
 	if g.NumNodes() == 0 {
 		return nil, errors.New("etf: empty graph")
 	}
-	if procs <= 0 {
-		procs = g.NumNodes()
-	}
 	l, err := dag.ComputeLevels(g)
 	if err != nil {
 		return nil, err
+	}
+	return scheduleWithLevels(g, l, procs)
+}
+
+// ScheduleCompiled schedules against a pre-compiled plan, reusing its
+// level tables instead of recomputing them. Bit-identical to Schedule.
+func (*Scheduler) ScheduleCompiled(cg *plan.CompiledGraph, procs int) (*sched.Schedule, error) {
+	if cg.Graph.NumNodes() == 0 {
+		return nil, errors.New("etf: empty graph")
+	}
+	return scheduleWithLevels(cg.Graph, cg.Levels, procs)
+}
+
+func scheduleWithLevels(g *dag.Graph, l *dag.Levels, procs int) (*sched.Schedule, error) {
+	if procs <= 0 {
+		procs = g.NumNodes()
 	}
 	v := g.NumNodes()
 	m := listsched.NewMachine(procs)

@@ -2,10 +2,13 @@ package fast
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"fastsched/internal/dag"
+	"fastsched/internal/plan"
 	"fastsched/internal/workload"
 )
 
@@ -69,6 +72,37 @@ func BenchmarkSearchStep(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))
 			b.ResetTimer()
 			st.search(context.Background(), blocking, b.N, rng)
+		})
+	}
+}
+
+// BenchmarkPFASTWallClock measures one whole PFAST scheduling run
+// (phase 1 on every start variant + 8 cooperating searchers with
+// work stealing) at different GOMAXPROCS settings. On multi-core
+// machines wall-clock should fall monotonically as GOMAXPROCS grows
+// toward the worker count; scripts/bench.sh records the curve into
+// BENCH_throughput.json. Note the deterministic reported result is
+// identical at every setting — only the wall-clock changes.
+func BenchmarkPFASTWallClock(b *testing.B) {
+	g, err := workload.Random(workload.RandomOpts{V: 600, Seed: 7, MeanInDegree: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cg, err := plan.Compile(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("gomaxprocs=%d", p), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(p)
+			defer runtime.GOMAXPROCS(prev)
+			s := New(Options{Parallelism: 8, Seed: 42})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ScheduleCompiled(cg, 32); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -20,12 +20,15 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastsched/internal/dag"
 	"fastsched/internal/obs"
+	"fastsched/internal/plan"
 	"fastsched/internal/sched"
 )
 
@@ -238,17 +241,47 @@ func (f *Scheduler) schedule(ctx context.Context, g *dag.Graph, procs int) (*sch
 	if g.NumNodes() == 0 {
 		return nil, errors.New("fast: empty graph")
 	}
+	cg, err := plan.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	return f.findCompiled(ctx, cg, procs)
+}
+
+// ScheduleCompiled runs the scheduler against a pre-compiled graph —
+// the serving path: the batch engine compiles (or fetches from the plan
+// cache) once per unique graph, then every request for that graph skips
+// the level/classification/list analysis entirely. The result is
+// bit-identical to Schedule(cg.Graph, procs) (pinned by the
+// differential tests in internal/batch).
+func (f *Scheduler) ScheduleCompiled(cg *plan.CompiledGraph, procs int) (*sched.Schedule, error) {
+	ctx := f.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return f.findCompiled(ctx, cg, procs)
+}
+
+// FindCompiled is ScheduleCompiled under an explicit context; see
+// Scheduler.Find for the partial-result contract.
+func (f *Scheduler) FindCompiled(ctx context.Context, cg *plan.CompiledGraph, procs int) (*sched.Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return f.findCompiled(ctx, cg, procs)
+}
+
+func (f *Scheduler) findCompiled(ctx context.Context, cg *plan.CompiledGraph, procs int) (*sched.Schedule, error) {
+	g := cg.Graph
+	if g.NumNodes() == 0 {
+		return nil, errors.New("fast: empty graph")
+	}
 	if procs <= 0 {
 		procs = g.NumNodes()
 	}
 	if f.opts.Budget > 0 && f.opts.Strategy != Greedy {
 		return nil, fmt.Errorf("fast: Budget is only supported with the Greedy strategy, got %v", f.opts.Strategy)
 	}
-	l, err := dag.ComputeLevels(g)
-	if err != nil {
-		return nil, err
-	}
-	cls := dag.Classify(g, l)
 
 	maxSteps := f.opts.MaxSteps
 	if maxSteps == 0 {
@@ -257,40 +290,41 @@ func (f *Scheduler) schedule(ctx context.Context, g *dag.Graph, procs int) (*sch
 
 	tele := newTelemetry(f.opts.Metrics, f.opts.Trajectory)
 
-	var st *state
-	var searchErr error
 	if f.opts.MultiStart && f.opts.Parallelism > 1 && !f.opts.NoSearch && maxSteps > 0 {
 		t0 := time.Now()
-		st, searchErr = f.multiStart(ctx, g, l, cls, procs, maxSteps, tele)
-		if st == nil {
+		s, searchErr := f.multiStart(ctx, cg, procs, maxSteps, tele)
+		if s == nil {
 			return nil, searchErr
 		}
 		f.timer("fast.search_ns").ObserveSince(t0)
-	} else {
-		list := f.priorityList(g, l, cls)
-		st = newState(g, list, procs)
-		st.tele = tele
-		t0 := time.Now()
-		if f.opts.Insertion {
-			st.initialInsertion()
-		} else {
-			st.initialReadyTime()
-		}
-		f.timer("fast.phase1_ns").ObserveSince(t0)
-		f.gauge("fast.initial_makespan").Set(st.length)
+		s.Algorithm = f.Name()
+		f.gauge("fast.final_makespan").Set(s.Length())
+		return s, searchErr
+	}
 
-		if !f.opts.NoSearch && maxSteps > 0 {
-			blocking := blockingList(cls)
-			t1 := time.Now()
-			if f.opts.Parallelism > 1 {
-				searchErr = st.searchParallel(ctx, blocking, maxSteps, f.opts.Seed, f.opts.Parallelism, f.opts.Strategy, f.opts.Budget)
-			} else {
-				searchErr = runSearch(ctx, st, blocking, maxSteps, f.opts.Strategy, f.opts.Budget, rand.New(rand.NewSource(f.opts.Seed)))
-			}
-			f.timer("fast.search_ns").ObserveSince(t1)
-			if searchErr != nil && !isCancellation(searchErr) {
-				return nil, searchErr
-			}
+	list := f.priorityList(cg)
+	st := acquireState(g, list, cg.CSR, procs, tele)
+	defer st.release()
+	var searchErr error
+	t0 := time.Now()
+	if f.opts.Insertion {
+		st.initialInsertion()
+	} else {
+		st.initialReadyTime()
+	}
+	f.timer("fast.phase1_ns").ObserveSince(t0)
+	f.gauge("fast.initial_makespan").Set(st.length)
+
+	if !f.opts.NoSearch && maxSteps > 0 {
+		t1 := time.Now()
+		if f.opts.Parallelism > 1 {
+			searchErr = st.searchParallel(ctx, cg.Blocking, maxSteps, f.opts.Seed, f.opts.Parallelism, f.opts.Strategy, f.opts.Budget)
+		} else {
+			searchErr = runSearch(ctx, st, cg.Blocking, maxSteps, f.opts.Strategy, f.opts.Budget, rand.New(rand.NewSource(f.opts.Seed)))
+		}
+		f.timer("fast.search_ns").ObserveSince(t1)
+		if searchErr != nil && !isCancellation(searchErr) {
+			return nil, searchErr
 		}
 	}
 
@@ -317,81 +351,140 @@ func (f *Scheduler) gauge(name string) *obs.Gauge {
 	return f.opts.Metrics.Gauge(name)
 }
 
-// multiStart runs Parallelism workers, each building its own initial
-// schedule (cycling through the list orders) and searching it with a
-// distinct seed; the shortest result wins deterministically. Workers are
-// wrapped in recover; a panic surfaces as a nil state plus an error. On
-// context expiry the best partial state is returned with ctx's error.
-func (f *Scheduler) multiStart(ctx context.Context, g *dag.Graph, l *dag.Levels, cls []dag.Class, procs, maxSteps int, tele telemetry) (*state, error) {
+// multiStart runs Parallelism start points, each building its own
+// initial schedule (cycling through the list orders) and searching it
+// with a distinct seed; the shortest result wins deterministically
+// (ties broken by lowest start index). Like searchParallel, the start
+// points are drained by up to GOMAXPROCS goroutines through an atomic
+// cursor, each goroutine reusing one pooled scratch state across the
+// starts it steals; a start's result depends only on its index, so the
+// stealing never changes the reported schedule. Starts are wrapped in
+// recover; a panic surfaces as a nil schedule plus an error. On
+// context expiry the best partial result is returned with ctx's error.
+func (f *Scheduler) multiStart(ctx context.Context, cg *plan.CompiledGraph, procs, maxSteps int, tele telemetry) (*sched.Schedule, error) {
+	g := cg.Graph
 	orders := []ListOrder{CPNDominate, BLevelOrder, StaticLevelOrder}
-	blocking := blockingList(cls)
 	workers := f.opts.Parallelism
-	results := make([]*state, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[w] = fmt.Errorf("fast: multi-start worker %d panicked: %v", w, r)
-					results[w] = nil
-				}
-			}()
-			if w == debugPanicWorker {
-				panic("injected test panic")
-			}
+	// Start w uses the list for orders[w%3]; build each used order's
+	// list once and share it read-only across starts.
+	lists := make([][]dag.NodeID, len(orders))
+	for i := range lists {
+		if i < workers {
 			variant := *f
-			variant.opts.Order = orders[w%len(orders)]
-			list := variant.priorityList(g, l, cls)
-			st := newState(g, list, procs)
-			st.tele = tele
-			st.tele.worker = w
-			if f.opts.Insertion {
-				st.initialInsertion()
-			} else {
-				st.initialReadyTime()
+			variant.opts.Order = orders[i]
+			lists[i] = variant.priorityList(cg)
+		}
+	}
+	type msResult struct {
+		list   []dag.NodeID
+		assign []int
+		start  []float64
+		finish []float64
+		length float64
+		ok     bool
+	}
+	results := make([]msResult, workers)
+	errs := make([]error, workers)
+	var incumbent *sharedBound
+	if f.opts.Budget > 0 {
+		incumbent = newSharedBound()
+	}
+	runStart := func(w int, local *state) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[w] = fmt.Errorf("fast: multi-start worker %d panicked: %v", w, r)
+				results[w] = msResult{}
 			}
-			rng := rand.New(rand.NewSource(f.opts.Seed + int64(w)))
-			errs[w] = runSearch(ctx, st, blocking, maxSteps, f.opts.Strategy, f.opts.Budget, rng)
-			results[w] = st
-		}(w)
+		}()
+		if w == debugPanicWorker {
+			panic("injected test panic")
+		}
+		list := lists[w%len(orders)]
+		local.init(g, list, cg.CSR, procs, checkpointInterval(procs))
+		local.tele = tele
+		local.tele.worker = w
+		local.cutoff = true
+		local.incumbent = incumbent
+		if f.opts.Insertion {
+			local.initialInsertion()
+		} else {
+			local.initialReadyTime()
+		}
+		rng := rand.New(rand.NewSource(f.opts.Seed + int64(w)))
+		errs[w] = runSearch(ctx, local, cg.Blocking, maxSteps, f.opts.Strategy, f.opts.Budget, rng)
+		r := &results[w]
+		r.list = list
+		r.assign = append(r.assign[:0], local.assign...)
+		r.start = append(r.start[:0], local.start...)
+		r.finish = append(r.finish[:0], local.finish...)
+		r.length = local.length
+		r.ok = true
+	}
+	var cursor atomic.Int64
+	goroutines := runtime.GOMAXPROCS(0)
+	if goroutines > workers {
+		goroutines = workers
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := statePool.Get().(*state)
+			if local.g == nil && local.assign == nil {
+				tele.poolNews.Inc()
+			} else {
+				tele.poolGets.Inc()
+			}
+			defer local.release()
+			for {
+				w := int(cursor.Add(1)) - 1
+				if w >= workers {
+					return
+				}
+				runStart(w, local)
+			}
+		}()
 	}
 	wg.Wait()
 	var ctxErr error
 	for w := 0; w < workers; w++ {
 		if err := errs[w]; err != nil {
-			if results[w] == nil || !isCancellation(err) {
+			if !results[w].ok || !isCancellation(err) {
 				return nil, err
 			}
 			ctxErr = err
 		}
 	}
-	best := results[0]
-	for _, st := range results[1:] {
-		if st.length < best.length-1e-12 {
-			best = st
+	best := 0
+	for w := 1; w < workers; w++ {
+		if results[w].length < results[best].length-1e-12 {
+			best = w
 		}
 	}
 	tele.workers.Add(int64(workers))
-	for _, st := range results {
-		if st != nil {
-			tele.workerLn.Observe(st.length)
+	for w := 0; w < workers; w++ {
+		if results[w].ok {
+			tele.workerLn.Observe(results[w].length)
 		}
 	}
-	return best, ctxErr
+	r := results[best]
+	return buildScheduleFrom(g, procs, r.list, r.assign, r.start, r.finish), ctxErr
 }
 
-// priorityList builds the phase-1 list for the configured order.
-func (f *Scheduler) priorityList(g *dag.Graph, l *dag.Levels, cls []dag.Class) []dag.NodeID {
+// priorityList builds the phase-1 list for the configured order from
+// the compiled artifacts. The default order is the compiled
+// CPN-Dominate list itself, shared read-only — phase 1 never mutates
+// its list.
+func (f *Scheduler) priorityList(cg *plan.CompiledGraph) []dag.NodeID {
+	l := cg.Levels
 	switch f.opts.Order {
 	case BLevelOrder:
-		return levelSortedList(g, l, func(n dag.NodeID) float64 { return l.BLevel[n] })
+		return levelSortedList(cg.Graph, l, func(n dag.NodeID) float64 { return l.BLevel[n] })
 	case StaticLevelOrder:
-		return levelSortedList(g, l, func(n dag.NodeID) float64 { return l.Static[n] })
+		return levelSortedList(cg.Graph, l, func(n dag.NodeID) float64 { return l.Static[n] })
 	default:
-		return CPNDominateList(g, l, cls)
+		return cg.CPNDominate
 	}
 }
 
@@ -417,86 +510,12 @@ func levelSortedList(g *dag.Graph, l *dag.Levels, key func(dag.NodeID) float64) 
 // CPNDominateList constructs the paper's CPN-Dominate list: critical
 // path nodes in path order, each preceded by its yet-unlisted ancestors
 // (larger b-levels first, ties by smaller t-level), followed by the
-// out-branch nodes in decreasing b-level order.
-//
-// Note: the paper's §4.1 prose says OBNs are ordered by *increasing*
-// b-level while the normative step (9) says *decreasing*. Decreasing is
-// the only choice that keeps the list a topological order (a parent's
-// b-level strictly exceeds its child's when node weights are positive),
-// so decreasing is what we implement.
+// out-branch nodes in decreasing b-level order. The construction lives
+// in internal/plan so the compiled-graph path and ad-hoc callers (the
+// crash rescheduler rebuilds a list for a suffix subgraph) share one
+// implementation; this wrapper is the package's public spelling.
 func CPNDominateList(g *dag.Graph, l *dag.Levels, cls []dag.Class) []dag.NodeID {
-	v := g.NumNodes()
-	list := make([]dag.NodeID, 0, v)
-	inList := make([]bool, v)
-	appendNode := func(n dag.NodeID) {
-		list = append(list, n)
-		inList[n] = true
-	}
-
-	// Pre-sort each node's parents by decreasing b-level, ties by
-	// smaller t-level, then smaller ID: the order step (5) examines them.
-	parentOrder := make([][]dag.NodeID, v)
-	for i := 0; i < v; i++ {
-		preds := g.Pred(dag.NodeID(i))
-		ps := make([]dag.NodeID, len(preds))
-		for j, e := range preds {
-			ps[j] = e.From
-		}
-		sort.Slice(ps, func(a, b int) bool {
-			if l.BLevel[ps[a]] != l.BLevel[ps[b]] {
-				return l.BLevel[ps[a]] > l.BLevel[ps[b]]
-			}
-			if l.TLevel[ps[a]] != l.TLevel[ps[b]] {
-				return l.TLevel[ps[a]] < l.TLevel[ps[b]]
-			}
-			return ps[a] < ps[b]
-		})
-		parentOrder[i] = ps
-	}
-
-	// include places n after recursively placing its unlisted ancestors,
-	// larger b-levels first.
-	var include func(n dag.NodeID)
-	include = func(n dag.NodeID) {
-		if inList[n] {
-			return
-		}
-		for _, p := range parentOrder[n] {
-			include(p)
-		}
-		appendNode(n)
-	}
-
-	// CPNs in ascending t-level order; for a unique critical path this
-	// is exactly the path order (entry CPN first).
-	cpns := dag.NodesOfClass(cls, dag.CPN)
-	sort.Slice(cpns, func(a, b int) bool {
-		if l.TLevel[cpns[a]] != l.TLevel[cpns[b]] {
-			return l.TLevel[cpns[a]] < l.TLevel[cpns[b]]
-		}
-		return cpns[a] < cpns[b]
-	})
-	for _, n := range cpns {
-		include(n)
-	}
-
-	// Step (9): append the OBNs in decreasing b-level order.
-	obns := dag.NodesOfClass(cls, dag.OBN)
-	sort.Slice(obns, func(a, b int) bool {
-		if l.BLevel[obns[a]] != l.BLevel[obns[b]] {
-			return l.BLevel[obns[a]] > l.BLevel[obns[b]]
-		}
-		if l.TLevel[obns[a]] != l.TLevel[obns[b]] {
-			return l.TLevel[obns[a]] < l.TLevel[obns[b]]
-		}
-		return obns[a] < obns[b]
-	})
-	for _, n := range obns {
-		// An OBN may still have unlisted OBN ancestors when b-levels tie;
-		// include handles that while preserving step (9)'s intent.
-		include(n)
-	}
-	return list
+	return plan.CPNDominateList(g, l, cls)
 }
 
 // blockingList returns the paper's blocking-node list: all IBNs and

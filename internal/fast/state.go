@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastsched/internal/dag"
 	"fastsched/internal/listsched"
 	"fastsched/internal/obs"
+	"fastsched/internal/plan"
 	"fastsched/internal/sched"
 )
 
@@ -27,10 +30,13 @@ type telemetry struct {
 	accepted *obs.Counter   // strict improvements kept
 	reverted *obs.Counter   // candidates undone
 	skipped  *obs.Counter   // same-processor draws (consume a step, no eval)
+	cutoffs  *obs.Counter   // suffix replays aborted by an incumbent bound
 	replay   *obs.Histogram // list positions replayed per evaluation
 	best     *obs.Gauge     // running best makespan (last accepting worker)
 	workers  *obs.Counter   // search workers launched (PFAST/multi-start)
 	workerLn *obs.Histogram // final makespan per worker
+	poolGets *obs.Counter   // scratch states served from the pool
+	poolNews *obs.Counter   // scratch states freshly allocated
 	traj     *obs.Trajectory
 	worker   int // trajectory tag; 0 for the serial search
 }
@@ -46,10 +52,13 @@ func newTelemetry(sink obs.Sink, traj *obs.Trajectory) telemetry {
 	t.accepted = sink.Counter("fast.search.accepted")
 	t.reverted = sink.Counter("fast.search.reverted")
 	t.skipped = sink.Counter("fast.search.same_proc_skips")
+	t.cutoffs = sink.Counter("fast.search.incumbent_cutoffs")
 	t.replay = sink.Histogram("fast.search.replay_len", obs.ExpBuckets(1, 2, 17))
 	t.best = sink.Gauge("fast.search.best_makespan")
 	t.workers = sink.Counter("fast.search.workers")
 	t.workerLn = sink.Histogram("fast.search.worker_final_len", obs.ExpBuckets(1, 2, 24))
+	t.poolGets = sink.Counter("fast.pool.gets")
+	t.poolNews = sink.Counter("fast.pool.news")
 	return t
 }
 
@@ -101,8 +110,8 @@ type state struct {
 	list  []dag.NodeID // topological priority order (phase-1 list)
 	procs int
 
-	csr *predCSR // flat predecessor layout; immutable, shared by clones
-	pos []int    // node -> list position; immutable, shared by clones
+	csr *plan.CSR // flat adjacency layout; immutable, shared by clones
+	pos []int     // node -> list position; shared read-only by clones
 
 	assign []int // processor of each node
 	start  []float64
@@ -139,10 +148,25 @@ type state struct {
 
 	// tele carries the resolved telemetry of this run; the zero value
 	// (nil metric pointers) disables it. lastReplay is the number of
-	// list positions the most recent tryTransfer replayed, for the
-	// trajectory recording.
+	// list positions the most recent tryTransfer journaled (the planned
+	// replay suffix), for the trajectory recording; an incumbent cutoff
+	// replays fewer positions but records the same planned length so
+	// telemetry semantics do not depend on the cutoff.
 	tele       telemetry
 	lastReplay int
+
+	// cutoff enables the incumbent-bound replay abort: a candidate
+	// replay whose running length already reaches the bound cannot be
+	// accepted, so it stops early and is reverted. With only the local
+	// best as the bound this is decision-equivalent to a full
+	// evaluation (the schedule length is non-decreasing over a replay),
+	// so PFAST/multi-start workers keep their bit-exact determinism.
+	// incumbent, when non-nil, additionally shares the best makespan
+	// across workers; the cross-worker bound makes a worker's
+	// trajectory timing-dependent, so it is only wired up in Budget
+	// (anytime) mode, where fixed-seed determinism is already waived.
+	cutoff    bool
+	incumbent *sharedBound
 
 	fullReplay bool // mirror of debugFullReplay, captured at newState
 }
@@ -152,8 +176,23 @@ func newState(g *dag.Graph, list []dag.NodeID, procs int) *state {
 }
 
 // newStateK is newState with an explicit checkpoint interval, so tests
-// can exercise degenerate spacings (K=1, K ≥ v).
+// can exercise degenerate spacings (K=1, K ≥ v). It always allocates
+// fresh tables; the serving paths use acquireState to draw recycled
+// scratch from the package pool instead.
 func newStateK(g *dag.Graph, list []dag.NodeID, procs, ckK int) *state {
+	st := &state{}
+	st.init(g, list, plan.NewCSR(g), procs, ckK)
+	return st
+}
+
+// init sizes every table of st for (g, list, procs, ckK), reusing the
+// slices' existing capacity. Checkpoint 0 (the empty machine) is
+// zeroed because the first full replay restores from it before
+// rewriting it; every other table is fully overwritten before it is
+// read, so recycled scratch never leaks values into a run (the
+// differential tests pin this by comparing pooled runs against fresh
+// ones bit for bit).
+func (st *state) init(g *dag.Graph, list []dag.NodeID, csr *plan.CSR, procs, ckK int) {
 	v := g.NumNodes()
 	if ckK < 1 {
 		ckK = 1
@@ -162,34 +201,114 @@ func newStateK(g *dag.Graph, list []dag.NodeID, procs, ckK int) *state {
 	if v > 0 {
 		numCk = (v-1)/ckK + 1
 	}
-	return &state{
-		g:          g,
-		list:       list,
-		procs:      procs,
-		csr:        newPredCSR(g),
-		pos:        listPositions(list, v),
-		assign:     make([]int, v),
-		start:      make([]float64, v),
-		finish:     make([]float64, v),
-		ready:      make([]float64, procs),
-		ckK:        ckK,
-		ckReady:    make([]float64, numCk*procs),
-		ckLen:      make([]float64, numCk),
-		dirty:      0,
-		undoStart:  make([]float64, v),
-		undoFinish: make([]float64, v),
-		undoCk:     make([]float64, numCk*procs),
-		undoCkLen:  make([]float64, numCk),
-		fullReplay: debugFullReplay,
+	st.g = g
+	st.list = list
+	st.procs = procs
+	st.csr = csr
+	st.pos = resizeInt(st.pos, v)
+	for i, n := range list {
+		st.pos[n] = i
 	}
+	st.assign = resizeInt(st.assign, v)
+	st.start = resizeF64(st.start, v)
+	st.finish = resizeF64(st.finish, v)
+	st.ready = resizeF64(st.ready, procs)
+	st.length = 0
+	st.ckK = ckK
+	st.ckReady = resizeF64(st.ckReady, numCk*procs)
+	st.ckLen = resizeF64(st.ckLen, numCk)
+	for i := 0; i < procs && i < len(st.ckReady); i++ {
+		st.ckReady[i] = 0
+	}
+	if numCk > 0 {
+		st.ckLen[0] = 0
+	}
+	st.dirty = 0
+	st.undoStart = resizeF64(st.undoStart, v)
+	st.undoFinish = resizeF64(st.undoFinish, v)
+	st.undoCk = resizeF64(st.undoCk, numCk*procs)
+	st.undoCkLen = resizeF64(st.undoCkLen, numCk)
+	st.tele = telemetry{}
+	st.lastReplay = 0
+	st.cutoff = false
+	st.incumbent = nil
+	st.fullReplay = debugFullReplay
 }
 
-func listPositions(list []dag.NodeID, v int) []int {
-	pos := make([]int, v)
-	for i, n := range list {
-		pos[n] = i
+// resizeF64 returns s with length n, reusing capacity when possible.
+// Contents are unspecified; callers overwrite before reading.
+func resizeF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
 	}
-	return pos
+	return make([]float64, n)
+}
+
+func resizeInt(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+// statePool recycles search states across runs. States are sized
+// per-run by init (slices keep their capacity), so a steady stream of
+// same-shaped requests reaches a fixed point where acquireState
+// allocates nothing — the AllocsPerRun tests pin that.
+var statePool = sync.Pool{New: func() any { return &state{} }}
+
+// acquireState draws a state from the pool and initializes it for this
+// run. Release with st.release() once the schedule has been extracted;
+// a released state must not be touched again.
+func acquireState(g *dag.Graph, list []dag.NodeID, csr *plan.CSR, procs int, tele telemetry) *state {
+	st := statePool.Get().(*state)
+	if st.g == nil && st.assign == nil {
+		tele.poolNews.Inc()
+	} else {
+		tele.poolGets.Inc()
+	}
+	st.init(g, list, csr, procs, checkpointInterval(procs))
+	st.tele = tele
+	return st
+}
+
+// release returns st to the pool, dropping the references that would
+// otherwise keep the graph alive. The tables keep their capacity.
+func (st *state) release() {
+	st.g = nil
+	st.list = nil
+	st.csr = nil
+	st.tele = telemetry{}
+	st.incumbent = nil
+	statePool.Put(st)
+}
+
+// sharedBound is an atomic float64 minimum shared by cooperating
+// budget-mode workers: accepted improvements publish their makespan,
+// and every worker folds the published bound into its replay cutoff.
+type sharedBound struct{ bits atomic.Uint64 }
+
+func newSharedBound() *sharedBound {
+	b := &sharedBound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+func (b *sharedBound) load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// update lowers the bound to x if x is smaller (CAS loop).
+func (b *sharedBound) update(x float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= x {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+	}
 }
 
 // initialReadyTime runs the paper's InitialSchedule(): walk the list,
@@ -213,8 +332,8 @@ func (st *state) initialReadyTime() {
 			}
 		}
 		seen := false
-		for i := st.csr.off[n]; i < st.csr.off[n+1]; i++ {
-			p := st.assign[st.csr.from[i]]
+		for i := st.csr.PredOff[n]; i < st.csr.PredOff[n+1]; i++ {
+			p := st.assign[st.csr.PredFrom[i]]
 			// Parent processors can repeat; consider handles duplicates
 			// harmlessly (same candidate, same value).
 			consider(p)
@@ -282,11 +401,11 @@ func (st *state) place(n dag.NodeID, p int, s float64) {
 // the flat CSR predecessor arrays.
 func (st *state) datOn(n dag.NodeID, p int) float64 {
 	var dat float64
-	for i := st.csr.off[n]; i < st.csr.off[n+1]; i++ {
-		from := st.csr.from[i]
+	for i := st.csr.PredOff[n]; i < st.csr.PredOff[n+1]; i++ {
+		from := st.csr.PredFrom[i]
 		arr := st.finish[from]
 		if st.assign[from] != p {
-			arr += st.csr.weight[i]
+			arr += st.csr.PredW[i]
 		}
 		if arr > dat {
 			dat = arr
@@ -376,7 +495,7 @@ func (st *state) replayFrom(base int) float64 {
 			s = st.ready[p]
 		}
 		st.start[n] = s
-		f := s + st.csr.nodeW[n]
+		f := s + st.csr.NodeW[n]
 		st.finish[n] = f
 		st.ready[p] = f
 		if f > length {
@@ -388,6 +507,47 @@ func (st *state) replayFrom(base int) float64 {
 	return length
 }
 
+// replayFromBound is replayFrom with an abort bound: the replay stops
+// as soon as the running schedule length reaches bound, reporting
+// complete == false. Because the length is non-decreasing over a
+// replay, an aborted candidate's final length would also have reached
+// the bound, so aborting cannot change an accept/reject decision made
+// against a threshold <= bound. An aborted replay leaves the tables
+// mid-rewrite: the caller MUST revertTransfer (the undo journal covers
+// everything the partial replay touched). st.length and st.dirty are
+// only updated on completion.
+func (st *state) replayFromBound(base int, bound float64) (float64, bool) {
+	v := len(st.list)
+	ck := base / st.ckK
+	copy(st.ready, st.ckReady[ck*st.procs:(ck+1)*st.procs])
+	length := st.ckLen[ck]
+	for i := base; i < v; i++ {
+		if i%st.ckK == 0 {
+			copy(st.ckReady[(i/st.ckK)*st.procs:], st.ready)
+			st.ckLen[i/st.ckK] = length
+		}
+		n := st.list[i]
+		p := st.assign[n]
+		s := st.datOn(n, p)
+		if st.ready[p] > s {
+			s = st.ready[p]
+		}
+		st.start[n] = s
+		f := s + st.csr.NodeW[n]
+		st.finish[n] = f
+		st.ready[p] = f
+		if f > length {
+			length = f
+			if length >= bound {
+				return length, false
+			}
+		}
+	}
+	st.length = length
+	st.dirty = v
+	return length, true
+}
+
 // tryTransfer reassigns n to processor p and re-evaluates the schedule
 // incrementally, first journaling the table suffix and checkpoint rows
 // the replay will overwrite. The caller either keeps the move (no
@@ -396,6 +556,23 @@ func (st *state) replayFrom(base int) float64 {
 // tables must be consistent (dirty == len(list)) on entry; every search
 // strategy maintains that invariant by reverting rejected moves.
 func (st *state) tryTransfer(n dag.NodeID, p int) float64 {
+	return st.replayFrom(st.journalTransfer(n, p))
+}
+
+// tryTransferBound is tryTransfer with an abort bound (see
+// replayFromBound). When complete is false the move cannot beat the
+// bound; the caller must reject it with revertTransfer, which restores
+// the journaled state exactly even after a partial replay.
+func (st *state) tryTransferBound(n dag.NodeID, p int, bound float64) (float64, bool) {
+	return st.replayFromBound(st.journalTransfer(n, p), bound)
+}
+
+// journalTransfer records the undo journal for moving n to processor
+// p — the table suffix and checkpoint rows the replay will overwrite —
+// applies the assignment, and returns the replay base position. The
+// planned replay length is observed here, before any replay runs, so
+// the replay_len telemetry is identical with and without a bound.
+func (st *state) journalTransfer(n dag.NodeID, p int) int {
 	q := st.pos[n]
 	if st.fullReplay {
 		q = 0
@@ -415,7 +592,7 @@ func (st *state) tryTransfer(n dag.NodeID, p int) float64 {
 	st.assign[n] = p
 	st.lastReplay = v - base
 	st.tele.replay.Observe(float64(v - base))
-	return st.replayFrom(base)
+	return base
 }
 
 // revertTransfer undoes the most recent tryTransfer with plain copies:
@@ -462,7 +639,8 @@ func (st *state) search(ctx context.Context, blocking []dag.NodeID, maxSteps int
 		}
 		from := st.assign[n]
 		st.tele.steps.Inc()
-		if cand := st.tryTransfer(n, p); cand < best-1e-12 {
+		cand, complete := st.tryCandidate(n, p, best)
+		if complete && cand < best-1e-12 {
 			best = cand
 			st.tele.accepted.Inc()
 			st.tele.best.Set(best)
@@ -474,6 +652,32 @@ func (st *state) search(ctx context.Context, blocking []dag.NodeID, maxSteps int
 		}
 	}
 	return nil
+}
+
+// tryCandidate evaluates moving n to p against the acceptance
+// threshold best. With the cutoff disabled (the serial search, whose
+// trajectories are pinned by golden files) it is a plain tryTransfer.
+// With it enabled, the replay aborts once its running length reaches
+// best - 1e-12: past that point the final candidate could not satisfy
+// the strict-improvement test either, so the decision — and therefore
+// the whole search trajectory for a fixed seed — is unchanged. A
+// worker in budget mode additionally folds the shared cross-worker
+// incumbent into the bound.
+func (st *state) tryCandidate(n dag.NodeID, p int, best float64) (float64, bool) {
+	if !st.cutoff {
+		return st.tryTransfer(n, p), true
+	}
+	bound := best - 1e-12
+	if st.incumbent != nil {
+		if b := st.incumbent.load() - 1e-12; b < bound {
+			bound = b
+		}
+	}
+	cand, complete := st.tryTransferBound(n, p, bound)
+	if !complete {
+		st.tele.cutoffs.Inc()
+	}
+	return cand, complete
 }
 
 // searchBudget is the anytime variant of the greedy search: random
@@ -503,8 +707,12 @@ func (st *state) searchBudget(ctx context.Context, blocking []dag.NodeID, budget
 		}
 		from := st.assign[n]
 		st.tele.steps.Inc()
-		if cand := st.tryTransfer(n, p); cand < best-1e-12 {
+		cand, complete := st.tryCandidate(n, p, best)
+		if complete && cand < best-1e-12 {
 			best = cand
+			if st.incumbent != nil {
+				st.incumbent.update(best)
+			}
 			st.tele.accepted.Inc()
 			st.tele.best.Set(best)
 			st.tele.record(step, n, from, p, cand, best, true, st.lastReplay)
@@ -640,11 +848,22 @@ func (st *state) searchAnnealing(ctx context.Context, blocking []dag.NodeID, max
 // is deterministic). Each worker runs the configured search strategy, or
 // the anytime budget search when budget is positive.
 //
-// Every worker is wrapped in recover, so a panicking search goroutine
-// surfaces as an error from Schedule instead of killing the process. A
-// cancelled context is not fatal: each worker stops at its best-so-far
-// schedule, the best of those is committed, and ctx.Err() is returned
-// alongside it.
+// The start points form a pool drained by up to GOMAXPROCS goroutines
+// through an atomic cursor (work stealing), instead of one goroutine
+// per start: a start's outcome depends only on its seed and the shared
+// phase-1 state — never on which goroutine ran it or in what order —
+// so the deterministic reduction over worker-indexed bests is
+// unaffected by the stealing. Each goroutine checks out one pooled
+// scratch state and resets it between starts. In budget mode the
+// searchers additionally share an atomic incumbent bound that cuts
+// non-improving suffix replays early across workers (deterministic
+// modes restrict the cutoff to the private local best; see tryCandidate).
+//
+// Every start is wrapped in recover, so a panicking search surfaces as
+// an error from Schedule instead of killing the process. A cancelled
+// context is not fatal: each start stops at its best-so-far schedule,
+// the best of those is committed, and ctx.Err() is returned alongside
+// it.
 func (st *state) searchParallel(ctx context.Context, blocking []dag.NodeID, maxSteps int, seed int64, workers int, strategy Strategy, budget time.Duration) error {
 	type result struct {
 		assign []int
@@ -652,26 +871,48 @@ func (st *state) searchParallel(ctx context.Context, blocking []dag.NodeID, maxS
 	}
 	results := make([]result, workers)
 	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[w] = fmt.Errorf("fast: search worker %d panicked: %v", w, r)
-					results[w].assign = nil
-				}
-			}()
-			if w == debugPanicWorker {
-				panic("injected test panic")
+	var incumbent *sharedBound
+	if budget > 0 {
+		incumbent = newSharedBound()
+	}
+	runStart := func(w int, local *state) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[w] = fmt.Errorf("fast: search worker %d panicked: %v", w, r)
+				results[w].assign = nil
 			}
-			local := st.cloneForSearch()
-			local.tele.worker = w
-			rng := rand.New(rand.NewSource(seed + int64(w)))
-			errs[w] = runSearch(ctx, local, blocking, maxSteps, strategy, budget, rng)
-			results[w] = result{assign: local.assign, length: local.length}
-		}(w)
+		}()
+		if w == debugPanicWorker {
+			panic("injected test panic")
+		}
+		local.resetToBase(st)
+		local.tele.worker = w
+		local.cutoff = true
+		local.incumbent = incumbent
+		rng := rand.New(rand.NewSource(seed + int64(w)))
+		errs[w] = runSearch(ctx, local, blocking, maxSteps, strategy, budget, rng)
+		results[w] = result{assign: append([]int(nil), local.assign...), length: local.length}
+	}
+	var cursor atomic.Int64
+	goroutines := runtime.GOMAXPROCS(0)
+	if goroutines > workers {
+		goroutines = workers
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := st.cloneFromPool()
+			defer local.release()
+			for {
+				w := int(cursor.Add(1)) - 1
+				if w >= workers {
+					return
+				}
+				runStart(w, local)
+			}
+		}()
 	}
 	wg.Wait()
 	var ctxErr error
@@ -725,50 +966,88 @@ func runSearch(ctx context.Context, st *state, blocking []dag.NodeID, maxSteps i
 	}
 }
 
-// cloneForSearch copies the state deeply enough for an independent
-// searcher: the graph, list, CSR layout, and position index are shared
-// read-only; the mutable tables and checkpoint rows are fresh. The
-// clone starts fully dirty, so its first evaluation repopulates the
-// checkpoints from scratch.
-func (st *state) cloneForSearch() *state {
-	return &state{
-		g:          st.g,
-		list:       st.list,
-		procs:      st.procs,
-		csr:        st.csr,
-		pos:        st.pos,
-		assign:     append([]int(nil), st.assign...),
-		start:      append([]float64(nil), st.start...),
-		finish:     append([]float64(nil), st.finish...),
-		ready:      make([]float64, st.procs),
-		length:     st.length,
-		ckK:        st.ckK,
-		ckReady:    make([]float64, len(st.ckReady)),
-		ckLen:      make([]float64, len(st.ckLen)),
-		dirty:      0,
-		undoStart:  make([]float64, len(st.undoStart)),
-		undoFinish: make([]float64, len(st.undoFinish)),
-		undoCk:     make([]float64, len(st.undoCk)),
-		undoCkLen:  make([]float64, len(st.undoCkLen)),
-		tele:       st.tele, // shared counters: workers aggregate atomically
-		fullReplay: st.fullReplay,
+// cloneFromPool checks a scratch state out of the package pool and
+// shapes it like st for an independent searcher. The graph, list, CSR
+// layout and telemetry handles are shared read-only; the position
+// index is copied, not aliased — a pooled state must own every slice
+// it may later resize in place, or a reuse for a different run would
+// scribble over the base state's tables. The mutable tables are sized
+// but not filled; resetToBase snaps them to the base schedule before
+// each start.
+func (st *state) cloneFromPool() *state {
+	c := statePool.Get().(*state)
+	if c.g == nil && c.assign == nil {
+		st.tele.poolNews.Inc()
+	} else {
+		st.tele.poolGets.Inc()
 	}
+	v := len(st.assign)
+	c.g, c.list, c.procs, c.csr = st.g, st.list, st.procs, st.csr
+	c.pos = resizeInt(c.pos, v)
+	copy(c.pos, st.pos)
+	c.assign = resizeInt(c.assign, v)
+	c.start = resizeF64(c.start, v)
+	c.finish = resizeF64(c.finish, v)
+	c.ready = resizeF64(c.ready, st.procs)
+	c.ckK = st.ckK
+	c.ckReady = resizeF64(c.ckReady, len(st.ckReady))
+	c.ckLen = resizeF64(c.ckLen, len(st.ckLen))
+	c.undoStart = resizeF64(c.undoStart, v)
+	c.undoFinish = resizeF64(c.undoFinish, v)
+	c.undoCk = resizeF64(c.undoCk, len(st.undoCk))
+	c.undoCkLen = resizeF64(c.undoCkLen, len(st.undoCkLen))
+	c.tele = st.tele // shared counters: workers aggregate atomically
+	c.lastReplay = 0
+	c.cutoff = false
+	c.incumbent = nil
+	c.fullReplay = st.fullReplay
+	return c
+}
+
+// resetToBase snaps the mutable tables back to base's schedule so the
+// next start searches from the same phase-1 state. Only checkpoint 0
+// needs zeroing: the clone starts fully dirty, so its first evaluation
+// replays from position 0 — restoring from checkpoint 0 before
+// rewriting every later checkpoint row it passes.
+func (st *state) resetToBase(base *state) {
+	copy(st.assign, base.assign)
+	copy(st.start, base.start)
+	copy(st.finish, base.finish)
+	st.length = base.length
+	for i := 0; i < st.procs && i < len(st.ckReady); i++ {
+		st.ckReady[i] = 0
+	}
+	if len(st.ckLen) > 0 {
+		st.ckLen[0] = 0
+	}
+	st.dirty = 0
+	st.lastReplay = 0
 }
 
 // buildSchedule converts the state tables into a sched.Schedule with
 // compact processor numbering (processors renumbered 0..k-1 in order of
 // first use, so reports show contiguous PE indices).
 func (st *state) buildSchedule() *sched.Schedule {
-	s := sched.New(st.g.NumNodes())
-	renumber := make(map[int]int)
-	for _, n := range st.list {
-		p := st.assign[n]
-		id, ok := renumber[p]
-		if !ok {
-			id = len(renumber)
-			renumber[p] = id
+	return buildScheduleFrom(st.g, st.procs, st.list, st.assign, st.start, st.finish)
+}
+
+// buildScheduleFrom is buildSchedule over bare tables, so multi-start
+// can materialize the winning start's copied-out result after its
+// pooled state has been recycled.
+func buildScheduleFrom(g *dag.Graph, procs int, list []dag.NodeID, assign []int, start, finish []float64) *sched.Schedule {
+	s := sched.New(g.NumNodes())
+	renumber := make([]int, procs)
+	for i := range renumber {
+		renumber[i] = -1
+	}
+	used := 0
+	for _, n := range list {
+		p := assign[n]
+		if renumber[p] < 0 {
+			renumber[p] = used
+			used++
 		}
-		s.Place(n, id, st.start[n], st.finish[n])
+		s.Place(n, renumber[p], start[n], finish[n])
 	}
 	return s
 }

@@ -14,6 +14,7 @@ import (
 
 	"fastsched/internal/dag"
 	"fastsched/internal/listsched"
+	"fastsched/internal/plan"
 	"fastsched/internal/sched"
 )
 
@@ -29,16 +30,29 @@ func (*Scheduler) Name() string { return "HLFET" }
 // Schedule implements sched.Scheduler. procs <= 0 is treated as one
 // processor per node.
 func (*Scheduler) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
-	v := g.NumNodes()
-	if v == 0 {
+	if g.NumNodes() == 0 {
 		return nil, errors.New("hlfet: empty graph")
-	}
-	if procs <= 0 {
-		procs = v
 	}
 	l, err := dag.ComputeLevels(g)
 	if err != nil {
 		return nil, err
+	}
+	return scheduleWithLevels(g, l, procs)
+}
+
+// ScheduleCompiled schedules against a pre-compiled plan, reusing its
+// level tables instead of recomputing them. Bit-identical to Schedule.
+func (*Scheduler) ScheduleCompiled(cg *plan.CompiledGraph, procs int) (*sched.Schedule, error) {
+	if cg.Graph.NumNodes() == 0 {
+		return nil, errors.New("hlfet: empty graph")
+	}
+	return scheduleWithLevels(cg.Graph, cg.Levels, procs)
+}
+
+func scheduleWithLevels(g *dag.Graph, l *dag.Levels, procs int) (*sched.Schedule, error) {
+	v := g.NumNodes()
+	if procs <= 0 {
+		procs = v
 	}
 	m := listsched.NewMachine(procs)
 	s := sched.New(v)

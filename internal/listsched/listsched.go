@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"fastsched/internal/dag"
 	"fastsched/internal/invariant"
@@ -29,6 +30,12 @@ type Slot struct {
 // start time. The zero value is an empty, usable timeline.
 type Timeline struct {
 	slots []Slot
+	// prefMax[i] is the maximum Finish over slots[0..i] — the "previous
+	// end" a gap walk starting after slot i resumes from. Maintained by
+	// TryInsert/Remove (which already pay O(n) for the slice shift) so
+	// EarliestStart can skip the prefix of slots that start too early to
+	// ever fit the task.
+	prefMax []float64
 }
 
 // ReadyTime returns the finish time of the last task on the processor
@@ -51,9 +58,24 @@ func (t *Timeline) Slots() []Slot { return t.slots }
 // EarliestStart returns the earliest time >= dat at which a task of the
 // given duration fits, using insertion: interior idle gaps are
 // considered before the end of the timeline.
+//
+// The gap walk starts at the first slot the task could possibly
+// precede, found by binary search instead of scanning from the front:
+// a slot with Start < dat+duration-1e-12 can never satisfy the fit
+// test gapStart+duration <= Start+1e-12 (gapStart is at least dat), so
+// skipping the prefix cannot change which slot accepts. The skipped
+// prefix's running max finish is read from prefMax, so the returned
+// start — a max over exactly the same values the full walk folds — is
+// bit-identical to the linear scan (pinned by the differential test).
 func (t *Timeline) EarliestStart(dat, duration float64) float64 {
+	j := sort.Search(len(t.slots), func(i int) bool {
+		return t.slots[i].Start >= dat+duration-1e-12
+	})
 	prevEnd := 0.0
-	for _, s := range t.slots {
+	if j > 0 {
+		prevEnd = t.prefMax[j-1]
+	}
+	for _, s := range t.slots[j:] {
 		gapStart := math.Max(prevEnd, dat)
 		if gapStart+duration <= s.Start+1e-12 {
 			if m := enabled.Load(); m != nil {
@@ -80,17 +102,21 @@ func (t *Timeline) EarliestStartAppend(dat float64) float64 {
 // occupied, leaving the timeline unchanged. Callers feeding externally
 // supplied placements use this form; the internal list schedulers use
 // Insert, whose overlap would be an algorithmic bug.
+//
+// A zero-duration slot occupies no time: it never blocks an insertion
+// starting at its point. The position scan therefore skips every slot
+// that *ends* at or before the new start (with the same 1e-9 tolerance
+// as the overlap checks) — a zero-weight task's [x,x) slot sorts ahead
+// of a neighbour starting at x instead of colliding with it, which is
+// how EarliestStart already priced that gap.
 func (t *Timeline) TryInsert(n dag.NodeID, start, duration float64) error {
 	finish := start + duration
 	i := 0
-	for i < len(t.slots) && t.slots[i].Start < start {
+	for i < len(t.slots) && t.slots[i].Finish <= start+1e-9 {
 		i++
 	}
-	if i > 0 && t.slots[i-1].Finish > start+1e-9 {
-		p := t.slots[i-1]
-		return fmt.Errorf("%w: node %d [%v,%v) behind node %d [%v,%v)",
-			ErrOverlap, n, start, finish, p.Node, p.Start, p.Finish)
-	}
+	// Every slot before i ends at or before start, so the only possible
+	// collision is with the slot at i spilling into [start, finish).
 	if i < len(t.slots) && t.slots[i].Start < finish-1e-9 {
 		nx := t.slots[i]
 		return fmt.Errorf("%w: node %d [%v,%v) ahead of node %d [%v,%v)",
@@ -99,7 +125,21 @@ func (t *Timeline) TryInsert(n dag.NodeID, start, duration float64) error {
 	t.slots = append(t.slots, Slot{})
 	copy(t.slots[i+1:], t.slots[i:])
 	t.slots[i] = Slot{Node: n, Start: start, Finish: finish}
+	t.prefMax = append(t.prefMax, 0)
+	t.refreshPrefMax(i)
 	return nil
+}
+
+// refreshPrefMax recomputes the running max finish from slot i onward;
+// entries before i are unaffected by an edit at i.
+func (t *Timeline) refreshPrefMax(i int) {
+	for ; i < len(t.slots); i++ {
+		m := t.slots[i].Finish
+		if i > 0 && t.prefMax[i-1] > m {
+			m = t.prefMax[i-1]
+		}
+		t.prefMax[i] = m
+	}
 }
 
 // Insert places node n at [start, start+duration). The interval must be
@@ -117,6 +157,8 @@ func (t *Timeline) Remove(n dag.NodeID) bool {
 	for i, s := range t.slots {
 		if s.Node == n {
 			t.slots = append(t.slots[:i], t.slots[i+1:]...)
+			t.prefMax = t.prefMax[:len(t.slots)]
+			t.refreshPrefMax(i)
 			return true
 		}
 	}

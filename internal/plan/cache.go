@@ -1,0 +1,176 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/obs"
+)
+
+// numShards stripes the compilation cache. Power of two so the shard
+// index is a mask over the key's first byte; 16 shards keep the
+// per-shard mutexes uncontended at any worker count the batch engine
+// runs (the pool is bounded by GOMAXPROCS-scale numbers, not
+// thousands).
+const numShards = 16
+
+// Cache is a content-addressed, lock-striped LRU over compiled graphs.
+// Keys are the graphs' SHA-256 content addresses (GraphKey), so a hit
+// is guaranteed to hand back artifacts for a bit-identical graph.
+// Compilation is single-flight per key: concurrent misses on the same
+// graph compile once and share the result.
+//
+// Each shard holds its own mutex, LRU list and in-flight table; a key's
+// shard is selected by its first byte, which is uniformly distributed
+// (SHA-256 output), so capacity and contention spread evenly. The
+// capacity bound is enforced per shard at max/numShards (minimum 1), so
+// the cache holds at most ~max entries.
+type Cache struct {
+	shards [numShards]cacheShard
+
+	// Metrics, resolved once at construction; nil (and free) without a
+	// sink.
+	mHits      *obs.Counter // plan.compile_hits
+	mMisses    *obs.Counter // plan.compile_misses
+	mEvictions *obs.Counter // plan.compile_evictions
+	mShared    *obs.Counter // plan.compile_shared (waited on another compiler)
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	max     int
+	entries map[Key]*list.Element
+	order   *list.List // front = most recent
+	flight  map[Key]*compileCall
+}
+
+type cacheEntry struct {
+	key Key
+	cg  *CompiledGraph
+}
+
+// compileCall is one in-flight compilation; followers wait on ready.
+type compileCall struct {
+	ready chan struct{}
+	cg    *CompiledGraph
+	err   error
+}
+
+// DefaultCacheSize bounds a NewCache(0, ...) cache.
+const DefaultCacheSize = 512
+
+// NewCache returns a compilation cache holding at most max compiled
+// graphs (0 selects DefaultCacheSize; negative values are clamped to
+// one entry per shard). sink receives the plan.* metrics; nil disables
+// them at the usual obs zero cost.
+func NewCache(max int, sink obs.Sink) *Cache {
+	if max == 0 {
+		max = DefaultCacheSize
+	}
+	perShard := max / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			max:     perShard,
+			entries: make(map[Key]*list.Element),
+			order:   list.New(),
+			flight:  make(map[Key]*compileCall),
+		}
+	}
+	if sink != nil {
+		c.mHits = sink.Counter("plan.compile_hits")
+		c.mMisses = sink.Counter("plan.compile_misses")
+		c.mEvictions = sink.Counter("plan.compile_evictions")
+		c.mShared = sink.Counter("plan.compile_shared")
+	}
+	return c
+}
+
+func (c *Cache) shard(key Key) *cacheShard {
+	return &c.shards[key[0]&(numShards-1)]
+}
+
+// Get returns the compiled form of g, compiling (and caching) on a
+// miss. It hashes g to find its content address; callers that already
+// hold the key use GetKeyed to avoid hashing twice.
+func (c *Cache) Get(g *dag.Graph) (*CompiledGraph, error) {
+	return c.GetKeyed(g, GraphKey(g))
+}
+
+// GetKeyed is Get with a precomputed content key. The key must be
+// GraphKey(g); a mismatched key breaks the cache's bit-identity
+// guarantee.
+func (c *Cache) GetKeyed(g *dag.Graph, key Key) (*CompiledGraph, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		cg := el.Value.(*cacheEntry).cg
+		s.mu.Unlock()
+		c.mHits.Inc()
+		return cg, nil
+	}
+	// Miss: join (or start) the in-flight compilation for this key.
+	if call, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		<-call.ready
+		c.mShared.Inc()
+		return call.cg, call.err
+	}
+	call := &compileCall{ready: make(chan struct{})}
+	s.flight[key] = call
+	s.mu.Unlock()
+
+	c.mMisses.Inc()
+	cg, err := CompileKeyed(g, key)
+	call.cg, call.err = cg, err
+
+	s.mu.Lock()
+	delete(s.flight, key)
+	if err == nil {
+		if el, ok := s.entries[key]; ok {
+			el.Value.(*cacheEntry).cg = cg
+			s.order.MoveToFront(el)
+		} else {
+			s.entries[key] = s.order.PushFront(&cacheEntry{key: key, cg: cg})
+			for s.order.Len() > s.max {
+				oldest := s.order.Back()
+				s.order.Remove(oldest)
+				delete(s.entries, oldest.Value.(*cacheEntry).key)
+				c.mEvictions.Inc()
+			}
+		}
+	}
+	s.mu.Unlock()
+	close(call.ready)
+	return cg, err
+}
+
+// Peek reports whether key is cached without compiling or touching the
+// LRU order (for tests and admission heuristics).
+func (c *Cache) Peek(key Key) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	_, ok := s.entries[key]
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the total entry count across shards.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

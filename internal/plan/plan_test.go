@@ -1,0 +1,294 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/example"
+	"fastsched/internal/schedtest"
+)
+
+// diamond builds the four-node diamond A -> {B, C} -> D.
+func diamond() *dag.Graph {
+	g := dag.New(4)
+	a := g.AddNode("a", 2)
+	b := g.AddNode("b", 3)
+	c := g.AddNode("c", 4)
+	d := g.AddNode("d", 1)
+	g.MustAddEdge(a, b, 5)
+	g.MustAddEdge(a, c, 6)
+	g.MustAddEdge(b, d, 7)
+	g.MustAddEdge(c, d, 8)
+	return g
+}
+
+func TestGraphKeyDeterministic(t *testing.T) {
+	if GraphKey(diamond()) != GraphKey(diamond()) {
+		t.Fatal("identical builds produced different keys")
+	}
+}
+
+func TestGraphKeySensitivity(t *testing.T) {
+	base := GraphKey(diamond())
+
+	w := diamond()
+	w.SetWeight(1, 99)
+	if GraphKey(w) == base {
+		t.Fatal("node weight change did not change the key")
+	}
+
+	ew := diamond()
+	ew.SetEdgeWeight(0, 1, 99)
+	if GraphKey(ew) == base {
+		t.Fatal("edge weight change did not change the key")
+	}
+
+	extra := diamond()
+	extra.MustAddEdge(0, 3, 1)
+	if GraphKey(extra) == base {
+		t.Fatal("added edge did not change the key")
+	}
+
+	// Same edge set inserted in a different order must NOT collide:
+	// schedulers' tie-breaks depend on stored adjacency order.
+	reordered := dag.New(4)
+	a := reordered.AddNode("a", 2)
+	b := reordered.AddNode("b", 3)
+	c := reordered.AddNode("c", 4)
+	d := reordered.AddNode("d", 1)
+	reordered.MustAddEdge(a, c, 6) // swapped with a->b
+	reordered.MustAddEdge(a, b, 5)
+	reordered.MustAddEdge(b, d, 7)
+	reordered.MustAddEdge(c, d, 8)
+	if GraphKey(reordered) == base {
+		t.Fatal("different edge insertion order collided")
+	}
+}
+
+func TestCompileMatchesAdHoc(t *testing.T) {
+	g := example.Graph()
+	cg, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Graph != g {
+		t.Fatal("compiled graph does not reference the input graph")
+	}
+	if cg.Key != GraphKey(g) {
+		t.Fatal("compiled key differs from GraphKey")
+	}
+	l, err := dag.ComputeLevels(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if cg.Levels.BLevel[i] != l.BLevel[i] || cg.Levels.TLevel[i] != l.TLevel[i] {
+			t.Fatalf("node %d: compiled levels differ from ComputeLevels", i)
+		}
+	}
+	cls := dag.Classify(g, l)
+	for i, c := range cls {
+		if cg.Classes[i] != c {
+			t.Fatalf("node %d: compiled class %v, ad hoc %v", i, cg.Classes[i], c)
+		}
+	}
+	wantList := CPNDominateList(g, l, cls)
+	if len(cg.CPNDominate) != len(wantList) {
+		t.Fatalf("CPN-Dominate length %d, want %d", len(cg.CPNDominate), len(wantList))
+	}
+	for i := range wantList {
+		if cg.CPNDominate[i] != wantList[i] {
+			t.Fatalf("CPN-Dominate[%d] = %d, want %d", i, cg.CPNDominate[i], wantList[i])
+		}
+	}
+	// Blocking = every non-CPN node in ID order.
+	j := 0
+	for i, c := range cls {
+		if c == dag.CPN {
+			continue
+		}
+		if j >= len(cg.Blocking) || cg.Blocking[j] != dag.NodeID(i) {
+			t.Fatalf("blocking list mismatch at %d", i)
+		}
+		j++
+	}
+	if j != len(cg.Blocking) {
+		t.Fatalf("blocking list has %d extra entries", len(cg.Blocking)-j)
+	}
+}
+
+func TestCompileEmptyGraphErrors(t *testing.T) {
+	if _, err := Compile(dag.New(0)); err == nil {
+		t.Fatal("compiling an empty graph did not error")
+	}
+}
+
+// keyInShard returns a graph whose content key lands in the given
+// shard, by perturbing a node weight until the first key byte matches.
+func graphInShard(t *testing.T, shard byte, salt float64) (*dag.Graph, Key) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		g := diamond()
+		g.SetWeight(0, salt+float64(i))
+		k := GraphKey(g)
+		if k[0]&(numShards-1) == shard {
+			return g, k
+		}
+	}
+	t.Fatal("could not synthesize a graph for the shard")
+	return nil, Key{}
+}
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := NewCache(numShards, nil) // one entry per shard
+	ga, ka := graphInShard(t, 3, 1000)
+	gb, kb := graphInShard(t, 3, 2000)
+
+	cga, err := c.Get(ga)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Peek(ka) {
+		t.Fatal("key not cached after Get")
+	}
+	again, err := c.Get(ga)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != cga {
+		t.Fatal("hit returned a different CompiledGraph pointer")
+	}
+
+	// Same shard, different graph: evicts the first (capacity 1/shard).
+	if _, err := c.Get(gb); err != nil {
+		t.Fatal(err)
+	}
+	if c.Peek(ka) {
+		t.Fatal("LRU did not evict the older same-shard entry")
+	}
+	if !c.Peek(kb) {
+		t.Fatal("newest entry missing after eviction")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", c.Len())
+	}
+
+	// A different shard has independent capacity.
+	gc, kc := graphInShard(t, 9, 3000)
+	if _, err := c.Get(gc); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Peek(kb) || !c.Peek(kc) {
+		t.Fatal("cross-shard insert evicted an unrelated shard's entry")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(0, nil)
+	g := example.Graph()
+	const n = 16
+	out := make([]*CompiledGraph, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			<-start
+			out[i], errs[i] = c.Get(g)
+			done <- i
+		}(i)
+	}
+	close(start)
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if out[i] != out[0] {
+			t.Fatal("concurrent getters received different CompiledGraphs")
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", c.Len())
+	}
+}
+
+// TestCacheHammer drives the cache from 16 goroutines with mixed
+// hit/miss/evict traffic against a deliberately tiny capacity, so the
+// race detector (tier-1 runs go test -race ./...) sees every lock
+// ordering: hits, single-flight joins, publishes, and evictions.
+func TestCacheHammer(t *testing.T) {
+	c := NewCache(numShards, nil) // one entry per shard: constant evictions
+	const workers = 16
+
+	// A pool of graphs shared by every worker so keys collide across
+	// goroutines (forcing single-flight joins as well as misses).
+	graphs := make([]*dag.Graph, 24)
+	rng := rand.New(rand.NewSource(11))
+	for i := range graphs {
+		g := diamond()
+		g.SetWeight(0, 1+float64(rng.Intn(8)))
+		g.SetWeight(2, 1+float64(i))
+		graphs[i] = g
+	}
+
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(int64(w)))
+			for iter := 0; iter < 200; iter++ {
+				g := graphs[rng.Intn(len(graphs))]
+				cg, err := c.Get(g)
+				if err != nil {
+					done <- err
+					return
+				}
+				if cg.Graph != g {
+					// Structurally identical graphs are distinct inputs
+					// only when their content differs; sharing g pointers
+					// means a hit must hand back a plan for g's content.
+					if GraphKey(cg.Graph) != GraphKey(g) {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGraphKeyAllocFree(t *testing.T) {
+	if schedtest.RaceEnabled {
+		t.Skip("sync.Pool drops items under -race; alloc counts are meaningless")
+	}
+	g := example.Graph()
+	GraphKey(g) // warm the scratch pool
+	if n := testing.AllocsPerRun(100, func() { GraphKey(g) }); n != 0 {
+		t.Fatalf("GraphKey allocates %.1f per call on the warm path, want 0", n)
+	}
+}
+
+func TestCacheHitAllocFree(t *testing.T) {
+	c := NewCache(0, nil)
+	g := example.Graph()
+	k := GraphKey(g)
+	if _, err := c.GetKeyed(g, k); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := c.GetKeyed(g, k); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("cache hit allocates %.1f per call, want 0", n)
+	}
+}

@@ -216,13 +216,24 @@ func ValidateDurations(g *dag.Graph, s *Schedule, dur []float64) error {
 		}
 	}
 	for _, p := range s.Procs() {
-		list := s.OnProc(p)
-		for i := 1; i < len(list); i++ {
-			prev, cur := s.Of(list[i-1]), s.Of(list[i])
-			if cur.Start < prev.Finish-eps {
+		// Zero-duration tasks occupy no processor time, so they can
+		// never collide with a neighbour: listsched.Timeline admits a
+		// [x,x) slot at any instant where no other task is strictly
+		// running, so the exclusivity check covers only the tasks with
+		// positive duration (OnProc order is by start time, so
+		// consecutive positive-width pairs suffice).
+		var prev Placement
+		havePrev := false
+		for _, n := range s.OnProc(p) {
+			cur := s.Of(n)
+			if cur.Finish-cur.Start <= eps {
+				continue
+			}
+			if havePrev && cur.Start < prev.Finish-eps {
 				return fmt.Errorf("sched: overlap on PE %d: node %d [%v,%v) vs node %d [%v,%v)",
 					p, prev.Node, prev.Start, prev.Finish, cur.Node, cur.Start, cur.Finish)
 			}
+			prev, havePrev = cur, true
 		}
 	}
 	for _, e := range g.Edges() {

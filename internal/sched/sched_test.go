@@ -110,6 +110,39 @@ func TestValidateCatchesOverlap(t *testing.T) {
 	}
 }
 
+// TestValidateZeroWidthNeverOverlaps pins the zero-duration semantics
+// shared with listsched.Timeline: an instantaneous task occupies no
+// processor time, so its [x,x) placement is legal at any instant on a
+// busy processor — including the start of a running task's interval —
+// while positive-width overlaps are still caught around it. (Found by
+// FuzzBatchSubmit: a zero-weight node placed at the start of another
+// task's slot is accepted by the timeline but was rejected here.)
+func TestValidateZeroWidthNeverOverlaps(t *testing.T) {
+	g := dag.New(3)
+	a := g.AddNode("a", 2)
+	z := g.AddNode("z", 0)
+	b := g.AddNode("b", 3)
+	g.MustAddEdge(a, b, 1)
+
+	s := New(g.NumNodes())
+	s.Place(a, 0, 0, 2)
+	s.Place(z, 0, 0, 0) // instantaneous, shares a's start instant
+	s.Place(b, 0, 2, 5)
+	if err := Validate(g, s); err != nil {
+		t.Fatalf("zero-width placement rejected: %v", err)
+	}
+
+	// A real overlap between the positive-width neighbours is still an
+	// error even with the zero-width task sorted between them.
+	s = New(g.NumNodes())
+	s.Place(a, 0, 0, 2)
+	s.Place(z, 0, 1, 1)
+	s.Place(b, 0, 1, 4) // collides with a
+	if err := Validate(g, s); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
 func TestValidateCatchesPrecedenceLocal(t *testing.T) {
 	g := chainGraph(t)
 	s := New(g.NumNodes())

@@ -1,0 +1,9 @@
+//go:build race
+
+package schedtest
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// allocation-count tests skip themselves under -race: the detector
+// makes sync.Pool deliberately drop items (to surface reuse races), so
+// pool-backed paths legitimately allocate there.
+const RaceEnabled = true

@@ -7,13 +7,22 @@
 # keeps the gate robust against scheduler noise on loaded CI machines;
 # a genuine slowdown shifts the whole distribution, including the min.
 #
-# Usage: scripts/bench_check.sh                 # 15% gate, count=3
-#        THRESHOLD=25 COUNT=5 scripts/bench_check.sh
+# The default threshold is sized to the reference container, a shared
+# single-core VM whose effective CPU speed was measured drifting ±20%
+# minute-to-minute with no code change (identical binary, idle load
+# average). An absolute ns/op gate cannot be tighter than the host's
+# own drift without false alarms, so the default is 30%; tighten via
+# THRESHOLD on quiet dedicated hardware. The ratio gates below
+# (speedup, PFAST slack) divide two same-epoch measurements and are
+# immune to the drift, which is why they stay tight.
+#
+# Usage: scripts/bench_check.sh                 # 30% gate, count=3
+#        THRESHOLD=15 COUNT=5 scripts/bench_check.sh
 #        BASELINE=other.json scripts/bench_check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-THRESHOLD="${THRESHOLD:-15}"
+THRESHOLD="${THRESHOLD:-30}"
 COUNT="${COUNT:-3}"
 BASELINE="${BASELINE:-BENCH_search.json}"
 BENCHES='BenchmarkEvaluateFull$|BenchmarkEvaluateIncremental$|BenchmarkSearchStep'
@@ -81,4 +90,118 @@ END {
         exit 1
     }
     print "bench_check.sh: within threshold"
+}'
+
+# ---------------------------------------------------------------------------
+# Throughput gate: compiled-plan serving path vs BENCH_throughput.json.
+#
+# Re-runs the workers=1 batch benchmarks (the least scheduler-noisy
+# configuration) and the PFAST wall-clock endpoints, then checks:
+#   1. compiled-path ns/op has not regressed more than TTHRESHOLD%
+#      against the baseline's best sample (same host-drift sizing as
+#      THRESHOLD above — the absolute-ns gates share the 30% default);
+#   2. compiled-path allocs/op has not regressed more than
+#      ALLOC_THRESHOLD% — the steady-state allocation budget of the
+#      compiled path is part of its contract, pinned here with
+#      -benchmem on top of the AllocsPerRun unit tests;
+#   3. the freshly measured legacy/compiled speedup stays above
+#      TSPEEDUP: the recorded baseline is ~1.6x, so 1.35 leaves room
+#      for CI noise while still catching a real loss of the win;
+#   4. PFAST wall-clock at GOMAXPROCS=8 is no worse than PFAST_SLACK x
+#      its GOMAXPROCS=1 time. On this repo's single-core CI container
+#      (host_cpus=1 in the baseline) the curve is flat by construction
+#      — real speedup needs real cores — so the gate only rejects a
+#      parallel path that got *slower* than serial, which holds on any
+#      host.
+
+TTHRESHOLD="${TTHRESHOLD:-30}"
+ALLOC_THRESHOLD="${ALLOC_THRESHOLD:-10}"
+TSPEEDUP="${TSPEEDUP:-1.35}"
+PFAST_SLACK="${PFAST_SLACK:-1.5}"
+TBASELINE="${TBASELINE:-BENCH_throughput.json}"
+
+if [ ! -f "$TBASELINE" ]; then
+    echo "bench_check.sh: baseline $TBASELINE not found" >&2
+    exit 1
+fi
+
+echo "== throughput check vs ${TBASELINE} (ns ${TTHRESHOLD}%, allocs ${ALLOC_THRESHOLD}%, speedup >= ${TSPEEDUP})"
+traw="$(go test -run '^$' -bench 'BenchmarkBatchThroughput/(compiled|legacy)/workers=1$' -benchmem -benchtime 2x -count="$COUNT" ./internal/batch)"
+echo "$traw"
+praw="$(go test -run '^$' -bench 'BenchmarkPFASTWallClock/gomaxprocs=(1|8)$' -benchmem -benchtime 2x -count="$COUNT" ./internal/fast)"
+echo "$praw"
+
+# Baseline best ns/op and allocs/op per benchmark from the JSON arrays.
+tbase="$(awk '
+/"name":/ {
+    line = $0
+    sub(/.*"name": *"/, "", line); name = line; sub(/".*/, "", name)
+    rest = $0
+    sub(/.*"ns_per_op": *\[/, "", rest); nsl = rest; sub(/\].*/, "", nsl)
+    gsub(/ /, "", nsl)
+    n = split(nsl, vals, ",")
+    minns = vals[1] + 0
+    for (i = 2; i <= n; i++) if (vals[i] + 0 < minns) minns = vals[i] + 0
+    sub(/.*"allocs_per_op": *\[/, "", rest); al = rest; sub(/\].*/, "", al)
+    gsub(/ /, "", al)
+    n = split(al, vals, ",")
+    minal = vals[1] + 0
+    for (i = 2; i <= n; i++) if (vals[i] + 0 < minal) minal = vals[i] + 0
+    printf "%s %d %d\n", name, minns, minal
+}' "$TBASELINE")"
+
+printf '%s\n%s\n' "$traw" "$praw" | awk \
+    -v tthreshold="$TTHRESHOLD" -v athreshold="$ALLOC_THRESHOLD" \
+    -v tspeedup="$TSPEEDUP" -v pslack="$PFAST_SLACK" -v baseline="$tbase" '
+BEGIN {
+    n = split(baseline, lines, "\n")
+    for (i = 1; i <= n; i++) {
+        split(lines[i], kv, " ")
+        basens[kv[1]] = kv[2] + 0
+        baseal[kv[1]] = kv[3] + 0
+    }
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (curns[name] == "" || $3 + 0 < curns[name] + 0) curns[name] = $3 + 0
+    if (cural[name] == "" || $7 + 0 < cural[name] + 0) cural[name] = $7 + 0
+}
+END {
+    fail = 0
+    comp = "BenchmarkBatchThroughput/compiled/workers=1"
+    leg = "BenchmarkBatchThroughput/legacy/workers=1"
+    p1 = "BenchmarkPFASTWallClock/gomaxprocs=1"
+    p8 = "BenchmarkPFASTWallClock/gomaxprocs=8"
+    if (!(comp in curns) || !(leg in curns) || !(p1 in curns) || !(p8 in curns)) {
+        print "bench_check.sh: throughput benchmarks missing from run" > "/dev/stderr"
+        exit 1
+    }
+    # 1. compiled ns/op regression.
+    if (comp in basens) {
+        delta = 100 * (curns[comp] - basens[comp]) / basens[comp]
+        verdict = "ok"; if (delta > tthreshold) { verdict = "REGRESSED"; fail = 1 }
+        printf "%-44s base %9d ns/op  now %9d ns/op  %+7.1f%%  %s\n",
+            comp, basens[comp], curns[comp], delta, verdict
+    }
+    # 2. compiled allocs/op regression.
+    if (comp in baseal && baseal[comp] > 0) {
+        adelta = 100 * (cural[comp] - baseal[comp]) / baseal[comp]
+        verdict = "ok"; if (adelta > athreshold) { verdict = "REGRESSED"; fail = 1 }
+        printf "%-44s base %9d allocs    now %9d allocs    %+7.1f%%  %s\n",
+            comp, baseal[comp], cural[comp], adelta, verdict
+    }
+    # 3. fresh legacy/compiled speedup.
+    sp = curns[leg] / curns[comp]
+    verdict = "ok"; if (sp < tspeedup + 0) { verdict = "BELOW GATE"; fail = 1 }
+    printf "%-44s speedup %.2fx (gate >= %.2f)  %s\n", "compiled vs legacy (workers=1)", sp, tspeedup, verdict
+    # 4. PFAST parallel-vs-serial slack.
+    ratio = curns[p8] / curns[p1]
+    verdict = "ok"; if (ratio > pslack + 0) { verdict = "BELOW GATE"; fail = 1 }
+    printf "%-44s gp8/gp1 %.2fx (gate <= %.2f)  %s\n", "PFAST wall-clock", ratio, pslack, verdict
+    if (fail) {
+        print "bench_check.sh: throughput gate failed — investigate or re-baseline with scripts/bench.sh" > "/dev/stderr"
+        exit 1
+    }
+    print "bench_check.sh: throughput within gates"
 }'
