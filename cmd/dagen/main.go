@@ -8,48 +8,157 @@
 //	dagen -kind fft     -points 64         [-o fft64.json]
 //	dagen -kind random  -v 2000 -seed 7    [-o rnd.json]
 //	dagen -kind chain|forkjoin|intree|outtree ...
+//	dagen -kind layers  -scale 1000000 -degree 5 -format edgelist [-o big.el]
 //
 // -ccr rescales edge weights to a target communication-to-computation
-// ratio after generation. Without -o, JSON goes to stdout.
+// ratio after generation. Without -o, output goes to stdout.
+//
+// -format selects the serialization: json (default), edgelist, or stg.
+// kind=layers with -format edgelist is special: the graph streams to
+// the writer row by row in O(layer width) memory, never materialized —
+// the mode that generates the 10⁵–10⁶-node scale fixtures.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"fastsched"
+	"fastsched/internal/dag"
 	"fastsched/internal/workload"
 )
 
 func main() {
-	kind := flag.String("kind", "random", "gauss, laplace, fft, lu, cholesky, stencil, dnc, random, chain, forkjoin, intree, outtree, program")
+	kind := flag.String("kind", "random", "gauss, laplace, fft, lu, cholesky, stencil, dnc, random, layers, chain, forkjoin, intree, outtree, program")
 	n := flag.Int("n", 8, "matrix dimension (gauss, laplace, lu, cholesky, stencil), length (chain), width (forkjoin), depth (trees, dnc)")
 	points := flag.Int("points", 64, "number of points (fft)")
 	iters := flag.Int("iters", 4, "sweep count (stencil)")
 	v := flag.Int("v", 1000, "node count (random)")
-	seed := flag.Int64("seed", 1, "generation seed (random)")
-	degree := flag.Int("degree", 0, "mean in-degree (random; 0 = paper default)")
+	seed := flag.Int64("seed", 1, "generation seed (random, layers)")
+	degree := flag.Int("degree", 0, "mean in-degree (random, layers; 0 = default)")
+	scale := flag.Int("scale", 0, "node count for kind=layers (overrides -v)")
+	layers := flag.Int("layers", 0, "layer count for kind=layers (0 = v/width)")
+	width := flag.Int("width", 0, "nodes per layer for kind=layers (0 = 64)")
 	ccr := flag.Float64("ccr", 0, "rescale edge weights to this CCR (0 = keep)")
 	prog := flag.String("prog", "", "sequential program source (kind=program)")
+	format := flag.String("format", "json", "output format: json, edgelist, stg")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	if err := run(*kind, *n, *points, *iters, *v, *seed, *degree, *ccr, *prog, *out); err != nil {
+	cfg := config{
+		kind: *kind, n: *n, points: *points, iters: *iters, v: *v,
+		seed: *seed, degree: *degree, scale: *scale, layers: *layers,
+		width: *width, ccr: *ccr, prog: *prog, format: *format, out: *out,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, n, points, iters, v int, seed int64, degree int, ccr float64, prog, out string) error {
+type config struct {
+	kind                         string
+	n, points, iters, v          int
+	seed                         int64
+	degree, scale, layers, width int
+	ccr                          float64
+	prog, format, out            string
+}
+
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// runLayers is the streaming path: kind=layers with -format edgelist
+// writes rows as the generator produces them, O(layer width) memory.
+// Other formats materialize the graph first (fine at small v, the
+// JSON/STG fixtures; the scale fixtures use edgelist).
+func runLayers(cfg config) error {
+	opts := workload.LayeredOpts{
+		V: cfg.v, Layers: cfg.layers, Width: cfg.width,
+		Degree: cfg.degree, Seed: cfg.seed,
+	}
+	if cfg.scale > 0 {
+		opts.V = cfg.scale
+	}
+	if cfg.ccr > 0 {
+		return fmt.Errorf("kind=layers does not support -ccr (edge weights stream out before the totals are known)")
+	}
+	w, closeOut, err := openOut(cfg.out)
+	if err != nil {
+		return err
+	}
+	defer closeOut()
+
+	name := fmt.Sprintf("layers-%d-seed%d", opts.V, cfg.seed)
+	switch cfg.format {
+	case "edgelist":
+		bw := bufio.NewWriterSize(w, 1<<20)
+		nodes, edges := 0, 0
+		// Emit the header, then stream: every node line lands before
+		// any edge referencing it (the generator wires each node only
+		// to the already-emitted previous layer).
+		if opts.V < 2 {
+			return fmt.Errorf("layered graph needs -scale/-v >= 2, got %d", opts.V)
+		}
+		fmt.Fprintf(bw, "v %d\n", opts.V)
+		err := workload.Layered(opts,
+			func(_ int32, weight float64) error {
+				nodes++
+				_, err := fmt.Fprintf(bw, "n %g\n", weight)
+				return err
+			},
+			func(from, to int32, weight float64) error {
+				edges++
+				_, err := fmt.Fprintf(bw, "e %d %d %g\n", from, to, weight)
+				return err
+			})
+		if err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dagen: %s: v=%d e=%d (streamed)\n", name, nodes, edges)
+		return nil
+	case "stg", "json":
+		csr, err := workload.LayeredCSR(opts)
+		if err != nil {
+			return err
+		}
+		g := csr.ToGraph()
+		if cfg.format == "stg" {
+			return dag.WriteSTG(w, g)
+		}
+		return fastsched.WriteGraphJSON(w, g, name)
+	default:
+		return fmt.Errorf("unknown format %q (want json, edgelist, stg)", cfg.format)
+	}
+}
+
+func run(cfg config) error {
+	if cfg.kind == "layers" {
+		return runLayers(cfg)
+	}
+	n, points, iters, v := cfg.n, cfg.points, cfg.iters, cfg.v
+	seed, degree, ccr, prog := cfg.seed, cfg.degree, cfg.ccr, cfg.prog
 	db := fastsched.ParagonLike()
 	var (
 		g    *fastsched.Graph
 		err  error
 		name string
 	)
-	switch kind {
+	switch cfg.kind {
 	case "gauss":
 		g, err = fastsched.GaussElim(n, db)
 		name = fmt.Sprintf("gauss-%d", n)
@@ -97,7 +206,7 @@ func run(kind string, n, points, iters, v int, seed int64, degree int, ccr float
 	case "outtree":
 		g, name = workload.OutTree(n, 3, 2), fmt.Sprintf("outtree-%d", n)
 	default:
-		return fmt.Errorf("unknown kind %q", kind)
+		return fmt.Errorf("unknown kind %q", cfg.kind)
 	}
 	if err != nil {
 		return err
@@ -106,16 +215,22 @@ func run(kind string, n, points, iters, v int, seed int64, degree int, ccr float
 		fastsched.ScaleCCR(g, ccr)
 	}
 
-	var w io.Writer = os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	w, closeOut, err := openOut(cfg.out)
+	if err != nil {
+		return err
 	}
-	if err := fastsched.WriteGraphJSON(w, g, name); err != nil {
+	defer closeOut()
+	switch cfg.format {
+	case "json":
+		err = fastsched.WriteGraphJSON(w, g, name)
+	case "edgelist":
+		err = dag.WriteEdgeList(w, g)
+	case "stg":
+		err = dag.WriteSTG(w, g)
+	default:
+		return fmt.Errorf("unknown format %q (want json, edgelist, stg)", cfg.format)
+	}
+	if err != nil {
 		return err
 	}
 	profile, err := fastsched.ComputeProfile(g)

@@ -6,7 +6,92 @@ import (
 	"testing"
 
 	"fastsched"
+	"fastsched/internal/dag"
 )
+
+// runArgs adapts the legacy positional test call sites to the config
+// struct, always requesting the default JSON format.
+func runArgs(kind string, n, points, iters, v int, seed int64, degree int, ccr float64, prog, out string) error {
+	return run(config{
+		kind: kind, n: n, points: points, iters: iters, v: v,
+		seed: seed, degree: degree, ccr: ccr, prog: prog,
+		format: "json", out: out,
+	})
+}
+
+// TestGenerateLayersStreaming exercises the scale-fixture mode: layers
+// streamed as an edge list must parse back through StreamEdgeList into
+// exactly the graph LayeredCSR builds in process.
+func TestGenerateLayersStreaming(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "layers.el")
+	cfg := config{kind: "layers", scale: 500, seed: 3, format: "edgelist", out: path}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := dag.StreamEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 500 {
+		t.Fatalf("v = %d, want 500", c.NumNodes())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(config{kind: "layers", scale: 1, format: "edgelist", out: filepath.Join(dir, "bad.el")}); err == nil {
+		t.Error("scale=1 accepted")
+	}
+	if err := run(config{kind: "layers", scale: 100, ccr: 2, format: "edgelist", out: filepath.Join(dir, "bad2.el")}); err == nil {
+		t.Error("layers with -ccr accepted")
+	}
+}
+
+// TestGenerateLayersJSON checks the materialized small-graph path.
+func TestGenerateLayersJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "layers.json")
+	if err := run(config{kind: "layers", v: 200, seed: 5, format: "json", out: path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, _, err := fastsched.ReadGraphJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 200 {
+		t.Fatalf("v = %d, want 200", g.NumNodes())
+	}
+}
+
+// TestGenerateEdgeListFormat round-trips a materialized kind through
+// -format edgelist.
+func TestGenerateEdgeListFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.el")
+	if err := run(config{kind: "gauss", n: 4, format: "edgelist", out: path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := dag.StreamEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 20 {
+		t.Fatalf("v = %d, want 20", c.NumNodes())
+	}
+}
 
 func TestGenerateAllKinds(t *testing.T) {
 	dir := t.TempDir()
@@ -25,7 +110,7 @@ func TestGenerateAllKinds(t *testing.T) {
 	}
 	for _, c := range cases {
 		path := filepath.Join(dir, c.kind+".json")
-		if err := run(c.kind, 4, 64, 2, 80, 1, 3, 0, "", path); err != nil {
+		if err := runArgs(c.kind, 4, 64, 2, 80, 1, 3, 0, "", path); err != nil {
 			t.Fatalf("%s: %v", c.kind, err)
 		}
 		f, err := os.Open(path)
@@ -45,7 +130,7 @@ func TestGenerateAllKinds(t *testing.T) {
 
 func TestGenerateWithCCR(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "g.json")
-	if err := run("gauss", 8, 0, 0, 0, 1, 0, 2.5, "", path); err != nil {
+	if err := runArgs("gauss", 8, 0, 0, 0, 1, 0, 2.5, "", path); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(path)
@@ -63,16 +148,16 @@ func TestGenerateWithCCR(t *testing.T) {
 }
 
 func TestGenerateUnknownKind(t *testing.T) {
-	if err := run("mystery", 4, 64, 2, 80, 1, 0, 0, "", ""); err == nil {
+	if err := runArgs("mystery", 4, 64, 2, 80, 1, 0, 0, "", ""); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
 }
 
 func TestGenerateBadParams(t *testing.T) {
-	if err := run("gauss", 0, 0, 0, 0, 1, 0, 0, "", filepath.Join(t.TempDir(), "x.json")); err == nil {
+	if err := runArgs("gauss", 0, 0, 0, 0, 1, 0, 0, "", filepath.Join(t.TempDir(), "x.json")); err == nil {
 		t.Fatal("gauss n=0 accepted")
 	}
-	if err := run("fft", 0, 13, 0, 0, 1, 0, 0, "", filepath.Join(t.TempDir(), "x.json")); err == nil {
+	if err := runArgs("fft", 0, 13, 0, 0, 1, 0, 0, "", filepath.Join(t.TempDir(), "x.json")); err == nil {
 		t.Fatal("fft points=13 accepted")
 	}
 }
@@ -90,7 +175,7 @@ func TestGenerateNewKinds(t *testing.T) {
 	}
 	for _, c := range cases {
 		path := filepath.Join(dir, c.kind+".json")
-		if err := run(c.kind, 4, 64, 2, 80, 1, 3, 0, "", path); err != nil {
+		if err := runArgs(c.kind, 4, 64, 2, 80, 1, 3, 0, "", path); err != nil {
 			t.Fatalf("%s: %v", c.kind, err)
 		}
 		f, err := os.Open(path)
@@ -115,7 +200,7 @@ func TestGenerateFromProgram(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "p.json")
-	if err := run("program", 0, 0, 0, 0, 1, 0, 0, src, out); err != nil {
+	if err := runArgs("program", 0, 0, 0, 0, 1, 0, 0, src, out); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -130,7 +215,7 @@ func TestGenerateFromProgram(t *testing.T) {
 	if g.NumNodes() != 2 || g.NumEdges() != 1 {
 		t.Fatalf("graph %d/%d", g.NumNodes(), g.NumEdges())
 	}
-	if err := run("program", 0, 0, 0, 0, 1, 0, 0, filepath.Join(dir, "missing.prog"), out); err == nil {
+	if err := runArgs("program", 0, 0, 0, 0, 1, 0, 0, filepath.Join(dir, "missing.prog"), out); err == nil {
 		t.Error("missing program accepted")
 	}
 }

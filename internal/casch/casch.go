@@ -74,9 +74,9 @@ func Run(g *dag.Graph, s sched.Scheduler, procs int, machine sim.Config) (*Resul
 
 // NewScheduler constructs a scheduler by its table name, as used by the
 // command-line tools. Recognized names: the paper's five (fast, dsc,
-// md, etf, dls), the FAST variants (fast-initial, pfast), and the
-// extended classical suite (hlfet, mcp, lc, ez). Case-sensitive, lower
-// case.
+// md, etf, dls), the FAST variants (fast-initial, pfast, fast-hier),
+// and the extended classical suite (hlfet, mcp, lc, ez).
+// Case-sensitive, lower case.
 func NewScheduler(name string, seed int64) (sched.Scheduler, error) {
 	switch name {
 	case "fast":
@@ -85,6 +85,8 @@ func NewScheduler(name string, seed int64) (sched.Scheduler, error) {
 		return fast.New(fast.Options{NoSearch: true}), nil
 	case "pfast":
 		return fast.New(fast.Options{Seed: seed, Parallelism: 4}), nil
+	case "fast-hier":
+		return fast.NewHierarchical(fast.HierOptions{Seed: seed}), nil
 	case "dsc":
 		return dsc.New(), nil
 	case "md":
@@ -123,7 +125,7 @@ func NewScheduler(name string, seed int64) (sched.Scheduler, error) {
 // AlgorithmNames lists the names NewScheduler accepts, sorted.
 func AlgorithmNames() []string {
 	names := []string{
-		"fast", "fast-initial", "pfast", "dsc", "md", "etf", "dls",
+		"fast", "fast-initial", "fast-hier", "pfast", "dsc", "md", "etf", "dls",
 		"hlfet", "mcp", "lc", "ez", "dsc-map", "lc-map", "ish", "dcp", "opt", "mh",
 	}
 	sort.Strings(names)

@@ -68,7 +68,7 @@ func TestNewSchedulerUnknown(t *testing.T) {
 
 func TestAlgorithmNamesSortedAndComplete(t *testing.T) {
 	names := AlgorithmNames()
-	if len(names) != 17 {
+	if len(names) != 18 {
 		t.Fatalf("names = %v", names)
 	}
 	for i := 1; i < len(names); i++ {

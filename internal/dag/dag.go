@@ -63,7 +63,18 @@ type Graph struct {
 	succ [][]Edge // outgoing edges of each node
 	pred [][]Edge // incoming edges of each node
 	ne   int      // edge count
+	// dupSet holds a per-node successor set, built lazily once a node's
+	// out-degree crosses dupScanThreshold, so AddEdge's duplicate check
+	// is O(1) on dense fan-out instead of O(deg) per edge (O(v·e) worst
+	// case across a whole dense graph). Nodes below the threshold keep
+	// the allocation-free linear scan.
+	dupSet map[NodeID]map[NodeID]struct{}
 }
+
+// dupScanThreshold is the out-degree above which AddEdge switches from
+// a linear duplicate scan to a per-node set. Below it, scanning a
+// handful of slots is cheaper than hashing.
+const dupScanThreshold = 32
 
 // New returns an empty graph with capacity hints for n nodes.
 func New(n int) *Graph {
@@ -96,10 +107,28 @@ func (g *Graph) AddEdge(from, to NodeID, weight float64) error {
 	if from == to {
 		return fmt.Errorf("dag: %w on node %d", ErrSelfLoop, from)
 	}
-	for _, e := range g.succ[from] {
-		if e.To == to {
+	if len(g.succ[from]) < dupScanThreshold {
+		for _, e := range g.succ[from] {
+			if e.To == to {
+				return fmt.Errorf("dag: %w: %d -> %d", ErrDuplicateEdge, from, to)
+			}
+		}
+	} else {
+		if g.dupSet == nil {
+			g.dupSet = make(map[NodeID]map[NodeID]struct{})
+		}
+		set := g.dupSet[from]
+		if set == nil {
+			set = make(map[NodeID]struct{}, 2*len(g.succ[from]))
+			for _, e := range g.succ[from] {
+				set[e.To] = struct{}{}
+			}
+			g.dupSet[from] = set
+		}
+		if _, dup := set[to]; dup {
 			return fmt.Errorf("dag: %w: %d -> %d", ErrDuplicateEdge, from, to)
 		}
+		set[to] = struct{}{}
 	}
 	e := Edge{From: from, To: to, Weight: weight}
 	g.succ[from] = append(g.succ[from], e)
@@ -253,7 +282,9 @@ func (g *Graph) CCR() float64 {
 	return avgC / avgW
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The lazily built duplicate
+// sets are not copied; a clone that keeps growing rebuilds them on the
+// first AddEdge that needs one.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		nodes: append([]Node(nil), g.nodes...),
@@ -330,10 +361,6 @@ func (g *Graph) Validate() error {
 			if math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) || e.Weight < 0 {
 				return fmt.Errorf("dag: %w: edge %d->%d has weight %v", ErrBadWeight, e.From, e.To, e.Weight)
 			}
-			w, ok := g.EdgeWeight(e.From, e.To)
-			if !ok || w != e.Weight {
-				return fmt.Errorf("dag: succ/pred mismatch on edge %d->%d", e.From, e.To)
-			}
 		}
 	}
 	for i := range g.nodes {
@@ -341,6 +368,18 @@ func (g *Graph) Validate() error {
 			if e.To != NodeID(i) {
 				return fmt.Errorf("dag: corrupt pred list at node %d", i)
 			}
+			if !g.valid(e.From) {
+				return fmt.Errorf("dag: %w: %d -> %d (v=%d)", ErrEdgeEndpoint, e.From, e.To, len(g.nodes))
+			}
+		}
+	}
+	// Mirror consistency — every succ entry has exactly one pred twin
+	// with the same weight, and no (from, to) pair repeats — via the
+	// CSR counting-sort comparison: O(v + e), where the per-edge
+	// EdgeWeight lookup this replaces was O(Σ deg²) on dense fan-out.
+	if len(g.pred) > 0 {
+		if err := BuildCSR(g).checkMirror(); err != nil {
+			return err
 		}
 	}
 	return nil

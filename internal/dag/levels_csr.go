@@ -1,0 +1,208 @@
+package dag
+
+import "fmt"
+
+// ComputeLevelsCSR is ComputeLevels operating on the CSR arenas
+// instead of the per-node []Edge slices. The result is bit-identical:
+// the CSR stores each node's neighbours in the same slot order the
+// slices do, the topological order comes from the same
+// smallest-ID-first Kahn, and every max fold visits candidates in the
+// same sequence — so a plan compiled through this kernel is
+// indistinguishable from one compiled through ComputeLevels (pinned by
+// the differential tests in this package).
+func ComputeLevelsCSR(c *CSR) (*Levels, error) {
+	v := c.NumNodes()
+	if v == 0 {
+		return nil, fmt.Errorf("dag: cannot compute levels of an empty graph")
+	}
+	order32, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	l := &Levels{
+		TLevel: make([]float64, v),
+		BLevel: make([]float64, v),
+		Static: make([]float64, v),
+		ALAP:   make([]float64, v),
+		Order:  make([]NodeID, v),
+	}
+	for i, n := range order32 {
+		l.Order[i] = NodeID(n)
+	}
+	for _, n := range order32 {
+		t := 0.0
+		for s := c.PredOff[n]; s < c.PredOff[n+1]; s++ {
+			p := c.PredFrom[s]
+			cand := l.TLevel[p] + c.NodeW[p] + c.PredW[s]
+			if cand > t {
+				t = cand
+			}
+		}
+		l.TLevel[n] = t
+	}
+	for i := v - 1; i >= 0; i-- {
+		n := order32[i]
+		b, st := 0.0, 0.0
+		for s := c.SuccOff[n]; s < c.SuccOff[n+1]; s++ {
+			to := c.SuccTo[s]
+			if cand := c.SuccW[s] + l.BLevel[to]; cand > b {
+				b = cand
+			}
+			if cand := l.Static[to]; cand > st {
+				st = cand
+			}
+		}
+		l.BLevel[n] = c.NodeW[n] + b
+		l.Static[n] = c.NodeW[n] + st
+	}
+	for _, n := range order32 {
+		if sum := l.TLevel[n] + l.BLevel[n]; sum > l.CPLen {
+			l.CPLen = sum
+		}
+	}
+	for _, n := range order32 {
+		l.ALAP[n] = l.CPLen - l.BLevel[n]
+	}
+	return l, nil
+}
+
+// CompactLevels is the index-compact subset of Levels the large-graph
+// path needs: t-level, b-level and the topological order, 20 bytes per
+// node. Static level and ALAP — used only by the ablation list orders
+// and reporting — are omitted.
+type CompactLevels struct {
+	TLevel []float64
+	BLevel []float64
+	Order  []int32 // topological order, smallest-ID-first Kahn
+	CPLen  float64
+}
+
+// IsCPN reports whether n lies on a critical path, under the same
+// scaled tolerance Levels.IsCPN uses.
+func (l *CompactLevels) IsCPN(n int32) bool {
+	return l.TLevel[n]+l.BLevel[n] >= l.CPLen-cpEps(l.CPLen)
+}
+
+// ComputeLevelsCompact computes the compact levels of c, reusing
+// scratch's tables when their capacity suffices so a serving loop
+// compiling many graphs allocates only on growth. scratch may be nil.
+// The t- and b-level values are bit-identical to ComputeLevels on the
+// same graph.
+func (c *CSR) ComputeLevelsCompact(scratch *CompactLevels) (*CompactLevels, error) {
+	v := c.NumNodes()
+	if v == 0 {
+		return nil, fmt.Errorf("dag: cannot compute levels of an empty graph")
+	}
+	l := scratch
+	if l == nil {
+		l = &CompactLevels{}
+	}
+	l.TLevel = growF64(l.TLevel, v)
+	l.BLevel = growF64(l.BLevel, v)
+	l.CPLen = 0
+	order, err := c.topoOrderInto(growI32(l.Order, v)[:0])
+	if err != nil {
+		return nil, err
+	}
+	l.Order = order
+	for _, n := range order {
+		t := 0.0
+		for s := c.PredOff[n]; s < c.PredOff[n+1]; s++ {
+			p := c.PredFrom[s]
+			cand := l.TLevel[p] + c.NodeW[p] + c.PredW[s]
+			if cand > t {
+				t = cand
+			}
+		}
+		l.TLevel[n] = t
+	}
+	for i := v - 1; i >= 0; i-- {
+		n := order[i]
+		b := 0.0
+		for s := c.SuccOff[n]; s < c.SuccOff[n+1]; s++ {
+			if cand := c.SuccW[s] + l.BLevel[c.SuccTo[s]]; cand > b {
+				b = cand
+			}
+		}
+		l.BLevel[n] = c.NodeW[n] + b
+	}
+	for _, n := range order {
+		if sum := l.TLevel[n] + l.BLevel[n]; sum > l.CPLen {
+			l.CPLen = sum
+		}
+	}
+	return l, nil
+}
+
+// ClassifyCSR is Classify on the CSR arenas; same reverse topological
+// sweep, same result.
+func ClassifyCSR(c *CSR, l *Levels) []Class {
+	v := c.NumNodes()
+	cls := make([]Class, v)
+	reaches := make([]bool, v)
+	for i := v - 1; i >= 0; i-- {
+		n := l.Order[i]
+		if l.IsCPN(n) {
+			reaches[n] = true
+			cls[n] = CPN
+			continue
+		}
+		for s := c.SuccOff[n]; s < c.SuccOff[n+1]; s++ {
+			if reaches[c.SuccTo[s]] {
+				reaches[n] = true
+				break
+			}
+		}
+		if reaches[n] {
+			cls[n] = IBN
+		} else {
+			cls[n] = OBN
+		}
+	}
+	return cls
+}
+
+// ClassifyCompact is the classification against compact levels,
+// writing into cls when its capacity suffices (pass nil to allocate).
+// The scratch bitmap is internal; two calls never share state.
+func (c *CSR) ClassifyCompact(l *CompactLevels, cls []Class) []Class {
+	v := c.NumNodes()
+	if cap(cls) >= v {
+		cls = cls[:v]
+	} else {
+		cls = make([]Class, v)
+	}
+	reaches := make([]bool, v)
+	for i := v - 1; i >= 0; i-- {
+		n := l.Order[i]
+		if l.IsCPN(n) {
+			reaches[n] = true
+			cls[n] = CPN
+			continue
+		}
+		reaches[n] = false
+		cls[n] = OBN
+		for s := c.SuccOff[n]; s < c.SuccOff[n+1]; s++ {
+			if reaches[c.SuccTo[s]] {
+				reaches[n] = true
+				cls[n] = IBN
+				break
+			}
+		}
+	}
+	return cls
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}

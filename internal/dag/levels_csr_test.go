@@ -1,0 +1,117 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+// levelGraphs yields the differential corpus: the STG fixtures plus
+// random DAGs with random insertion orders.
+func levelGraphs(t *testing.T) []*Graph {
+	t.Helper()
+	var gs []*Graph
+	for _, fix := range stgFixtures {
+		g, err := ReadSTG(strings.NewReader(fix), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		gs = append(gs, randomGraph(t, 35, seed))
+	}
+	return gs
+}
+
+func TestComputeLevelsCSRBitIdentical(t *testing.T) {
+	for gi, g := range levelGraphs(t) {
+		want, err := ComputeLevels(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ComputeLevelsCSR(BuildCSR(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.CPLen != want.CPLen {
+			t.Fatalf("graph %d: CPLen %v != %v", gi, got.CPLen, want.CPLen)
+		}
+		for n := 0; n < g.NumNodes(); n++ {
+			if got.TLevel[n] != want.TLevel[n] || got.BLevel[n] != want.BLevel[n] ||
+				got.Static[n] != want.Static[n] || got.ALAP[n] != want.ALAP[n] {
+				t.Fatalf("graph %d node %d: (%v,%v,%v,%v) != (%v,%v,%v,%v)", gi, n,
+					got.TLevel[n], got.BLevel[n], got.Static[n], got.ALAP[n],
+					want.TLevel[n], want.BLevel[n], want.Static[n], want.ALAP[n])
+			}
+			if got.Order[n] != want.Order[n] {
+				t.Fatalf("graph %d: topo order diverges at %d", gi, n)
+			}
+		}
+	}
+}
+
+func TestComputeLevelsCompactMatches(t *testing.T) {
+	scratch := &CompactLevels{} // shared across graphs: exercises reuse
+	for gi, g := range levelGraphs(t) {
+		want, err := ComputeLevels(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := BuildCSR(g)
+		got, err := c.ComputeLevelsCompact(scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.CPLen != want.CPLen {
+			t.Fatalf("graph %d: CPLen %v != %v", gi, got.CPLen, want.CPLen)
+		}
+		for n := 0; n < g.NumNodes(); n++ {
+			if got.TLevel[n] != want.TLevel[n] || got.BLevel[n] != want.BLevel[n] {
+				t.Fatalf("graph %d node %d: (%v,%v) != (%v,%v)", gi, n,
+					got.TLevel[n], got.BLevel[n], want.TLevel[n], want.BLevel[n])
+			}
+			if NodeID(got.Order[n]) != want.Order[n] {
+				t.Fatalf("graph %d: topo order diverges at %d", gi, n)
+			}
+			if got.IsCPN(int32(n)) != want.IsCPN(NodeID(n)) {
+				t.Fatalf("graph %d node %d: IsCPN diverges", gi, n)
+			}
+		}
+	}
+}
+
+func TestClassifyCSRAndCompactMatch(t *testing.T) {
+	var cls []Class // shared scratch for ClassifyCompact
+	for gi, g := range levelGraphs(t) {
+		l, err := ComputeLevels(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Classify(g, l)
+		c := BuildCSR(g)
+		got := ClassifyCSR(c, l)
+		compact, err := c.ComputeLevelsCompact(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cls = c.ClassifyCompact(compact, cls)
+		for n := range want {
+			if got[n] != want[n] {
+				t.Fatalf("graph %d node %d: ClassifyCSR %v != %v", gi, n, got[n], want[n])
+			}
+			if cls[n] != want[n] {
+				t.Fatalf("graph %d node %d: ClassifyCompact %v != %v", gi, n, cls[n], want[n])
+			}
+		}
+	}
+}
+
+func TestComputeLevelsCSREmpty(t *testing.T) {
+	empty := &CSR{PredOff: []int32{0}, SuccOff: []int32{0}}
+	if _, err := ComputeLevelsCSR(empty); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := empty.ComputeLevelsCompact(nil); err == nil {
+		t.Fatal("empty graph accepted by compact kernel")
+	}
+}

@@ -1,0 +1,362 @@
+package dag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// StreamSTG parses the Standard Task Graph format (see ReadSTG for the
+// grammar) straight into a CSR, never materializing a *Graph, a
+// per-row map, or per-node slices. The peak memory is the raw edge
+// endpoints (8 bytes/edge) plus the finished arenas; at a million
+// nodes the intermediate *Graph the legacy path builds costs ~20x
+// more.
+//
+// The result is bit-identical to the legacy path:
+// StreamSTG(r).ToGraph() equals ReadSTG(r) slot for slot — predecessor
+// arenas keep each row's listed order, successor arenas are ordered by
+// child ID exactly as the legacy id-ascending AddEdge loop produced —
+// so plans compiled from either source schedule identically (pinned by
+// the differential tests in internal/casch).
+//
+// Like ReadSTG, nothing is ever allocated proportional to the declared
+// task count before that many rows were actually consumed: a few-byte
+// header claiming 2^30 tasks fails with a parse error, not an OOM
+// (the FuzzReadSTG corpus case, replayed by FuzzStreamSTG).
+func StreamSTG(r io.Reader, defaultComm float64) (*CSR, error) {
+	if math.IsNaN(defaultComm) || math.IsInf(defaultComm, 0) || defaultComm < 0 {
+		return nil, fmt.Errorf("dag: stg: %w: default comm %v", ErrBadWeight, defaultComm)
+	}
+	sc := newFieldScanner(r)
+	head, err := sc.next()
+	if err != nil {
+		return nil, fmt.Errorf("dag: stg: missing task count: %w", err)
+	}
+	n, err := strconv.Atoi(head[0])
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("dag: stg: bad task count %q", head[0])
+	}
+
+	// Row accumulators. All grow by append, tracking the rows actually
+	// read — never pre-sized by the untrusted header count.
+	var (
+		rowID   []int32
+		rowCost []float64
+		efrom   []int32 // edge endpoints in file order: row order, preds in listed order
+		eto     []int32
+	)
+	for i := 0; i < n; i++ {
+		f, err := sc.next()
+		if err != nil {
+			return nil, fmt.Errorf("dag: stg: expected %d task rows, got %d", n, i)
+		}
+		if len(f) < 3 {
+			return nil, fmt.Errorf("dag: stg: short task row %q", strings.Join(f, " "))
+		}
+		id, err := strconv.Atoi(f[0])
+		if err != nil || id < 0 || id >= n {
+			return nil, fmt.Errorf("dag: stg: bad task id %q", f[0])
+		}
+		cost, err := strconv.ParseFloat(f[1], 64)
+		// NaN/Inf are rejected here where the legacy path rejects them in
+		// Graph.Validate — acceptance must agree for the differential fuzz.
+		if err != nil || math.IsNaN(cost) || math.IsInf(cost, 0) || cost < 0 {
+			return nil, fmt.Errorf("dag: stg: bad cost %q for task %d", f[1], id)
+		}
+		np, err := strconv.Atoi(f[2])
+		if err != nil || np < 0 || len(f) != 3+np {
+			return nil, fmt.Errorf("dag: stg: task %d declares %s predecessors, row has %d ids", id, f[2], len(f)-3)
+		}
+		for j := 0; j < np; j++ {
+			p, err := strconv.Atoi(f[3+j])
+			if err != nil || p < 0 || p >= n {
+				return nil, fmt.Errorf("dag: stg: bad predecessor %q of task %d", f[3+j], id)
+			}
+			if p == id {
+				return nil, fmt.Errorf("dag: stg: %w on node %d", ErrSelfLoop, id)
+			}
+			efrom = append(efrom, int32(p))
+			eto = append(eto, int32(id))
+		}
+		rowID = append(rowID, int32(id))
+		rowCost = append(rowCost, cost)
+	}
+
+	// All n rows were physically consumed, so O(n) tables are now
+	// proportional to the input actually read.
+	nodeW := make([]float64, n)
+	seen := make([]bool, n)
+	for i, id := range rowID {
+		if seen[id] {
+			return nil, fmt.Errorf("dag: stg: duplicate task id %d", id)
+		}
+		seen[id] = true
+		nodeW[id] = rowCost[i]
+	}
+	c, err := finishCSR(nodeW, efrom, eto, nil, defaultComm)
+	if err != nil {
+		return nil, fmt.Errorf("dag: stg: %w", err)
+	}
+	return c, nil
+}
+
+// StreamEdgeList parses the package's streaming edge-list format into
+// a CSR. The format is line-oriented, designed so a generator can emit
+// a graph row by row in O(1) state and a reader can ingest it without
+// ever holding more than the raw endpoint arrays:
+//
+//	# comment
+//	v <count>            header: total node count (cross-checked)
+//	n <weight>           declares the next node; IDs are assigned 0,1,2,... in order
+//	e <from> <to> <weight>   an edge; both endpoints must already be declared
+//
+// Node and edge lines may interleave (a generator emits each node and
+// then its in-edges), and the declare-before-use rule makes every
+// line checkable as it arrives. Blank lines and '#' comments are
+// ignored.
+//
+// The CSR's adjacency is canonicalized to child-major order: node n's
+// predecessor slots keep the file order of the edges pointing at n,
+// and successor slots are ordered by (child, file position). A file
+// whose edges are grouped by child in ascending order — what
+// WriteEdgeList and the layered generator emit — round-trips with its
+// edge order intact.
+func StreamEdgeList(r io.Reader) (*CSR, error) {
+	sc := newFieldScanner(r)
+	head, err := sc.next()
+	if err != nil {
+		return nil, fmt.Errorf("dag: edgelist: missing header: %w", err)
+	}
+	if len(head) != 2 || head[0] != "v" {
+		return nil, fmt.Errorf("dag: edgelist: bad header %q, want \"v <count>\"", strings.Join(head, " "))
+	}
+	declared, err := strconv.Atoi(head[1])
+	if err != nil || declared < 1 {
+		return nil, fmt.Errorf("dag: edgelist: bad node count %q", head[1])
+	}
+
+	var (
+		nodeW []float64
+		efrom []int32
+		eto   []int32
+		ew    []float64
+	)
+	for {
+		f, err := sc.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dag: edgelist: %w", err)
+		}
+		switch f[0] {
+		case "n":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("dag: edgelist: bad node line %q", strings.Join(f, " "))
+			}
+			w, err := strconv.ParseFloat(f[1], 64)
+			if err != nil || math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return nil, fmt.Errorf("dag: edgelist: %w: node %d has weight %q", ErrBadWeight, len(nodeW), f[1])
+			}
+			if len(nodeW) >= declared {
+				return nil, fmt.Errorf("dag: edgelist: more than the declared %d nodes", declared)
+			}
+			nodeW = append(nodeW, w)
+		case "e":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("dag: edgelist: bad edge line %q", strings.Join(f, " "))
+			}
+			from, err1 := strconv.Atoi(f[1])
+			to, err2 := strconv.Atoi(f[2])
+			w, err3 := strconv.ParseFloat(f[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("dag: edgelist: bad edge line %q", strings.Join(f, " "))
+			}
+			if from < 0 || from >= len(nodeW) || to < 0 || to >= len(nodeW) {
+				return nil, fmt.Errorf("dag: edgelist: %w: %d -> %d (declared so far: %d)", ErrEdgeEndpoint, from, to, len(nodeW))
+			}
+			if from == to {
+				return nil, fmt.Errorf("dag: edgelist: %w on node %d", ErrSelfLoop, from)
+			}
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return nil, fmt.Errorf("dag: edgelist: %w: edge %d->%d has weight %q", ErrBadWeight, from, to, f[3])
+			}
+			efrom = append(efrom, int32(from))
+			eto = append(eto, int32(to))
+			ew = append(ew, w)
+		default:
+			return nil, fmt.Errorf("dag: edgelist: unknown line kind %q", f[0])
+		}
+	}
+	if len(nodeW) != declared {
+		return nil, fmt.Errorf("dag: edgelist: header declares %d nodes, file has %d", declared, len(nodeW))
+	}
+	c, err := finishCSR(nodeW, efrom, eto, ew, 0)
+	if err != nil {
+		return nil, fmt.Errorf("dag: edgelist: %w", err)
+	}
+	return c, nil
+}
+
+// FinishCSR assembles a CSR from columnar raw data — per-node weights
+// plus parallel edge endpoint/weight arrays — the in-process twin of
+// the streaming readers for generators that already hold their output
+// in arrays. A nil ew charges every edge uniformW. Endpoints, weights,
+// duplicate edges and acyclicity are all validated; on success the
+// nodeW slice is retained by the returned CSR.
+func FinishCSR(nodeW []float64, efrom, eto []int32, ew []float64, uniformW float64) (*CSR, error) {
+	v := len(nodeW)
+	if len(eto) != len(efrom) || (ew != nil && len(ew) != len(efrom)) {
+		return nil, fmt.Errorf("dag: csr: mismatched edge arrays: %d from, %d to, %d weights",
+			len(efrom), len(eto), len(ew))
+	}
+	for n, w := range nodeW {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("dag: csr: %w: node %d has weight %v", ErrBadWeight, n, w)
+		}
+	}
+	if ew == nil && (math.IsNaN(uniformW) || math.IsInf(uniformW, 0) || uniformW < 0) {
+		return nil, fmt.Errorf("dag: csr: %w: uniform edge weight %v", ErrBadWeight, uniformW)
+	}
+	for i := range efrom {
+		from, to := efrom[i], eto[i]
+		if from < 0 || int(from) >= v || to < 0 || int(to) >= v {
+			return nil, fmt.Errorf("dag: csr: edge %d->%d out of range (have %d nodes)", from, to, v)
+		}
+		if from == to {
+			return nil, fmt.Errorf("dag: csr: %w on node %d", ErrSelfLoop, from)
+		}
+		if ew != nil {
+			if w := ew[i]; math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return nil, fmt.Errorf("dag: csr: %w: edge %d->%d has weight %v", ErrBadWeight, from, to, w)
+			}
+		}
+	}
+	return finishCSR(nodeW, efrom, eto, ew, uniformW)
+}
+
+// finishCSR assembles the arenas from raw edge endpoints via two
+// stable counting scatters and validates the result (duplicates,
+// cycle). ew carries per-edge weights in file order; a nil ew means
+// every edge costs uniformW (the STG case, which then never allocates
+// a raw weight array at all). The raw endpoint arrays are released as
+// soon as the predecessor arenas are built, keeping the ingest peak at
+// raw endpoints + one adjacency direction.
+func finishCSR(nodeW []float64, efrom, eto []int32, ew []float64, uniformW float64) (*CSR, error) {
+	v, e := len(nodeW), len(efrom)
+	c := &CSR{
+		PredOff:  make([]int32, v+1),
+		PredFrom: make([]int32, e),
+		PredW:    make([]float64, e),
+		SuccOff:  make([]int32, v+1),
+		SuccTo:   make([]int32, e),
+		SuccW:    make([]float64, e),
+		NodeW:    nodeW,
+	}
+	// Predecessor arenas: stable scatter by child keeps file order
+	// within each child's group.
+	for _, to := range eto {
+		c.PredOff[to+1]++
+	}
+	for n := 0; n < v; n++ {
+		c.PredOff[n+1] += c.PredOff[n]
+	}
+	next := make([]int32, v)
+	copy(next, c.PredOff[:v])
+	for i := 0; i < e; i++ {
+		to := eto[i]
+		s := next[to]
+		next[to] = s + 1
+		c.PredFrom[s] = efrom[i]
+		if ew != nil {
+			c.PredW[s] = ew[i]
+		} else {
+			c.PredW[s] = uniformW
+		}
+	}
+	// The raw endpoint arrays are dead from here on; the GC reclaims
+	// them while the successor arenas are built.
+
+	// Successor arenas: scatter the pred slots (walked child-ascending,
+	// slot order) by parent — within each parent the slots land in
+	// (child, file position) order.
+	for _, from := range c.PredFrom {
+		c.SuccOff[from+1]++
+	}
+	for n := 0; n < v; n++ {
+		c.SuccOff[n+1] += c.SuccOff[n]
+	}
+	copy(next, c.SuccOff[:v])
+	for to := 0; to < v; to++ {
+		for s := c.PredOff[to]; s < c.PredOff[to+1]; s++ {
+			from := c.PredFrom[s]
+			i := next[from]
+			next[from] = i + 1
+			c.SuccTo[i] = int32(to)
+			c.SuccW[i] = c.PredW[s]
+		}
+	}
+	// Within each parent the successor slots are sorted by child, so
+	// duplicate (from, to) pairs sit adjacent.
+	for n := 0; n < v; n++ {
+		for s := c.SuccOff[n] + 1; s < c.SuccOff[n+1]; s++ {
+			if c.SuccTo[s] == c.SuccTo[s-1] {
+				return nil, fmt.Errorf("%w: %d -> %d", ErrDuplicateEdge, n, c.SuccTo[s])
+			}
+		}
+	}
+	if _, err := c.TopoOrder(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WriteEdgeList serializes g in the StreamEdgeList format: all node
+// lines in ID order, then the edges grouped by child ascending in
+// stored predecessor order. A round trip preserves predecessor slot
+// order exactly; successor order comes back canonicalized to
+// child-major (a second round trip is bit-identical).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "v %d\n", g.NumNodes())
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(bw, "n %g\n", n.Weight)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, e := range g.Pred(NodeID(i)) {
+			fmt.Fprintf(bw, "e %d %d %g\n", int(e.From), i, e.Weight)
+		}
+	}
+	return bw.Flush()
+}
+
+// fieldScanner yields the whitespace-split fields of each non-blank,
+// non-comment line.
+type fieldScanner struct{ sc *bufio.Scanner }
+
+func newFieldScanner(r io.Reader) *fieldScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &fieldScanner{sc: sc}
+}
+
+func (f *fieldScanner) next() ([]string, error) {
+	for f.sc.Scan() {
+		line := f.sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) > 0 {
+			return fields, nil
+		}
+	}
+	if err := f.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}

@@ -1,0 +1,498 @@
+package fast
+
+import (
+	"errors"
+	"fmt"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/obs"
+	"fastsched/internal/plan"
+	"fastsched/internal/sched"
+)
+
+// DefaultMaxClusters bounds the contracted graph the hierarchical
+// scheduler hands to the inner FAST search. 2048 keeps the inner
+// O(v²)-ish search machinery (state arrays, replay) in cache while
+// leaving enough clusters for the splice to spread across any realistic
+// processor count.
+const DefaultMaxClusters = 2048
+
+// HierOptions configures the hierarchical FAST scheduler.
+type HierOptions struct {
+	// Seed seeds the inner FAST search (same contract as Options.Seed).
+	Seed int64
+	// MaxSteps is the inner search budget (0 = DefaultMaxSteps,
+	// negative disables the search).
+	MaxSteps int
+	// MaxClusters caps the contracted graph size (0 = DefaultMaxClusters).
+	MaxClusters int
+	// Metrics, when non-nil, receives hier.clusters, hier.contracted
+	// and the inner search's telemetry.
+	Metrics obs.Sink
+}
+
+// Hierarchical is the million-node FAST variant: rather than running
+// the local search over v nodes — where even the O(e) list scheduling
+// pass is memory-bound and the search neighbourhood is astronomically
+// large — it
+//
+//  1. clusters the graph with a linear-clustering pass in the style of
+//     DSC/LC: walk the nodes in decreasing b-level priority order and
+//     grow each cluster along the heaviest (comm + b-level) unassigned
+//     successor chain, zeroing the dominant communication edges;
+//  2. contracts clusters into a DAG of at most MaxClusters super-nodes
+//     (summed weights, deduplicated summed-weight edges, strongly
+//     connected components collapsed — linear clusters can induce
+//     contracted cycles);
+//  3. runs the full FAST two-phase algorithm on the contracted graph;
+//  4. splices the result back, list-scheduling the original nodes in
+//     priority order with each node pinned to its cluster's processor.
+//
+// Every phase is deterministic for a fixed seed, and the whole pipeline
+// is O(v + e + inner FAST on ≤ MaxClusters nodes). The splice is a
+// fixed-assignment list schedule, so the makespan is bounded by
+// TotalWork + TotalComm (each blocking chain charges every node and
+// edge at most once) — the same oracle envelope as the bounded
+// schedulers.
+type Hierarchical struct {
+	opts HierOptions
+}
+
+// NewHierarchical returns a hierarchical FAST scheduler.
+func NewHierarchical(opts HierOptions) *Hierarchical { return &Hierarchical{opts: opts} }
+
+// Name implements sched.Scheduler.
+func (h *Hierarchical) Name() string { return "FAST-H" }
+
+// Instrument attaches a metrics sink (the command-line tools' hook).
+func (h *Hierarchical) Instrument(sink obs.Sink, _ *obs.Trajectory) {
+	h.opts.Metrics = sink
+}
+
+// Schedule implements sched.Scheduler. procs <= 0 means one processor
+// per cluster.
+func (h *Hierarchical) Schedule(g *dag.Graph, procs int) (*sched.Schedule, error) {
+	if g.NumNodes() == 0 {
+		return nil, errors.New("fast: empty graph")
+	}
+	f, err := h.ScheduleCSR(dag.BuildCSR(g), procs)
+	if err != nil {
+		return nil, err
+	}
+	return f.ToSchedule(), nil
+}
+
+// ScheduleCompiled runs against a pre-compiled graph. The result is
+// bit-identical to Schedule(cg.Graph, procs): ScheduleCSR is a pure
+// function of the CSR, and cg.CSR is BuildCSR of the same graph.
+func (h *Hierarchical) ScheduleCompiled(cg *plan.CompiledGraph, procs int) (*sched.Schedule, error) {
+	f, err := h.ScheduleCSR(cg.CSR, procs)
+	if err != nil {
+		return nil, err
+	}
+	return f.ToSchedule(), nil
+}
+
+// ScheduleCSR is the native large-graph entry point: CSR in, flat
+// schedule out, no *dag.Graph or *sched.Schedule ever materialized for
+// the full node set. Allocations are O(v) dense arrays plus the
+// contracted graph (≤ MaxClusters nodes).
+func (h *Hierarchical) ScheduleCSR(c *dag.CSR, procs int) (*sched.Flat, error) {
+	v := c.NumNodes()
+	if v == 0 {
+		return nil, errors.New("fast: empty graph")
+	}
+	maxClusters := h.opts.MaxClusters
+	if maxClusters <= 0 {
+		maxClusters = DefaultMaxClusters
+	}
+
+	levels, err := c.ComputeLevelsCompact(nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Priority order: decreasing b-level, ties by topological position.
+	// b-level(parent) ≥ b-level(child) for non-negative weights, so with
+	// the topological tie-break this is itself a valid topological order
+	// — the splice replays it directly.
+	prio := buildPriorityOrder(levels, v)
+
+	cluster, vc := linearClusters(c, levels, prio)
+	if vc > maxClusters {
+		// Monotone fold: preserves cluster-id order (and thus priority
+		// structure — lower ids were seeded by higher-priority nodes).
+		for n := range cluster {
+			cluster[n] = int32(int64(cluster[n]) * int64(maxClusters) / int64(vc))
+		}
+		vc = maxClusters
+	}
+
+	cg, clusterOf := contract(c, cluster, vc)
+	if sink := h.opts.Metrics; sink != nil {
+		sink.Counter("hier.clusters").Add(int64(vc))
+		sink.Counter("hier.contracted.nodes").Add(int64(cg.NumNodes()))
+		sink.Counter("hier.contracted.edges").Add(int64(cg.NumEdges()))
+	}
+
+	inner := New(Options{
+		Seed:     h.opts.Seed,
+		MaxSteps: h.opts.MaxSteps,
+		Metrics:  h.opts.Metrics,
+	})
+	is, err := inner.Schedule(cg, procs)
+	if err != nil {
+		return nil, fmt.Errorf("fast: hierarchical inner search: %w", err)
+	}
+
+	f := splice(c, prio, clusterOf, is, procs)
+	f.Algorithm = h.Name()
+	return f, nil
+}
+
+// buildPriorityOrder returns the nodes sorted by decreasing b-level,
+// ties broken by topological position (then ID, though topological
+// positions are already unique). Counting-free: we sort indices with a
+// bottom-up merge over int32 to avoid sort.Slice's interface overhead
+// on 10⁶ elements — and to keep the comparison total and deterministic.
+func buildPriorityOrder(l *dag.CompactLevels, v int) []int32 {
+	pos := make([]int32, v)
+	for i, n := range l.Order {
+		pos[n] = int32(i)
+	}
+	prio := make([]int32, v)
+	copy(prio, l.Order)
+	less := func(a, b int32) bool {
+		if l.BLevel[a] != l.BLevel[b] {
+			return l.BLevel[a] > l.BLevel[b]
+		}
+		return pos[a] < pos[b]
+	}
+	// Bottom-up merge sort, stable. Starting from l.Order (a valid
+	// topological order) makes equal-b-level runs already pos-ordered,
+	// but stability guarantees the tie-break regardless.
+	buf := make([]int32, v)
+	for width := 1; width < v; width *= 2 {
+		for lo := 0; lo < v; lo += 2 * width {
+			mid, hi := lo+width, lo+2*width
+			if mid > v {
+				mid = v
+			}
+			if hi > v {
+				hi = v
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if less(prio[j], prio[i]) {
+					buf[k] = prio[j]
+					j++
+				} else {
+					buf[k] = prio[i]
+					i++
+				}
+				k++
+			}
+			copy(buf[k:hi], prio[i:mid])
+			copy(buf[k+mid-i:hi], prio[j:hi])
+		}
+		prio, buf = buf, prio
+	}
+	return prio
+}
+
+// linearClusters assigns every node to a linear cluster: walking the
+// priority order, each yet-unassigned node seeds a new cluster that
+// then follows the chain of the most critical unassigned successor
+// (max comm weight + b-level — the successor whose incoming edge is
+// most worth zeroing). Each node's successor list is scanned exactly
+// once, so the pass is O(v + e).
+func linearClusters(c *dag.CSR, l *dag.CompactLevels, prio []int32) (cluster []int32, vc int) {
+	v := c.NumNodes()
+	cluster = make([]int32, v)
+	for i := range cluster {
+		cluster[i] = -1
+	}
+	next := int32(0)
+	for _, seed := range prio {
+		if cluster[seed] >= 0 {
+			continue
+		}
+		id := next
+		next++
+		for n := seed; ; {
+			cluster[n] = id
+			best := int32(-1)
+			bestKey := 0.0
+			for s := c.SuccOff[n]; s < c.SuccOff[n+1]; s++ {
+				to := c.SuccTo[s]
+				if cluster[to] >= 0 {
+					continue
+				}
+				key := c.SuccW[s] + l.BLevel[to]
+				// Strict > keeps the first (stored-order) maximum: the
+				// slot order is part of the deterministic contract.
+				if best < 0 || key > bestKey {
+					best, bestKey = to, key
+				}
+			}
+			if best < 0 {
+				break
+			}
+			n = best
+		}
+	}
+	return cluster, int(next)
+}
+
+// contract builds the cluster DAG: one node per cluster with the summed
+// member weight, one edge per inter-cluster adjacency with the summed
+// communication weight. Linear clusters can close cycles through other
+// clusters (a1→a2 in one cluster plus a1→x→a2 outside), so strongly
+// connected components of the contracted multigraph are collapsed.
+// Returns the contracted graph and the per-original-node super-cluster
+// index aligned with the graph's node IDs.
+func contract(c *dag.CSR, cluster []int32, vc int) (*dag.Graph, []int32) {
+	v := c.NumNodes()
+
+	// Counting-sort members by cluster so each cluster's out-edges are
+	// visited contiguously — that is what lets a flat stamp array
+	// deduplicate edges without a hash map.
+	off := make([]int32, vc+1)
+	for _, cl := range cluster {
+		off[cl+1]++
+	}
+	for i := 0; i < vc; i++ {
+		off[i+1] += off[i]
+	}
+	members := make([]int32, v)
+	fill := make([]int32, vc)
+	copy(fill, off[:vc])
+	for n := 0; n < v; n++ { // ID order → members sorted within cluster
+		cl := cluster[n]
+		members[fill[cl]] = int32(n)
+		fill[cl]++
+	}
+
+	nodeW := make([]float64, vc)
+	var efrom, eto []int32
+	var ew []float64
+	stamp := make([]int32, vc) // stamp[cv] = cu+1 when edge cu→cv already open
+	slot := make([]int32, vc)  // its index in the edge arrays
+	for cu := int32(0); cu < int32(vc); cu++ {
+		for m := off[cu]; m < off[cu+1]; m++ {
+			n := members[m]
+			nodeW[cu] += c.NodeW[n]
+			for s := c.SuccOff[n]; s < c.SuccOff[n+1]; s++ {
+				cv := cluster[c.SuccTo[s]]
+				if cv == cu {
+					continue
+				}
+				if stamp[cv] == cu+1 {
+					ew[slot[cv]] += c.SuccW[s]
+					continue
+				}
+				stamp[cv] = cu + 1
+				slot[cv] = int32(len(efrom))
+				efrom = append(efrom, cu)
+				eto = append(eto, cv)
+				ew = append(ew, c.SuccW[s])
+			}
+		}
+	}
+
+	scc, nscc := condense(vc, efrom, eto)
+
+	g := dag.New(nscc)
+	sccW := make([]float64, nscc)
+	for cl, w := range nodeW {
+		sccW[scc[cl]] += w
+	}
+	for i := 0; i < nscc; i++ {
+		g.AddNode(fmt.Sprintf("c%d", i), sccW[i])
+	}
+	// Re-deduplicate edges at the SCC level. Edges are grouped by
+	// source via another counting sort to reuse the stamp trick.
+	eoff := make([]int32, nscc+1)
+	for i := range efrom {
+		eoff[scc[efrom[i]]+1]++
+	}
+	for i := 0; i < nscc; i++ {
+		eoff[i+1] += eoff[i]
+	}
+	eorder := make([]int32, len(efrom))
+	efill := make([]int32, nscc)
+	copy(efill, eoff[:nscc])
+	for i := range efrom { // original append order → deterministic within source
+		su := scc[efrom[i]]
+		eorder[efill[su]] = int32(i)
+		efill[su]++
+	}
+	estamp := make([]int32, nscc)
+	eslot := make([]int32, nscc)
+	type cedge struct {
+		from, to dag.NodeID
+		w        float64
+	}
+	var edges []cedge
+	for su := int32(0); su < int32(nscc); su++ {
+		for k := eoff[su]; k < eoff[su+1]; k++ {
+			i := eorder[k]
+			sv := scc[eto[i]]
+			if sv == su {
+				continue // intra-SCC edge, absorbed by the collapse
+			}
+			if estamp[sv] == su+1 {
+				edges[eslot[sv]].w += ew[i]
+				continue
+			}
+			estamp[sv] = su + 1
+			eslot[sv] = int32(len(edges))
+			edges = append(edges, cedge{dag.NodeID(su), dag.NodeID(sv), ew[i]})
+		}
+	}
+	for _, e := range edges {
+		g.MustAddEdge(e.from, e.to, e.w)
+	}
+
+	super := make([]int32, v)
+	for n := 0; n < v; n++ {
+		super[n] = scc[cluster[n]]
+	}
+	return g, super
+}
+
+// condense computes strongly connected components of the (vc, edges)
+// digraph with an iterative Tarjan, then renumbers components into a
+// topological order (Tarjan emits them in reverse topological order).
+// Deterministic: the DFS visits nodes and edge slots in stored order.
+func condense(vc int, efrom, eto []int32) (scc []int32, nscc int) {
+	// Adjacency in CSR form.
+	aoff := make([]int32, vc+1)
+	for _, f := range efrom {
+		aoff[f+1]++
+	}
+	for i := 0; i < vc; i++ {
+		aoff[i+1] += aoff[i]
+	}
+	adj := make([]int32, len(efrom))
+	afill := make([]int32, vc)
+	copy(afill, aoff[:vc])
+	for i, f := range efrom {
+		adj[afill[f]] = eto[i]
+		afill[f]++
+	}
+
+	const unvisited = -1
+	index := make([]int32, vc)
+	low := make([]int32, vc)
+	onStack := make([]bool, vc)
+	for i := range index {
+		index[i] = unvisited
+	}
+	scc = make([]int32, vc)
+	stack := make([]int32, 0, vc)
+	// Explicit DFS frames: node and the next adjacency slot to explore.
+	type frame struct{ n, slot int32 }
+	var frames []frame
+	var counter int32
+
+	for root := int32(0); root < int32(vc); root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{root, aoff[root]})
+		index[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			n := fr.n
+			if fr.slot < aoff[n+1] {
+				m := adj[fr.slot]
+				fr.slot++
+				if index[m] == unvisited {
+					frames = append(frames, frame{m, aoff[m]})
+					index[m], low[m] = counter, counter
+					counter++
+					stack = append(stack, m)
+					onStack[m] = true
+				} else if onStack[m] && index[m] < low[n] {
+					low[n] = index[m]
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := frames[len(frames)-1].n; low[n] < low[p] {
+					low[p] = low[n]
+				}
+			}
+			if low[n] == index[n] { // n is an SCC root
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					scc[m] = int32(nscc)
+					if m == n {
+						break
+					}
+				}
+				nscc++
+			}
+		}
+	}
+	// Tarjan numbers components in reverse topological order; flip so
+	// the contracted graph's node IDs ascend along the partial order
+	// (matching the id-ascending habits of the rest of the codebase).
+	for i := range scc {
+		scc[i] = int32(nscc-1) - scc[i]
+	}
+	return scc, nscc
+}
+
+// splice replays the original nodes in priority order (a valid
+// topological order) with each node pinned to its super-cluster's
+// processor: start = max(processor ready time, latest parent arrival),
+// communication charged only across processors. A fixed-assignment
+// list schedule — every blocking chain charges each node and edge at
+// most once, so the makespan is ≤ TotalWork + TotalComm.
+func splice(c *dag.CSR, prio []int32, super []int32, inner *sched.Schedule, procs int) *sched.Flat {
+	v := c.NumNodes()
+	f := &sched.Flat{
+		Assign: make([]int32, v),
+		Start:  make([]float64, v),
+		Finish: make([]float64, v),
+	}
+	maxProc := 0
+	for n := 0; n < v; n++ {
+		p := inner.Proc(dag.NodeID(super[n]))
+		f.Assign[n] = int32(p)
+		if p > maxProc {
+			maxProc = p
+		}
+	}
+	f.Procs = procs
+	if procs <= 0 {
+		f.Procs = maxProc + 1
+	}
+	ready := make([]float64, maxProc+1)
+	for _, n := range prio {
+		p := f.Assign[n]
+		start := ready[p]
+		for s := c.PredOff[n]; s < c.PredOff[n+1]; s++ {
+			from := c.PredFrom[s]
+			arrival := f.Finish[from]
+			if f.Assign[from] != p {
+				arrival += c.PredW[s]
+			}
+			if arrival > start {
+				start = arrival
+			}
+		}
+		f.Start[n] = start
+		f.Finish[n] = start + c.NodeW[n]
+		ready[p] = f.Finish[n]
+	}
+	return f
+}

@@ -1,0 +1,185 @@
+package fast
+
+import (
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/obs"
+	"fastsched/internal/plan"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+	"fastsched/internal/workload"
+)
+
+// TestHierConformance runs the shared invariant suite over the
+// hierarchical scheduler: validity, determinism, and the bounded-
+// scheduler makespan envelope (TotalWork + TotalComm) all hold.
+func TestHierConformance(t *testing.T) {
+	schedtest.Conformance(t, NewHierarchical(HierOptions{Seed: 1}), true)
+}
+
+func hierGraphs(t *testing.T) map[string]*dag.Graph {
+	t.Helper()
+	gs := make(map[string]*dag.Graph)
+	g, err := workload.Random(workload.RandomOpts{V: 300, Seed: 9, MeanInDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs["random"] = g
+	c, err := workload.LayeredCSR(workload.LayeredOpts{V: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs["layered"] = c.ToGraph()
+	return gs
+}
+
+// TestHierScheduleCSRValid checks the native CSR entry point: the flat
+// schedule passes ValidateFlat, stays under the work+comm envelope, and
+// materializes to the same placements Schedule produces.
+func TestHierScheduleCSRValid(t *testing.T) {
+	h := NewHierarchical(HierOptions{Seed: 1})
+	for name, g := range hierGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			c := dag.BuildCSR(g)
+			for _, procs := range []int{1, 4, 0} {
+				f, err := h.ScheduleCSR(c, procs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sched.ValidateFlat(c, f); err != nil {
+					t.Fatalf("procs=%d: %v", procs, err)
+				}
+				if env := c.TotalWork() + c.TotalComm(); f.Length() > env {
+					t.Fatalf("procs=%d: makespan %v exceeds envelope %v", procs, f.Length(), env)
+				}
+				if f.Algorithm != h.Name() {
+					t.Fatalf("algorithm %q, want %q", f.Algorithm, h.Name())
+				}
+				want, err := h.Schedule(g, procs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameSchedule(t, g.NumNodes(), want, f.ToSchedule())
+			}
+		})
+	}
+}
+
+// TestHierDeterminism pins the fixed-seed contract: every pipeline
+// stage is deterministic, so repeated runs are bit-identical.
+func TestHierDeterminism(t *testing.T) {
+	for name, g := range hierGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			c := dag.BuildCSR(g)
+			a, err := NewHierarchical(HierOptions{Seed: 42}).ScheduleCSR(c, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewHierarchical(HierOptions{Seed: 42}).ScheduleCSR(c, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := range a.Assign {
+				if a.Assign[n] != b.Assign[n] || a.Start[n] != b.Start[n] || a.Finish[n] != b.Finish[n] {
+					t.Fatalf("node %d: (%d,%v,%v) != (%d,%v,%v)", n,
+						a.Assign[n], a.Start[n], a.Finish[n], b.Assign[n], b.Start[n], b.Finish[n])
+				}
+			}
+		})
+	}
+}
+
+// TestHierCompiledMatchesSchedule pins the serving-path contract:
+// ScheduleCompiled against a precompiled plan is bit-identical to
+// Schedule on the raw graph.
+func TestHierCompiledMatchesSchedule(t *testing.T) {
+	h := NewHierarchical(HierOptions{Seed: 1})
+	for name, g := range hierGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			cg, err := plan.Compile(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := h.Schedule(g, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := h.ScheduleCompiled(cg, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameSchedule(t, g.NumNodes(), want, got)
+		})
+	}
+}
+
+// TestHierMaxClustersFold forces the monotone fold by capping the
+// cluster count far below the natural cluster count: the schedule must
+// stay valid and the contracted graph must respect the cap.
+func TestHierMaxClustersFold(t *testing.T) {
+	g := hierGraphs(t)["random"]
+	c := dag.BuildCSR(g)
+	sink := obs.NewRegistry()
+	h := NewHierarchical(HierOptions{Seed: 1, MaxClusters: 4, Metrics: sink})
+	f, err := h.ScheduleCSR(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.ValidateFlat(c, f); err != nil {
+		t.Fatal(err)
+	}
+	if n := sink.Counter("hier.contracted.nodes").Value(); n < 1 || n > 4 {
+		t.Fatalf("contracted to %d super-nodes, cap was 4", n)
+	}
+}
+
+// TestHierContractedCycleCollapse builds the canonical cycle-inducing
+// shape: a heavy edge a1→a2 pulls both into one linear cluster while a
+// detour a1→x→a2 stays outside, so the contracted multigraph has the
+// 2-cycle {a1,a2}→{x}→{a1,a2}. The SCC collapse must absorb it and the
+// spliced schedule must still be a legal execution of the original DAG.
+func TestHierContractedCycleCollapse(t *testing.T) {
+	g := dag.New(3)
+	a1 := g.AddNode("a1", 2)
+	x := g.AddNode("x", 1)
+	a2 := g.AddNode("a2", 1)
+	g.MustAddEdge(a1, a2, 10) // dominant: clustered together
+	g.MustAddEdge(a1, x, 1)   // detour around the cluster
+	g.MustAddEdge(x, a2, 1)
+	c := dag.BuildCSR(g)
+
+	sink := obs.NewRegistry()
+	h := NewHierarchical(HierOptions{Seed: 1, Metrics: sink})
+	f, err := h.ScheduleCSR(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.ValidateFlat(c, f); err != nil {
+		t.Fatal(err)
+	}
+	if vc := sink.Counter("hier.clusters").Value(); vc != 2 {
+		t.Fatalf("linear clustering produced %d clusters, want 2", vc)
+	}
+	// The two clusters close a cycle through each other; the collapse
+	// must leave a single super-node.
+	if n := sink.Counter("hier.contracted.nodes").Value(); n != 1 {
+		t.Fatalf("contracted graph has %d nodes, want 1 after SCC collapse", n)
+	}
+	// One super-node on one processor: serial execution in priority
+	// order, no communication.
+	if got, want := f.Length(), c.TotalWork(); got != want {
+		t.Fatalf("makespan %v, want serialized %v", got, want)
+	}
+}
+
+// TestHierEmptyGraph checks the empty-graph error paths.
+func TestHierEmptyGraph(t *testing.T) {
+	h := NewHierarchical(HierOptions{})
+	if _, err := h.Schedule(dag.New(0), 2); err == nil {
+		t.Fatal("empty graph scheduled")
+	}
+	if _, err := h.ScheduleCSR(dag.BuildCSR(dag.New(0)), 2); err == nil {
+		t.Fatal("empty CSR scheduled")
+	}
+}

@@ -1,0 +1,143 @@
+package fast
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+	"fastsched/internal/workload"
+)
+
+// layeredEdgeList streams a layered DAG through the textual edge-list
+// format without ever materializing it: a generator goroutine writes
+// into a pipe that the caller hands to dag.StreamEdgeList. This is the
+// exact shape of the million-node serving path — file-sized input,
+// O(v) working memory end to end.
+func layeredEdgeList(opts workload.LayeredOpts) io.ReadCloser {
+	pr, pw := io.Pipe()
+	go func() {
+		w := bufio.NewWriterSize(pw, 1<<20)
+		fmt.Fprintf(w, "v %d\n", opts.V)
+		err := workload.Layered(opts,
+			func(_ int32, weight float64) error {
+				_, err := fmt.Fprintf(w, "n %g\n", weight)
+				return err
+			},
+			func(from, to int32, weight float64) error {
+				_, err := fmt.Fprintf(w, "e %d %d %g\n", from, to, weight)
+				return err
+			})
+		if err == nil {
+			err = w.Flush()
+		}
+		pw.CloseWithError(err)
+	}()
+	return pr
+}
+
+func scaleV() int {
+	if s := os.Getenv("FASTSCHED_SCALE_V"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 1 {
+			return n
+		}
+	}
+	return 20000
+}
+
+// TestScaleSmoke drives the full large-graph pipeline — streaming
+// generator → edge-list parse → CSR → hierarchical FAST → flat
+// validation — at FASTSCHED_SCALE_V nodes (default 20k, 5k under
+// -short). ci.sh runs this at 10⁵ under the race detector.
+func TestScaleSmoke(t *testing.T) {
+	v := scaleV()
+	if testing.Short() {
+		v = 5000
+	}
+	r := layeredEdgeList(workload.LayeredOpts{V: v, Seed: 29})
+	defer r.Close()
+	c, err := dag.StreamEdgeList(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != v {
+		t.Fatalf("streamed %d nodes, want %d", c.NumNodes(), v)
+	}
+	h := NewHierarchical(HierOptions{Seed: 1})
+	f, err := h.ScheduleCSR(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.ValidateFlat(c, f); err != nil {
+		t.Fatal(err)
+	}
+	if env := c.TotalWork() + c.TotalComm(); f.Length() > env {
+		t.Fatalf("makespan %v exceeds envelope %v", f.Length(), env)
+	}
+}
+
+// heapAfterGC returns the live heap after a forced collection — the
+// stage-boundary footprint, insensitive to garbage in flight.
+func heapAfterGC() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// BenchmarkScale is the gate's scale benchmark: layered DAGs at
+// v = 10⁴, 10⁵, 10⁶ through the streaming ingest + hierarchical FAST
+// pipeline, reporting wall time per op and the peak live-heap bytes
+// per node observed at stage boundaries (after load, after schedule).
+// bench.sh records ns/op, allocs/op, and peak-B/node per size into
+// BENCH_scale.json; bench_check.sh fails the gate on >15% regressions.
+func BenchmarkScale(b *testing.B) {
+	for _, v := range []int{10000, 100000, 1000000} {
+		// "v=" not "v-": the bench scripts strip a trailing "-N"
+		// GOMAXPROCS suffix from benchmark names, which would eat a
+		// hyphenated size on single-core hosts (where Go omits the
+		// suffix entirely).
+		b.Run(fmt.Sprintf("v=%d", v), func(b *testing.B) {
+			b.ReportAllocs()
+			var peak uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				base := heapAfterGC()
+				b.StartTimer()
+
+				r := layeredEdgeList(workload.LayeredOpts{V: v, Seed: 29})
+				c, err := dag.StreamEdgeList(r)
+				r.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				afterLoad := heapAfterGC()
+				h := NewHierarchical(HierOptions{Seed: 1})
+				f, err := h.ScheduleCSR(c, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				afterSched := heapAfterGC()
+
+				b.StopTimer()
+				if err := sched.ValidateFlat(c, f); err != nil {
+					b.Fatal(err)
+				}
+				hi := afterLoad
+				if afterSched > hi {
+					hi = afterSched
+				}
+				if hi > base && hi-base > peak {
+					peak = hi - base
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(peak)/float64(v), "peak-B/node")
+		})
+	}
+}

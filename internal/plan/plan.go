@@ -65,57 +65,15 @@ func GraphKey(g *dag.Graph) Key {
 	return k
 }
 
-// CSR is a flat compressed-sparse-row view of a graph's adjacency,
+// CSR is the flat compressed-sparse-row view of a graph's adjacency,
 // built once per compilation and shared read-only by every scheduling
-// run (PFAST workers included). The edge kernels of the searchers walk
-// parallel primitive arrays instead of chasing per-node []Edge slices,
-// so the hot loops touch dense streams with no pointer indirection.
-//
-// Slot order within a node matches g.Pred(n) / g.Succ(n) exactly, so
-// traversals — and therefore every floating-point max reduction — are
-// bit-identical to the slice walk.
-//
-// Node IDs are stored as int32: a graph would need 2^31 nodes to
-// overflow, far beyond anything the generators produce.
-type CSR struct {
-	PredOff  []int32   // PredOff[n]..PredOff[n+1] indexes n's predecessors; len v+1
-	PredFrom []int32   // predecessor node of each pred slot; len e
-	PredW    []float64 // communication cost of each pred slot; len e
-	SuccOff  []int32   // SuccOff[n]..SuccOff[n+1] indexes n's successors; len v+1
-	SuccTo   []int32   // successor node of each succ slot; len e
-	SuccW    []float64 // communication cost of each succ slot; len e
-	NodeW    []float64 // computation cost per node (dense copy); len v
-}
+// run (PFAST workers included). The type itself lives in internal/dag
+// (dag.CSR) since the streaming readers produce it without a *Graph;
+// the alias keeps every existing plan-based call site source-compatible.
+type CSR = dag.CSR
 
 // NewCSR flattens g's adjacency in stored order.
-func NewCSR(g *dag.Graph) *CSR {
-	v, e := g.NumNodes(), g.NumEdges()
-	c := &CSR{
-		PredOff:  make([]int32, v+1),
-		PredFrom: make([]int32, 0, e),
-		PredW:    make([]float64, 0, e),
-		SuccOff:  make([]int32, v+1),
-		SuccTo:   make([]int32, 0, e),
-		SuccW:    make([]float64, 0, e),
-		NodeW:    make([]float64, v),
-	}
-	for n := 0; n < v; n++ {
-		c.PredOff[n] = int32(len(c.PredFrom))
-		for _, ed := range g.Pred(dag.NodeID(n)) {
-			c.PredFrom = append(c.PredFrom, int32(ed.From))
-			c.PredW = append(c.PredW, ed.Weight)
-		}
-		c.SuccOff[n] = int32(len(c.SuccTo))
-		for _, ed := range g.Succ(dag.NodeID(n)) {
-			c.SuccTo = append(c.SuccTo, int32(ed.To))
-			c.SuccW = append(c.SuccW, ed.Weight)
-		}
-		c.NodeW[n] = g.Weight(dag.NodeID(n))
-	}
-	c.PredOff[v] = int32(len(c.PredFrom))
-	c.SuccOff[v] = int32(len(c.SuccTo))
-	return c
-}
+func NewCSR(g *dag.Graph) *CSR { return dag.BuildCSR(g) }
 
 // CompiledGraph bundles every immutable per-graph artifact the
 // schedulers consume. All fields are read-only after Compile; a
@@ -146,11 +104,16 @@ func Compile(g *dag.Graph) (*CompiledGraph, error) {
 // that already hashed the graph (the batch engine derives its result
 // key from the same bytes) never hash twice.
 func CompileKeyed(g *dag.Graph, key Key) (*CompiledGraph, error) {
-	l, err := dag.ComputeLevels(g)
+	// Analysis runs on the CSR arenas, not the []Edge slices: the int32
+	// kernels keep a 10⁶-node compile at O(v+e) over dense streams. The
+	// results are bit-identical to the slice kernels (dag's differential
+	// tests pin this), so plans compiled either way are interchangeable.
+	csr := dag.BuildCSR(g)
+	l, err := dag.ComputeLevelsCSR(csr)
 	if err != nil {
 		return nil, err
 	}
-	cls := dag.Classify(g, l)
+	cls := dag.ClassifyCSR(csr, l)
 	blocking := make([]dag.NodeID, 0, g.NumNodes())
 	for i, c := range cls {
 		if c != dag.CPN {
@@ -160,7 +123,7 @@ func CompileKeyed(g *dag.Graph, key Key) (*CompiledGraph, error) {
 	return &CompiledGraph{
 		Graph:       g,
 		Key:         key,
-		CSR:         NewCSR(g),
+		CSR:         csr,
 		Levels:      l,
 		Classes:     cls,
 		CPNDominate: CPNDominateList(g, l, cls),

@@ -236,15 +236,22 @@ func ValidateDurations(g *dag.Graph, s *Schedule, dur []float64) error {
 			prev, havePrev = cur, true
 		}
 	}
-	for _, e := range g.Edges() {
-		from, to := s.Of(e.From), s.Of(e.To)
-		arrival := from.Finish
-		if from.Proc != to.Proc {
-			arrival += e.Weight
-		}
-		if to.Start < arrival-eps {
-			return fmt.Errorf("sched: precedence violated on edge %d->%d: child starts %v, message arrives %v",
-				e.From, e.To, to.Start, arrival)
+	// Walk the stored successor lists directly rather than through
+	// g.Edges(), which materializes an O(e) slice — on a 10⁶-node graph
+	// that single allocation dwarfs the validation itself.
+	for i := 0; i < g.NumNodes(); i++ {
+		u := dag.NodeID(i)
+		from := s.Of(u)
+		for _, e := range g.Succ(u) {
+			to := s.Of(e.To)
+			arrival := from.Finish
+			if from.Proc != to.Proc {
+				arrival += e.Weight
+			}
+			if to.Start < arrival-eps {
+				return fmt.Errorf("sched: precedence violated on edge %d->%d: child starts %v, message arrives %v",
+					u, e.To, to.Start, arrival)
+			}
 		}
 	}
 	return nil

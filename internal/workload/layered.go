@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastsched/internal/dag"
+)
+
+// LayeredOpts configures the streaming layered-DAG generator used by
+// the scale benchmarks and `dagen -kind layers`: V nodes arranged in
+// uniform layers, each node wired to a bounded random sample of the
+// previous layer. Unlike Random (the paper's §5.2 recipe), the
+// generator is designed to emit graphs far beyond what a *dag.Graph*
+// comfortably holds: it streams nodes and edges through callbacks in
+// O(width) working memory, never materializing the graph.
+type LayeredOpts struct {
+	// V is the number of nodes (required, >= 2).
+	V int
+	// Layers is the number of layers (0 selects V/Width rounded up via
+	// the default width, giving roughly square layers of 64).
+	Layers int
+	// Width is the nodes per layer (0 selects 64, or V when smaller).
+	Width int
+	// Degree is the number of parents sampled from the previous layer
+	// for each non-entry node, capped at the layer width (0 selects 5 —
+	// e ≈ 5·v, the density of the issue's million-node target).
+	Degree int
+	// Seed seeds the generator; same seed, same graph.
+	Seed int64
+	// MaxNodeWeight bounds the uniform computation costs [1, max]; 0
+	// selects 10.
+	MaxNodeWeight int
+	// MaxEdgeWeight bounds the uniform communication costs [1, max]; 0
+	// selects 10.
+	MaxEdgeWeight int
+}
+
+func (o *LayeredOpts) fill() error {
+	if o.V < 2 {
+		return fmt.Errorf("workload: layered graph needs V >= 2, got %d", o.V)
+	}
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Width > o.V {
+		o.Width = o.V
+	}
+	if o.Layers <= 0 {
+		o.Layers = (o.V + o.Width - 1) / o.Width
+	}
+	if o.Layers > o.V {
+		o.Layers = o.V
+	}
+	if o.Degree <= 0 {
+		o.Degree = 5
+	}
+	if o.MaxNodeWeight == 0 {
+		o.MaxNodeWeight = 10
+	}
+	if o.MaxEdgeWeight == 0 {
+		o.MaxEdgeWeight = 10
+	}
+	return nil
+}
+
+// Layered streams the generated graph through the two callbacks: node
+// is called V times with ids 0,1,2,… (exactly the assignment order of
+// the edge-list format, so a writer can emit `n` lines directly) and
+// edge is called for every (from, to, weight) with from < to, both
+// already emitted. Working memory is O(Width): only the previous
+// layer's ids and one shuffle buffer are retained. Either callback may
+// return an error to abort the stream.
+//
+// The layer structure: V nodes are dealt into Layers layers as evenly
+// as possible (earlier layers get the remainder). Every node of layer
+// k > 0 draws min(Degree, |layer k-1|) distinct parents uniformly from
+// layer k-1, so the graph is layered in the scheduling sense — all
+// edges span exactly one layer — and e ≈ Degree·V.
+func Layered(opts LayeredOpts, node func(id int32, w float64) error, edge func(from, to int32, w float64) error) error {
+	if err := opts.fill(); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	base := opts.V / opts.Layers
+	rem := opts.V % opts.Layers
+
+	// prev holds the previous layer's node ids; sample is the partial
+	// Fisher–Yates scratch for drawing distinct parents.
+	prev := make([]int32, 0, base+1)
+	cur := make([]int32, 0, base+1)
+	var sample []int32
+
+	next := int32(0)
+	for layer := 0; layer < opts.Layers; layer++ {
+		size := base
+		if layer < rem {
+			size++
+		}
+		cur = cur[:0]
+		for i := 0; i < size; i++ {
+			id := next
+			next++
+			w := float64(1 + rng.Intn(opts.MaxNodeWeight))
+			if err := node(id, w); err != nil {
+				return err
+			}
+			cur = append(cur, id)
+			if layer == 0 {
+				continue
+			}
+			k := opts.Degree
+			if k > len(prev) {
+				k = len(prev)
+			}
+			// Partial Fisher–Yates over a copy of the previous layer:
+			// k distinct parents, order randomized but deterministic.
+			sample = append(sample[:0], prev...)
+			for j := 0; j < k; j++ {
+				r := j + rng.Intn(len(sample)-j)
+				sample[j], sample[r] = sample[r], sample[j]
+				ew := float64(1 + rng.Intn(opts.MaxEdgeWeight))
+				if err := edge(sample[j], id, ew); err != nil {
+					return err
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return nil
+}
+
+// LayeredCSR materializes the streamed graph directly as a CSR — the
+// in-process shortcut for benchmarks that don't want to round-trip
+// through the edge-list text format. Identical graph to Layered with
+// the same options.
+func LayeredCSR(opts LayeredOpts) (*dag.CSR, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	nodeW := make([]float64, 0, opts.V)
+	degree := opts.Degree
+	efrom := make([]int32, 0, opts.V*degree)
+	eto := make([]int32, 0, opts.V*degree)
+	ew := make([]float64, 0, opts.V*degree)
+	err := Layered(opts,
+		func(_ int32, w float64) error {
+			nodeW = append(nodeW, w)
+			return nil
+		},
+		func(from, to int32, w float64) error {
+			efrom = append(efrom, from)
+			eto = append(eto, to)
+			ew = append(ew, w)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return dag.FinishCSR(nodeW, efrom, eto, ew, 0)
+}

@@ -133,3 +133,70 @@ END {
 }' >"$TOUT"
 
 echo "wrote $TOUT"
+
+# ---------------------------------------------------------------------------
+# Scale benchmarks → BENCH_scale.json
+#
+# The million-node serving path: layered DAGs at v = 10⁴, 10⁵, 10⁶
+# streamed through the edge-list reader into CSR arenas and scheduled
+# with hierarchical FAST. Records ns/op, allocs/op and the peak
+# live-heap bytes per node observed at stage boundaries (the number the
+# arena design is accountable to — the target is ≤ ~200 B/node). Each
+# size runs -benchtime 1x: one iteration is the honest shape of a batch
+# load-and-schedule, and the 10⁶ case costs seconds per sample.
+
+SOUT="${SOUT:-BENCH_scale.json}"
+SCOUNT="${SCOUNT:-3}"
+
+scaleraw="$(go test -run '^$' -bench 'BenchmarkScale/' -benchmem -benchtime 1x -timeout 900s -count="$SCOUNT" ./internal/fast)"
+echo "$scaleraw"
+
+# Benchmark lines carry the custom metric between ns/op and B/op:
+#   BenchmarkScale/v-10000-1  1  36658427 ns/op  160.5 peak-B/node  15718176 B/op  276790 allocs/op
+echo "$scaleraw" | awk -v count="$SCOUNT" -v goversion="$(go version)" -v ncpu="$(nproc)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkScale\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+    ns[name] = ns[name] sep[name] $3
+    peak[name] = peak[name] sep[name] $5
+    allocs[name] = allocs[name] sep[name] $9
+    sep[name] = ", "
+    if (minns[name] == "" || $3 + 0 < minns[name] + 0) minns[name] = $3 + 0
+    if (minpeak[name] == "" || $5 + 0 < minpeak[name] + 0) minpeak[name] = $5 + 0
+}
+END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"host_cpus\": %d,\n", ncpu
+    printf "  \"count\": %d,\n", count
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": [%s], \"peak_b_per_node\": [%s], \"allocs_per_op\": [%s]}%s\n",
+            name, ns[name], peak[name], allocs[name], i < n ? "," : ""
+    }
+    printf "  ],\n"
+    printf "  \"peak_b_per_node\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        v = name
+        sub(/.*\/v=/, "", v)
+        printf "    \"v=%s\": %.1f%s\n", v, minpeak[name], i < n ? "," : ""
+    }
+    printf "  },\n"
+    printf "  \"seconds_per_op\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        v = name
+        sub(/.*\/v=/, "", v)
+        printf "    \"v=%s\": %.3f%s\n", v, minns[name] / 1e9, i < n ? "," : ""
+    }
+    printf "  }\n"
+    printf "}\n"
+}' >"$SOUT"
+
+echo "wrote $SOUT"

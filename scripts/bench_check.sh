@@ -205,3 +205,100 @@ END {
     }
     print "bench_check.sh: throughput within gates"
 }'
+
+# ---------------------------------------------------------------------------
+# Scale gate: the million-node path vs BENCH_scale.json.
+#
+# Re-runs the v=10⁵ scale benchmark only (the 10⁶ case costs seconds
+# per sample and scales the same arenas; 10⁵ catches any per-node
+# regression at a fraction of the gate's wall time) and checks:
+#   1. peak-B/node has not grown more than SCALE_THRESHOLD% — heap
+#      footprint is deterministic per (workload, code) pair, immune to
+#      host drift, so the gate stays tight at 15%;
+#   2. allocs/op has not grown more than SCALE_THRESHOLD% — also
+#      deterministic, same 15%;
+#   3. ns/op has not regressed more than SCALE_NS_THRESHOLD% — an
+#      absolute-time gate shares the 30% host-drift sizing documented
+#      at the top of this file.
+
+SCALE_THRESHOLD="${SCALE_THRESHOLD:-15}"
+SCALE_NS_THRESHOLD="${SCALE_NS_THRESHOLD:-30}"
+SBASELINE="${SBASELINE:-BENCH_scale.json}"
+SBENCH='BenchmarkScale/v=100000$'
+
+if [ ! -f "$SBASELINE" ]; then
+    echo "bench_check.sh: baseline $SBASELINE not found" >&2
+    exit 1
+fi
+
+echo "== scale check vs ${SBASELINE} (mem/allocs ${SCALE_THRESHOLD}%, ns ${SCALE_NS_THRESHOLD}%)"
+sraw="$(go test -run '^$' -bench "$SBENCH" -benchmem -benchtime 1x -timeout 300s -count="$COUNT" ./internal/fast)"
+echo "$sraw"
+
+sbase="$(awk '
+/"name":/ {
+    line = $0
+    sub(/.*"name": *"/, "", line); name = line; sub(/".*/, "", name)
+    rest = $0
+    sub(/.*"ns_per_op": *\[/, "", rest); nsl = rest; sub(/\].*/, "", nsl)
+    gsub(/ /, "", nsl)
+    n = split(nsl, vals, ",")
+    minns = vals[1] + 0
+    for (i = 2; i <= n; i++) if (vals[i] + 0 < minns) minns = vals[i] + 0
+    rest = $0
+    sub(/.*"peak_b_per_node": *\[/, "", rest); pl = rest; sub(/\].*/, "", pl)
+    gsub(/ /, "", pl)
+    n = split(pl, vals, ",")
+    minpk = vals[1] + 0
+    for (i = 2; i <= n; i++) if (vals[i] + 0 < minpk) minpk = vals[i] + 0
+    rest = $0
+    sub(/.*"allocs_per_op": *\[/, "", rest); al = rest; sub(/\].*/, "", al)
+    gsub(/ /, "", al)
+    n = split(al, vals, ",")
+    minal = vals[1] + 0
+    for (i = 2; i <= n; i++) if (vals[i] + 0 < minal) minal = vals[i] + 0
+    printf "%s %d %.1f %d\n", name, minns, minpk, minal
+}' "$SBASELINE")"
+
+echo "$sraw" | awk -v sthreshold="$SCALE_THRESHOLD" -v nsthreshold="$SCALE_NS_THRESHOLD" -v baseline="$sbase" '
+BEGIN {
+    n = split(baseline, lines, "\n")
+    for (i = 1; i <= n; i++) {
+        split(lines[i], kv, " ")
+        basens[kv[1]] = kv[2] + 0
+        basepk[kv[1]] = kv[3] + 0
+        baseal[kv[1]] = kv[4] + 0
+    }
+}
+/^BenchmarkScale\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (curns[name] == "" || $3 + 0 < curns[name] + 0) curns[name] = $3 + 0
+    if (curpk[name] == "" || $5 + 0 < curpk[name] + 0) curpk[name] = $5 + 0
+    if (cural[name] == "" || $9 + 0 < cural[name] + 0) cural[name] = $9 + 0
+    target = name
+}
+END {
+    if (target == "" || !(target in basens)) {
+        print "bench_check.sh: scale benchmark missing from run or baseline" > "/dev/stderr"
+        exit 1
+    }
+    fail = 0
+    pdelta = 100 * (curpk[target] - basepk[target]) / basepk[target]
+    verdict = "ok"; if (pdelta > sthreshold) { verdict = "REGRESSED"; fail = 1 }
+    printf "%-36s base %9.1f B/node  now %9.1f B/node  %+7.1f%%  %s\n",
+        target " peak", basepk[target], curpk[target], pdelta, verdict
+    adelta = 100 * (cural[target] - baseal[target]) / baseal[target]
+    verdict = "ok"; if (adelta > sthreshold) { verdict = "REGRESSED"; fail = 1 }
+    printf "%-36s base %9d allocs  now %9d allocs  %+7.1f%%  %s\n",
+        target " allocs", baseal[target], cural[target], adelta, verdict
+    ndelta = 100 * (curns[target] - basens[target]) / basens[target]
+    verdict = "ok"; if (ndelta > nsthreshold) { verdict = "REGRESSED"; fail = 1 }
+    printf "%-36s base %9d ns/op  now %9d ns/op  %+7.1f%%  %s\n",
+        target " time", basens[target], curns[target], ndelta, verdict
+    if (fail) {
+        print "bench_check.sh: scale gate failed — investigate or re-baseline with scripts/bench.sh" > "/dev/stderr"
+        exit 1
+    }
+    print "bench_check.sh: scale within gates"
+}'

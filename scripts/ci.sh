@@ -30,6 +30,15 @@ go test -timeout 120s ./...
 echo "== test -race"
 go test -race -timeout 120s ./...
 
+echo "== streaming scale smoke (v=100000, race)"
+# The million-node serving path at CI scale: a layered DAG streamed
+# from a generator goroutine through a pipe into the edge-list reader,
+# scheduled hierarchically, and flat-validated — under the race
+# detector, at 5x the default test size. The generator/parser pipe is
+# the one genuinely concurrent stage of the ingest path.
+FASTSCHED_SCALE_V=100000 go test -race -timeout 300s \
+    -run 'TestScaleSmoke|TestValidateFlatBig' ./internal/fast ./internal/sched
+
 echo "== fuzz smoke (${FUZZ_TIME} per target)"
 # Discover every fuzz target; each needs its own `go test -fuzz` run
 # (the fuzz engine takes exactly one target per invocation). The loops
