@@ -115,3 +115,54 @@ func TestRunBatchEmptyDirErrors(t *testing.T) {
 		t.Fatal("empty batch directory accepted")
 	}
 }
+
+// TestRunBatchFailureExitDerivedFromResults pins the -batch failure
+// contract: when any JSONL result line carries an error, run() returns
+// a nonzero-exit error that counts the failures and names the failing
+// files, and the count agrees with the error-carrying lines actually
+// written to the sink.
+func TestRunBatchFailureExitDerivedFromResults(t *testing.T) {
+	dir := t.TempDir()
+	writeGraphDir(t, dir, 2)
+	for _, broken := range []string{"broken-a.json", "broken-b.json"} {
+		if err := os.WriteFile(filepath.Join(dir, broken), []byte("{"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := filepath.Join(dir, "out.jsonl")
+
+	o := demoOpts()
+	o.demo = false
+	o.batchDir = dir
+	o.batchOut = out
+	err := run(o)
+	if err == nil {
+		t.Fatal("run() = nil, want a failure exit")
+	}
+	for _, want := range []string{"2 of 4 graphs failed", "broken-a.json", "broken-b.json"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+
+	// The error count must match the sink line by line.
+	f, err2 := os.Open(out)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	defer f.Close()
+	errLines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var res fastsched.BatchFileResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		if res.Error != "" {
+			errLines++
+		}
+	}
+	if errLines != 2 {
+		t.Errorf("sink carries %d error lines, want 2", errLines)
+	}
+}

@@ -271,8 +271,29 @@ func runBatch(o options) error {
 	if err := dumpTelemetry(o, reg, nil); err != nil {
 		return err
 	}
-	if agg.Failed > 0 {
-		return fmt.Errorf("%d of %d graphs failed", agg.Failed, agg.Requested)
+	// The exit status is derived from the results actually written to
+	// the JSONL sink, not from the aggregate alone: any line carrying an
+	// error makes the run fail, and the failing files are named so a
+	// pipeline log is actionable without re-opening the sink.
+	var failed []string
+	for _, r := range results {
+		if r.Error != "" {
+			failed = append(failed, r.File)
+		}
+	}
+	if len(failed) != agg.Failed {
+		// Should be impossible; if the ledgers ever disagree, say so
+		// loudly instead of trusting either silently.
+		fmt.Fprintf(os.Stderr, "warning: aggregate reports %d failures but %d results carry errors\n",
+			agg.Failed, len(failed))
+	}
+	if len(failed) > 0 {
+		const maxNamed = 5
+		names := failed
+		if len(names) > maxNamed {
+			names = append(names[:maxNamed:maxNamed], "...")
+		}
+		return fmt.Errorf("%d of %d graphs failed (%s)", len(failed), agg.Requested, strings.Join(names, ", "))
 	}
 	return nil
 }

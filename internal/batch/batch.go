@@ -288,7 +288,7 @@ func (e *Engine) submit(ctx context.Context, req Request, wait bool) (<-chan Res
 	}
 	gk, hasGK, err := e.validate(req)
 	if err != nil {
-		e.mRejected.Inc()
+		e.reject()
 		return nil, err
 	}
 	if req.Algorithm == "" {
@@ -304,7 +304,7 @@ func (e *Engine) submit(ctx context.Context, req Request, wait bool) (<-chan Res
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		e.mRejected.Inc()
+		e.reject()
 		return nil, ErrClosed
 	}
 	if !wait {
@@ -315,7 +315,7 @@ func (e *Engine) submit(ctx context.Context, req Request, wait bool) (<-chan Res
 			return j.done, nil
 		default:
 			e.mu.Unlock()
-			e.mRejected.Inc()
+			e.reject()
 			return nil, ErrQueueFull
 		}
 	}
@@ -338,15 +338,33 @@ func (e *Engine) submit(ctx context.Context, req Request, wait bool) (<-chan Res
 		e.admit()
 		return j.done, nil
 	case <-ctx.Done():
-		e.mRejected.Inc()
+		e.reject()
 		return nil, ctx.Err()
 	}
 }
 
+// admit and reject are the only two exits of the submission path, and
+// they partition it: every call to submit ends in exactly one of them.
+// The queue-depth gauge moves only on the admit side — incremented
+// here, decremented once by the worker that dequeues the job — so the
+// accounting invariants are
+//
+//	admitted == completed + failed   (after the engine drains)
+//	queue_depth == admitted - dequeued, and 0 after Close
+//	rejected requests never touch queue_depth or in-flight
+//
+// pinned by TestQueueDepthGaugeAccounting. A rejection that decremented
+// the gauge (or an admission path that skipped admit) would leave the
+// gauge permanently skewed, which is exactly what load-shedding callers
+// watch to decide whether to shed.
 func (e *Engine) admit() {
 	e.mAdmitted.Inc()
 	e.mQueueDepth.Add(1)
 	e.inFlight.Add(1)
+}
+
+func (e *Engine) reject() {
+	e.mRejected.Inc()
 }
 
 // Do is the synchronous convenience wrapper: submit and wait. A context

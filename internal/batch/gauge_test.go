@@ -1,0 +1,107 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fastsched/internal/obs"
+	"fastsched/internal/schedtest"
+)
+
+// TestQueueDepthGaugeAccounting is the regression test for the
+// admitted/rejected accounting audit: TrySubmit rejections (queue
+// full), validation rejections, and post-Close rejections must never
+// move the queue-depth gauge, and after the engine drains the gauge
+// must read exactly zero with admitted == completed + failed.
+func TestQueueDepthGaugeAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Options{Workers: 1, QueueDepth: 2, Metrics: reg})
+
+	gauge := reg.Gauge("batch.queue_depth")
+	admitted := reg.Counter("batch.admitted")
+	rejected := reg.Counter("batch.rejected")
+	completed := reg.Counter("batch.completed")
+	failed := reg.Counter("batch.failed")
+
+	g := schedtest.RandomLayered(rand.New(rand.NewSource(3)), 24)
+
+	// Occupy the single worker with a budgeted request: the anytime
+	// greedy walk runs for the full wall-clock budget (the layered graph
+	// has a non-empty blocking list, so the search doesn't exit early),
+	// keeping the worker deterministically busy while we fill the queue
+	// behind it.
+	busy, err := e.Submit(context.Background(), Request{
+		ID: "busy", Graph: g, Procs: 2, Budget: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker has dequeued the busy job so the queue is
+	// empty and its gauge contribution is gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for gauge.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("busy job never dequeued; gauge stuck at %v", gauge.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fill the queue to capacity behind the busy worker.
+	var waits []<-chan Result
+	for i := 0; i < 2; i++ {
+		ch, err := e.Submit(context.Background(), Request{ID: "queued", Graph: g, Procs: 2, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, ch)
+	}
+	if got := gauge.Value(); got != 2 {
+		t.Fatalf("queue depth with a full queue = %v, want 2", got)
+	}
+
+	// The audited paths: every rejection flavour, none may move the
+	// gauge.
+	before := gauge.Value()
+	for i := 0; i < 5; i++ {
+		if _, err := e.TrySubmit(context.Background(), Request{Graph: g, Procs: 2, Seed: 99}); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("TrySubmit on a full queue: got %v, want ErrQueueFull", err)
+		}
+	}
+	if _, err := e.TrySubmit(context.Background(), Request{Graph: nil}); !errors.Is(err, ErrNilGraph) {
+		t.Fatalf("validation rejection: got %v, want ErrNilGraph", err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Submit(cancelled, Request{Graph: g, Procs: 2, Seed: 100}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled blocking submit: got %v, want context.Canceled", err)
+	}
+	if got := gauge.Value(); got != before {
+		t.Fatalf("rejections moved the queue-depth gauge: %v -> %v", before, got)
+	}
+	if got := rejected.Value(); got != 7 {
+		t.Fatalf("rejected = %d, want 7 (5 queue-full + 1 validation + 1 cancelled)", got)
+	}
+
+	<-busy
+	for _, ch := range waits {
+		<-ch
+	}
+	e.Close()
+
+	// Post-Close rejections must not move the gauge either.
+	if _, err := e.TrySubmit(context.Background(), Request{Graph: g, Procs: 2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close submit: got %v, want ErrClosed", err)
+	}
+	if got := gauge.Value(); got != 0 {
+		t.Fatalf("queue depth after drain = %v, want 0", got)
+	}
+	if a, c, f := admitted.Value(), completed.Value(), failed.Value(); a != c+f {
+		t.Fatalf("admitted %d != completed %d + failed %d", a, c, f)
+	}
+	if admitted.Value() != 3 {
+		t.Fatalf("admitted = %d, want 3", admitted.Value())
+	}
+}

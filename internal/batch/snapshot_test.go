@@ -1,0 +1,117 @@
+package batch
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/obs"
+	"fastsched/internal/plan"
+	"fastsched/internal/schedtest"
+)
+
+// TestSnapshotRoundTrip proves the warm-restart contract at the engine
+// layer: results exported from one engine and restored into a fresh one
+// are served as cache hits, bit-identical to the original run, and the
+// plan-cache graphs survive with their content keys intact (the JSON
+// round-trip happens one layer up; here the graphs are shared
+// directly).
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	graphs := make([]*dag.Graph, 8)
+	for i := range graphs {
+		graphs[i] = schedtest.RandomLayered(rng, 8+rng.Intn(24))
+	}
+
+	e1 := New(Options{Workers: 2})
+	want := make([]Result, len(graphs))
+	for i, g := range graphs {
+		res := e1.Do(context.Background(), Request{ID: "warm", Graph: g, Procs: 3, Seed: int64(i)})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		want[i] = res
+	}
+	results := e1.SnapshotResults()
+	plans := e1.SnapshotGraphs()
+	e1.Close()
+
+	if len(results) != len(graphs) {
+		t.Fatalf("snapshotted %d results, want %d", len(results), len(graphs))
+	}
+	if len(plans) != len(graphs) {
+		t.Fatalf("snapshotted %d plan graphs, want %d", len(plans), len(graphs))
+	}
+
+	reg := obs.NewRegistry()
+	e2 := New(Options{Workers: 2, Metrics: reg})
+	defer e2.Close()
+	if n := e2.RestoreResults(results); n != len(results) {
+		t.Fatalf("restored %d results, want %d", n, len(results))
+	}
+	if n := e2.WarmGraphs(plans); n != len(plans) {
+		t.Fatalf("warmed %d plans, want %d", n, len(plans))
+	}
+	missesAfterWarm := reg.Counter("plan.compile_misses").Value()
+
+	for i, g := range graphs {
+		res := e2.Do(context.Background(), Request{ID: "warm", Graph: g, Procs: 3, Seed: int64(i)})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if !res.CacheHit {
+			t.Fatalf("graph %d: restored engine missed the result cache", i)
+		}
+		sameSchedule(t, want[i].Schedule, res.Schedule)
+	}
+	if hits := reg.Counter("batch.cache_hits").Value(); hits != int64(len(graphs)) {
+		t.Fatalf("cache_hits = %d, want %d", hits, len(graphs))
+	}
+	// Serving from the warm engine must not recompile: every compile
+	// miss happened at restore time, before serving started.
+	if got := reg.Counter("plan.compile_misses").Value(); got != missesAfterWarm {
+		t.Fatalf("serving recompiled: compile_misses %d -> %d", missesAfterWarm, got)
+	}
+
+	// The plan-cache keys must be reproducible from the snapshotted
+	// graphs — this is what makes the digest-addressed snapshot sound.
+	for i, g := range graphs {
+		if plan.GraphKey(g) != plan.GraphKey(plans[i%len(plans)]) && i == 0 {
+			// Graphs() order is unspecified; just check key set equality.
+			break
+		}
+	}
+	keys := map[plan.Key]bool{}
+	for _, g := range plans {
+		keys[plan.GraphKey(g)] = true
+	}
+	for i, g := range graphs {
+		if !keys[plan.GraphKey(g)] {
+			t.Fatalf("graph %d's key missing from the snapshotted plan set", i)
+		}
+	}
+}
+
+// TestRestoreResultsRejectsMalformed: entries with non-finite or
+// negative times, inverted slots, negative processors, or no
+// placements are skipped, not installed.
+func TestRestoreResultsRejectsMalformed(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	bad := []SnapshotResult{
+		{Algorithm: "fast"}, // no placements
+		{Algorithm: "fast", Placements: []SnapshotPlacement{{Proc: -1, Start: 0, Finish: 1}}},
+		{Algorithm: "fast", Placements: []SnapshotPlacement{{Proc: 0, Start: math.NaN(), Finish: 1}}},
+		{Algorithm: "fast", Placements: []SnapshotPlacement{{Proc: 0, Start: 0, Finish: math.Inf(1)}}},
+		{Algorithm: "fast", Placements: []SnapshotPlacement{{Proc: 0, Start: 2, Finish: 1}}},
+		{Algorithm: "fast", Placements: []SnapshotPlacement{{Proc: 0, Start: -3, Finish: 1}}},
+	}
+	if n := e.RestoreResults(bad); n != 0 {
+		t.Fatalf("restored %d malformed entries, want 0", n)
+	}
+	if got := e.cache.len(); got != 0 {
+		t.Fatalf("cache holds %d entries after malformed restore, want 0", got)
+	}
+}

@@ -160,6 +160,29 @@ func (c *Cache) Peek(key Key) bool {
 	return ok
 }
 
+// Graphs returns the source graph of every cached compilation, in an
+// unspecified order. The warm-restart snapshot uses it to persist the
+// set of graphs worth recompiling on the next start: a graph's JSON
+// round-trip reproduces its stored node and edge order exactly, so the
+// recompiled entry lands under the same content key. The returned
+// graphs are shared read-only with the cache; callers must not mutate
+// them.
+func (c *Cache) Graphs() []*dag.Graph {
+	if c == nil {
+		return nil
+	}
+	var out []*dag.Graph
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.order.Front(); el != nil; el = el.Next() {
+			out = append(out, el.Value.(*cacheEntry).cg.Graph)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Len returns the total entry count across shards.
 func (c *Cache) Len() int {
 	if c == nil {

@@ -241,3 +241,129 @@ func TestRepairAllProcessorsDead(t *testing.T) {
 		t.Fatal("repair with zero survivors must fail")
 	}
 }
+
+// TestRepairDoubleFault is the crash-during-replan matrix: a second
+// processor dies while the repaired schedule from the first crash is
+// executing. The second repair must avoid BOTH dead processors, keep
+// the doubly-spliced schedule valid under realized durations, and
+// floor every survivor's replanned work at the later crash time.
+func TestRepairDoubleFault(t *testing.T) {
+	for name, g := range workloads(t) {
+		t.Run(name, func(t *testing.T) {
+			s, err := fast.Default().Schedule(g, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := sim.Run(g, s, sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs := s.Procs()
+			if len(procs) < 3 {
+				t.Skipf("schedule uses %d processors; need 3 to survive two crashes", len(procs))
+			}
+			doubleRepairs := 0
+			cases := []struct{ f1, f2 float64 }{
+				{0.25, 0.55}, // early first crash, mid-run second
+				{0.40, 0.60}, // both mid-run
+				{0.20, 0.85}, // second crash near the end of the repair
+			}
+			for ci, tc := range cases {
+				t1 := base.Time * tc.f1
+				p1 := procs[0]
+
+				// First fault: crash p1 at t1 and repair.
+				_, err := sim.Run(g, s, sim.Config{Faults: &sim.FaultPlan{
+					Crashes: []sim.Crash{{Proc: p1, Time: t1}},
+				}})
+				var ce1 *sim.CrashError
+				if !errors.As(err, &ce1) {
+					if err == nil {
+						continue // crash did not prevent completion
+					}
+					t.Fatalf("case %d first crash: %v", ci, err)
+				}
+				r1, err := Repair(g, s, ce1, Options{Seed: int64(ci)})
+				if err != nil {
+					t.Fatalf("case %d first repair: %v", ci, err)
+				}
+
+				// Second fault mid-replan: re-execute the repaired
+				// schedule with BOTH crashes planned (p1 stays dead; a
+				// survivor p2 dies at a later time t2).
+				p2 := -1
+				for _, p := range r1.Survivors {
+					if p != p1 {
+						p2 = p
+						break
+					}
+				}
+				if p2 < 0 {
+					t.Fatalf("case %d: no survivor to crash", ci)
+				}
+				t2 := r1.Makespan * tc.f2
+				if t2 <= t1 {
+					t2 = t1 + (r1.Makespan-t1)/2
+				}
+				_, err = sim.Run(g, r1.Schedule, sim.Config{Faults: &sim.FaultPlan{
+					Crashes: []sim.Crash{{Proc: p1, Time: t1}, {Proc: p2, Time: t2}},
+				}})
+				var ce2 *sim.CrashError
+				if !errors.As(err, &ce2) {
+					if err == nil {
+						continue // the repaired run outran the second crash
+					}
+					t.Fatalf("case %d second crash: %v", ci, err)
+				}
+				if !ce2.Dead[p1] || !ce2.Dead[p2] {
+					t.Fatalf("case %d: dead set %v missing PE%d/PE%d", ci, ce2.Dead, p1, p2)
+				}
+
+				r2, err := Repair(g, r1.Schedule, ce2, Options{Seed: int64(ci)})
+				if err != nil {
+					t.Fatalf("case %d second repair: %v", ci, err)
+				}
+				doubleRepairs++
+				if err := sched.ValidateDurations(g, r2.Schedule, r2.Durations); err != nil {
+					t.Fatalf("case %d: doubly-spliced schedule invalid: %v", ci, err)
+				}
+				if len(r2.Suffix)+ce2.Completed != g.NumNodes() {
+					t.Fatalf("case %d: suffix %d + prefix %d != %d nodes",
+						ci, len(r2.Suffix), ce2.Completed, g.NumNodes())
+				}
+				for _, n := range r2.Suffix {
+					pl := r2.Schedule.Of(n)
+					if pl.Proc == p1 || pl.Proc == p2 {
+						t.Fatalf("case %d: suffix task %d replanned onto dead PE%d", ci, n, pl.Proc)
+					}
+					// Survivors are floored at the LATER crash: nothing
+					// replanned may start before t2.
+					if pl.Start < t2-1e-9 {
+						t.Fatalf("case %d: suffix task %d starts %v, before the later crash %v",
+							ci, n, pl.Start, t2)
+					}
+				}
+				for _, p := range r2.Survivors {
+					if p == p1 || p == p2 {
+						t.Fatalf("case %d: dead PE%d listed as survivor", ci, p)
+					}
+				}
+				// The executed prefix (both crash epochs) stays frozen.
+				for i := 0; i < g.NumNodes(); i++ {
+					n := dag.NodeID(i)
+					if ce2.Done[i] && r2.Schedule.Start(n) != ce2.Start[i] {
+						t.Fatalf("case %d: prefix task %d moved from %v to %v",
+							ci, i, ce2.Start[i], r2.Schedule.Start(n))
+					}
+				}
+				if r2.Makespan < t2 {
+					t.Fatalf("case %d: repaired makespan %v ends before the later crash %v",
+						ci, r2.Makespan, t2)
+				}
+			}
+			if doubleRepairs == 0 {
+				t.Fatal("no case exercised a second repair; the matrix is vacuous")
+			}
+		})
+	}
+}

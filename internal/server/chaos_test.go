@@ -1,0 +1,381 @@
+package server
+
+// The chaos soak: one server, several adversarial client populations,
+// a corrupted snapshot, and a restart in the middle of a drain — all
+// at once, under -race in CI. The point is not any single behavior but
+// the conjunction of invariants that must hold through arbitrary
+// interleavings:
+//
+//   - every HTTP response is one of the typed outcomes (200 with a
+//     valid payload, or a typed 4xx/5xx JSON error) — never a hang,
+//     never a panic, never an untyped body;
+//   - successful payloads for a fixed workload are byte-identical to
+//     the cold reference, no matter whether they came from a cold run,
+//     the live cache, or a snapshot restored mid-chaos;
+//   - the engine ledger balances (admitted == completed + failed,
+//     queue_depth == 0) after the dust settles;
+//   - no goroutines outlive the servers.
+//
+// The soak budget defaults to ~1 wall-clock second so it fits the CI
+// budget on a 1-core host; FASTSCHED_SOAK_MS scales it up for longer
+// local runs (scripts/soak.sh).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastsched/internal/obs"
+	"fastsched/internal/schedtest"
+)
+
+func soakDuration(t *testing.T) time.Duration {
+	if v := os.Getenv("FASTSCHED_SOAK_MS"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms <= 0 {
+			t.Fatalf("bad FASTSCHED_SOAK_MS %q", v)
+		}
+		return time.Duration(ms) * time.Millisecond
+	}
+	if testing.Short() {
+		return 300 * time.Millisecond
+	}
+	return time.Second
+}
+
+func TestChaosSoak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	reg := obs.NewRegistry()
+	s, err := New(Options{
+		Workers: 2, QueueDepth: 32,
+		Quota:         QuotaConfig{Rate: 500, Burst: 100},
+		SnapshotPath:  path,
+		SnapshotEvery: 25 * time.Millisecond,
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	// Cold reference payloads for a fixed workload, captured before the
+	// chaos starts. Every later 200 for the same body must match its
+	// reference byte for byte.
+	rng := rand.New(rand.NewSource(10))
+	const nRef = 5
+	refBodies := make([][]byte, nRef)
+	refWant := make([][]byte, nRef)
+	for i := range refBodies {
+		g := schedtest.RandomLayered(rng, 12+4*i)
+		refBodies[i] = submitBody(t, g, 2, int64(i))
+		resp := postJSON(t, ts.URL+"/v1/schedule", refBodies[i], "ref")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference %d: %d: %s", i, resp.StatusCode, readBody(t, resp))
+		}
+		refWant[i] = readBody(t, resp)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mismatches, badStatus, okCount atomic.Int64
+	fail := func(format string, args ...any) {
+		badStatus.Add(1)
+		t.Errorf(format, args...)
+	}
+	allowed := map[int]bool{
+		http.StatusOK: true, http.StatusTooManyRequests: true,
+		http.StatusServiceUnavailable: true, http.StatusGatewayTimeout: true,
+		499: true,
+	}
+
+	// Population 1: honest clients replaying the reference workload and
+	// checking bit-identity on every success.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lr := rand.New(rand.NewSource(int64(100 + c)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := lr.Intn(nRef)
+				resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(refBodies[k]))
+				if err != nil {
+					continue // connection-level churn is the load balancer's problem
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if !allowed[resp.StatusCode] {
+					fail("honest client: status %d body %s", resp.StatusCode, body)
+					return
+				}
+				if resp.StatusCode == http.StatusOK {
+					okCount.Add(1)
+					if !bytes.Equal(body, refWant[k]) {
+						mismatches.Add(1)
+						t.Errorf("payload drift on workload %d:\nwant %s\ngot  %s", k, refWant[k], body)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+
+	// Population 2: clients that abandon requests mid-flight (request
+	// cancellation injection).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lr := rand.New(rand.NewSource(200))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(lr.Intn(3))*time.Millisecond)
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/schedule",
+				bytes.NewReader(refBodies[lr.Intn(nRef)]))
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			cancel()
+		}
+	}()
+
+	// Population 3: garbage and oversized payloads; every answer must be
+	// a typed 4xx and none may reach the engine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lr := rand.New(rand.NewSource(300))
+		oversized := bytes.Repeat([]byte("x"), 9<<20)
+		garbage := [][]byte{
+			[]byte("{"), []byte("null"), []byte(`{"graph":17}`),
+			[]byte(`{"graph":{"nodes":[{"id":0}],"edges":[{"from":0,"to":0}]}}`),
+			{}, []byte(`{"graph":{"nodes":[{"id":0,"weight":1}]},"deadline_ms":-1}`),
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := garbage[lr.Intn(len(garbage))]
+			if lr.Intn(10) == 0 {
+				b = oversized
+			}
+			resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(b))
+			if err != nil {
+				continue // oversized posts can be cut off mid-body
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest &&
+				resp.StatusCode != http.StatusRequestEntityTooLarge &&
+				resp.StatusCode != http.StatusServiceUnavailable {
+				fail("garbage client: status %d body %s", resp.StatusCode, body)
+				return
+			}
+			var env errorEnvelope
+			if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+				fail("garbage client: untyped error body %s", body)
+				return
+			}
+		}
+	}()
+
+	// Population 4: async jobs with polls and streams.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lr := rand.New(rand.NewSource(400))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(refBodies[lr.Intn(nRef)]))
+			if err != nil {
+				continue
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				if !allowed[resp.StatusCode] {
+					fail("async client: status %d body %s", resp.StatusCode, body)
+					return
+				}
+				continue
+			}
+			var env jobEnvelope
+			if json.Unmarshal(body, &env) != nil {
+				fail("async client: bad accept %s", body)
+				return
+			}
+			if r, err := http.Get(ts.URL + "/v1/jobs/" + env.JobID); err == nil {
+				io.Copy(io.Discard, r.Body)
+				r.Body.Close()
+			}
+		}
+	}()
+
+	// Chaos agent: periodically smash the snapshot file with garbage.
+	// The periodic saver must overwrite it and a restart must survive
+	// whatever state it finds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(40 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				_ = os.WriteFile(path, []byte("fastsched-snapshot v1 sha256=feedface\ntorn"), 0o644)
+			}
+		}
+	}()
+
+	time.Sleep(soakDuration(t))
+	close(stop)
+	wg.Wait()
+	if okCount.Load() == 0 {
+		t.Error("soak produced zero successful requests; load generator broken")
+	}
+
+	// Mid-drain restart: begin draining the live server and, while that
+	// is in flight, bring up a replacement on the same snapshot path —
+	// exactly what a rolling restart does. The replacement must start
+	// (cold or warm, whatever the file holds) and serve the reference
+	// workload bit-identically.
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- s.Drain(context.Background()) }()
+
+	s2, err := New(Options{Workers: 2, SnapshotPath: path})
+	if err != nil {
+		t.Fatalf("mid-drain restart: %v", err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	for k := range refBodies {
+		resp := postJSON(t, ts2.URL+"/v1/schedule", refBodies[k], "ref")
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replacement server workload %d: %d: %s", k, resp.StatusCode, body)
+		}
+		if !bytes.Equal(body, refWant[k]) {
+			t.Errorf("replacement server payload drift on workload %d:\nwant %s\ngot  %s", k, refWant[k], body)
+		}
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain during restart: %v", err)
+	}
+
+	// Post-mortem invariants on the drained server.
+	adm := reg.Counter("batch.admitted").Value()
+	fin := reg.Counter("batch.completed").Value() + reg.Counter("batch.failed").Value()
+	if adm != fin {
+		t.Errorf("engine ledger unbalanced: admitted %d != completed+failed %d", adm, fin)
+	}
+	if d := reg.Gauge("batch.queue_depth").Value(); d != 0 {
+		t.Errorf("queue_depth = %v after drain, want 0", d)
+	}
+	if v := reg.Gauge("server.jobs_live").Value(); v != 0 {
+		t.Errorf("jobs_live = %v after drain, want 0", v)
+	}
+
+	ts.Close()
+	ts2.Close()
+	if err := s2.Close(); err != nil {
+		t.Fatalf("close replacement: %v", err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	waitForGoroutines(t, baseline)
+
+	if mismatches.Load() != 0 || badStatus.Load() != 0 {
+		t.Fatalf("soak violations: %d payload mismatches, %d bad statuses",
+			mismatches.Load(), badStatus.Load())
+	}
+}
+
+// TestQuotaFairnessUnderLoad drives two tenants with 3:1 weights into
+// a saturated admission rate through the real HTTP path and checks the
+// weighted-fairness direction (exact ratios are covered with a fake
+// clock in quota_test.go; wall-clock noise makes tight bounds flaky on
+// small machines).
+func TestQuotaFairnessUnderLoad(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Workers: 2, QueueDepth: 64,
+		Quota: QuotaConfig{Rate: 200, Burst: 10, Weights: map[string]float64{"gold": 3, "bronze": 1}},
+	})
+	body := submitBody(t, schedtest.Chain(4, 1), 2, 0)
+
+	var admitted sync.Map
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, tenant := range []string{"gold", "bronze"} {
+		admitted.Store(tenant, new(atomic.Int64))
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			count, _ := admitted.Load(tenant)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/schedule", bytes.NewReader(body))
+				req.Header.Set("X-Tenant", tenant)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					count.(*atomic.Int64).Add(1)
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				default:
+					t.Errorf("tenant %s: unexpected status %d", tenant, resp.StatusCode)
+					return
+				}
+			}
+		}(tenant)
+	}
+	time.Sleep(600 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	goldC, _ := admitted.Load("gold")
+	bronzeC, _ := admitted.Load("bronze")
+	gold, bronze := goldC.(*atomic.Int64).Load(), bronzeC.(*atomic.Int64).Load()
+	t.Logf("admitted under saturation: gold=%d bronze=%d", gold, bronze)
+	if gold == 0 || bronze == 0 {
+		t.Fatalf("a tenant was starved: gold=%d bronze=%d", gold, bronze)
+	}
+	if gold < bronze {
+		t.Errorf("weighted fairness inverted: gold=%d < bronze=%d despite 3x weight", gold, bronze)
+	}
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// job is one asynchronous scheduling request: submitted with POST
+// /v1/jobs, observed with GET /v1/jobs/{id} (poll) or
+// GET /v1/jobs/{id}/stream (SSE). The result is written exactly once,
+// before done is closed; readers must select on done before touching
+// result.
+type job struct {
+	id     string
+	tenant string
+	done   chan struct{}
+	result *scheduleResponse
+}
+
+func (j *job) finished() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// complete publishes the job's result and wakes every poller and
+// stream. Must be called exactly once.
+func (j *job) complete(res *scheduleResponse) {
+	j.result = res
+	close(j.done)
+}
+
+// jobTable is the bounded in-memory job store. Completed jobs are
+// retained (so polls after completion succeed) until capacity
+// pressure evicts them oldest-first; unfinished jobs are never
+// evicted — when the table is all unfinished and full, new
+// submissions are rejected, which backpressures async clients the
+// same way the engine queue backpressures sync ones.
+type jobTable struct {
+	mu    sync.Mutex
+	max   int
+	jobs  map[string]*job
+	order *list.List // insertion order; front = oldest
+	seq   atomic.Uint64
+}
+
+func newJobTable(max int) *jobTable {
+	if max <= 0 {
+		max = 4096
+	}
+	return &jobTable{max: max, jobs: make(map[string]*job), order: list.New()}
+}
+
+// add registers a new pending job, evicting the oldest finished job if
+// the table is at capacity. ok == false means the table is full of
+// unfinished jobs and the submission must be rejected.
+func (t *jobTable) add(tenant string) (j *job, ok bool) {
+	var suffix [8]byte
+	if _, err := rand.Read(suffix[:]); err != nil {
+		// crypto/rand never fails on the supported platforms; fall back
+		// to the sequence alone rather than aborting the request.
+		copy(suffix[:], "00000000")
+	}
+	id := fmt.Sprintf("j%06d-%s", t.seq.Add(1), hex.EncodeToString(suffix[:]))
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.order.Len() >= t.max {
+		if !t.evictOldestFinishedLocked() {
+			return nil, false
+		}
+	}
+	j = &job{id: id, tenant: tenant, done: make(chan struct{})}
+	t.jobs[id] = j
+	t.order.PushBack(j)
+	return j, true
+}
+
+func (t *jobTable) evictOldestFinishedLocked() bool {
+	for el := t.order.Front(); el != nil; el = el.Next() {
+		j := el.Value.(*job)
+		if j.finished() {
+			t.order.Remove(el)
+			delete(t.jobs, j.id)
+			return true
+		}
+	}
+	return false
+}
+
+// get looks a job up by ID.
+func (t *jobTable) get(id string) (*job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}
+
+// len returns the live job count (for tests and the jobs gauge).
+func (t *jobTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.jobs)
+}

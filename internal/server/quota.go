@@ -1,0 +1,166 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// QuotaConfig is the per-tenant admission-rate policy: a token bucket
+// per tenant whose refill rate and capacity scale with the tenant's
+// weight, so under saturation tenants are admitted in proportion to
+// their weights (weighted fairness) instead of first-come-first-served
+// starvation.
+type QuotaConfig struct {
+	// Rate is the steady-state admission rate, in requests per second
+	// per unit of weight. Zero or negative disables quotas entirely.
+	Rate float64
+	// Burst is the bucket capacity per unit of weight (how far a tenant
+	// may run ahead of its steady rate). Zero selects max(Rate, 1).
+	Burst float64
+	// Weights maps tenant names to their fair-share weight. Tenants not
+	// listed get weight 1. Non-positive weights are treated as 1.
+	Weights map[string]float64
+	// MaxTenants bounds the bucket table so hostile clients cannot grow
+	// it without limit by inventing tenant names. When the table is
+	// full, an idle (full) bucket is recycled; if every bucket is
+	// actively draining, the least-recently-used one is. Zero selects
+	// 1024.
+	MaxTenants int
+}
+
+// Enabled reports whether the config imposes any quota at all.
+func (c QuotaConfig) Enabled() bool { return c.Rate > 0 }
+
+func (c QuotaConfig) weight(tenant string) float64 {
+	if w, ok := c.Weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// quotaTable is the live bucket state. All methods are safe for
+// concurrent use; the clock is injectable for tests.
+type quotaTable struct {
+	mu      sync.Mutex
+	cfg     QuotaConfig
+	now     func() time.Time
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	rate   float64 // tokens per second (weight applied)
+	burst  float64 // capacity (weight applied)
+	last   time.Time
+}
+
+func newQuotaTable(cfg QuotaConfig, now func() time.Time) *quotaTable {
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Rate
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 1024
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &quotaTable{cfg: cfg, now: now, buckets: make(map[string]*tokenBucket)}
+}
+
+// admit consumes one token from tenant's bucket. On an empty bucket it
+// returns ok == false and how long until the next token accrues — the
+// Retry-After hint handed to the client.
+func (q *quotaTable) admit(tenant string) (ok bool, retryAfter time.Duration) {
+	if q == nil || !q.cfg.Enabled() {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.bucket(tenant)
+	t := q.now()
+	if elapsed := t.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// refund returns one token to tenant's bucket. The server calls it
+// when a quota-admitted request is then rejected by the engine's
+// load-shedding: the tenant paid for work it never got, and without
+// the refund a saturated queue would silently consume everyone's quota.
+func (q *quotaTable) refund(tenant string) {
+	if q == nil || !q.cfg.Enabled() {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if b, ok := q.buckets[tenant]; ok {
+		b.tokens++
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+}
+
+// bucket returns tenant's bucket, creating (and bounding the table) as
+// needed. Caller holds q.mu.
+func (q *quotaTable) bucket(tenant string) *tokenBucket {
+	if b, ok := q.buckets[tenant]; ok {
+		return b
+	}
+	if len(q.buckets) >= q.cfg.MaxTenants {
+		q.evictLocked()
+	}
+	w := q.cfg.weight(tenant)
+	b := &tokenBucket{rate: q.cfg.Rate * w, burst: q.cfg.Burst * w, last: q.now()}
+	if b.burst < 1 {
+		b.burst = 1
+	}
+	b.tokens = b.burst // a new tenant starts with a full bucket
+	q.buckets[tenant] = b
+	return b
+}
+
+// evictLocked recycles one bucket: preferably an idle one (refilled to
+// capacity — evicting it loses nothing), otherwise the least recently
+// touched. Caller holds q.mu.
+func (q *quotaTable) evictLocked() {
+	victim := ""
+	var oldest time.Time
+	t := q.now()
+	for name, b := range q.buckets {
+		refilled := b.tokens + t.Sub(b.last).Seconds()*b.rate
+		if refilled >= b.burst {
+			delete(q.buckets, name)
+			return
+		}
+		if victim == "" || b.last.Before(oldest) {
+			victim, oldest = name, b.last
+		}
+	}
+	if victim != "" {
+		delete(q.buckets, victim)
+	}
+}
+
+// tenants returns the current bucket count (for tests).
+func (q *quotaTable) tenants() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}

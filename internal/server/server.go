@@ -1,0 +1,648 @@
+// Package server is the long-running serving layer: an HTTP JSON API
+// over the internal/batch engine, engineered for crash tolerance and
+// graceful operations. It adds what the engine alone does not have —
+// per-tenant token-bucket quotas with weighted fairness, admission
+// control that maps the engine's TrySubmit load-shedding onto
+// 503 + Retry-After with exponential-backoff hints, typed JSON errors
+// for every failure, oversized/garbage payload rejection before the
+// engine sees a byte, an asynchronous job API with polling and
+// SSE-style streaming, health/readiness/metrics endpoints wired to
+// internal/obs, graceful drain (stop admission, flush in-flight work,
+// cut a final snapshot), and warm-restart persistence of the result
+// and plan caches keyed by their existing SHA-256 content digests.
+//
+// Robustness posture: the snapshot is an optimization, never a
+// dependency — a missing, stale, or corrupt snapshot costs cold runs,
+// not wrong answers (corrupt files are checksummed, quarantined, and
+// served past). Every admitted request completes even under drain;
+// everything rejected is rejected with a typed, retryable-annotated
+// error the client can act on.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastsched/internal/batch"
+	"fastsched/internal/dag"
+	"fastsched/internal/obs"
+	"fastsched/internal/sched"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers, QueueDepth, CacheSize and PlanCacheSize pass through to
+	// the batch engine (see batch.Options).
+	Workers       int
+	QueueDepth    int
+	CacheSize     int
+	PlanCacheSize int
+	// Quota is the per-tenant admission policy; the zero value disables
+	// quotas.
+	Quota QuotaConfig
+	// MaxBodyBytes bounds every request body (default 8 MiB). Oversized
+	// bodies are rejected with 413 before they reach the graph parser.
+	MaxBodyBytes int64
+	// MaxJobs bounds the async job table (default 4096).
+	MaxJobs int
+	// SnapshotPath, when set, enables warm-restart persistence: the
+	// server restores caches from this file at startup and snapshots to
+	// it on drain (and every SnapshotEvery, when positive).
+	SnapshotPath  string
+	SnapshotEvery time.Duration
+	// RetryAfter is the hint attached to load-shed rejections
+	// (default 1s).
+	RetryAfter time.Duration
+	// Metrics receives the server.*, batch.* and plan.* metrics; nil
+	// creates a private registry (the /metrics endpoint always works).
+	Metrics *obs.Registry
+	// Now is the clock (tests inject a fake one; default time.Now).
+	Now func() time.Time
+}
+
+// RestoreStats reports what startup recovered from the snapshot.
+type RestoreStats struct {
+	// Results and Plans count restored cache entries.
+	Results, Plans int
+	// Quarantined is the path the corrupt snapshot was moved to (""
+	// when the snapshot was absent or healthy).
+	Quarantined string
+}
+
+// Server is the HTTP scheduling service. Create with New, mount
+// Handler on an http.Server, and Drain (or Close) to shut down.
+type Server struct {
+	opts   Options
+	reg    *obs.Registry
+	engine *batch.Engine
+	quotas *quotaTable
+	jobs   *jobTable
+	mux    *http.ServeMux
+	now    func() time.Time
+
+	draining atomic.Bool
+	stopc    chan struct{}
+	waiters  sync.WaitGroup // async job waiter goroutines
+	loops    sync.WaitGroup // periodic snapshot loop
+	drainOne sync.Once
+	drainErr error
+	snapMu   sync.Mutex // serializes snapshot writes
+
+	restored RestoreStats
+
+	mRequests    *obs.Counter // server.requests
+	mRejQuota    *obs.Counter // server.rejected_quota
+	mRejQueue    *obs.Counter // server.rejected_queue_full
+	mRejInvalid  *obs.Counter // server.rejected_invalid
+	mRejOversize *obs.Counter // server.rejected_oversized
+	mRejDraining *obs.Counter // server.rejected_draining
+	mJobsLive    *obs.Gauge   // server.jobs_live
+	mSnapSaves   *obs.Counter // server.snapshot_saves
+	mSnapErrors  *obs.Counter // server.snapshot_save_errors
+	mSnapQuar    *obs.Counter // server.snapshot_quarantined
+	mRestored    *obs.Counter // server.snapshot_restored_results
+	mWarmed      *obs.Counter // server.snapshot_restored_plans
+}
+
+// New builds and starts a server: engine up, snapshot restored (a
+// corrupt one is quarantined, never fatal), periodic snapshot loop
+// running. The returned server is ready to serve.
+func New(opts Options) (*Server, error) {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 8 << 20
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		opts:   opts,
+		reg:    reg,
+		quotas: newQuotaTable(opts.Quota, opts.Now),
+		jobs:   newJobTable(opts.MaxJobs),
+		now:    opts.Now,
+		stopc:  make(chan struct{}),
+	}
+	s.engine = batch.New(batch.Options{
+		Workers:       opts.Workers,
+		QueueDepth:    opts.QueueDepth,
+		CacheSize:     opts.CacheSize,
+		PlanCacheSize: opts.PlanCacheSize,
+		Metrics:       reg,
+	})
+
+	s.mRequests = reg.Counter("server.requests")
+	s.mRejQuota = reg.Counter("server.rejected_quota")
+	s.mRejQueue = reg.Counter("server.rejected_queue_full")
+	s.mRejInvalid = reg.Counter("server.rejected_invalid")
+	s.mRejOversize = reg.Counter("server.rejected_oversized")
+	s.mRejDraining = reg.Counter("server.rejected_draining")
+	s.mJobsLive = reg.Gauge("server.jobs_live")
+	s.mSnapSaves = reg.Counter("server.snapshot_saves")
+	s.mSnapErrors = reg.Counter("server.snapshot_save_errors")
+	s.mSnapQuar = reg.Counter("server.snapshot_quarantined")
+	s.mRestored = reg.Counter("server.snapshot_restored_results")
+	s.mWarmed = reg.Counter("server.snapshot_restored_plans")
+
+	if opts.SnapshotPath != "" {
+		sf, err := loadSnapshot(opts.SnapshotPath)
+		switch {
+		case errors.Is(err, ErrCorruptSnapshot):
+			s.restored.Quarantined = quarantineSnapshot(opts.SnapshotPath, s.now())
+			s.mSnapQuar.Inc()
+		case err != nil:
+			// An I/O error on an existing file is a misconfiguration
+			// (permissions, a directory at the path) — be loud.
+			s.engine.Close()
+			return nil, err
+		case sf != nil:
+			// Restore before serving: plan recompilation happens here,
+			// off the request path, so serving-time plan.compile_misses
+			// stay zero for every snapshotted graph.
+			s.restored.Results, s.restored.Plans = restoreState(s.engine, sf)
+			s.mRestored.Add(int64(s.restored.Results))
+			s.mWarmed.Add(int64(s.restored.Plans))
+		}
+		if opts.SnapshotEvery > 0 {
+			s.loops.Add(1)
+			go s.snapshotLoop(opts.SnapshotEvery)
+		}
+	}
+	s.routes()
+	return s, nil
+}
+
+// Restored reports what startup recovered from the snapshot.
+func (s *Server) Restored() RestoreStats { return s.restored }
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mRequests.Inc()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/schedule", s.handleSync)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/{id}", s.handlePoll)
+	s.mux.HandleFunc("/v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, ErrorBody{Code: CodeNotFound, Message: "no such route: " + r.URL.Path})
+	})
+}
+
+// Drain is the graceful-shutdown sequence, in order: (1) stop
+// admission — every new submit is answered 503 draining + Retry-After
+// and /readyz flips to 503 so load balancers stop routing here;
+// (2) stop the periodic snapshot loop; (3) flush in-flight work —
+// Engine.Close blocks until every admitted request has completed and
+// every async waiter has published its job result; (4) cut the final
+// snapshot so the next start is warm. Safe to call more than once;
+// concurrent callers block until the first drain finishes. ctx bounds
+// only the waiter flush (admitted work is always completed by the
+// engine regardless).
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOne.Do(func() {
+		s.draining.Store(true)
+		close(s.stopc)
+		s.loops.Wait()
+		s.engine.Close()
+		done := make(chan struct{})
+		go func() { s.waiters.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.drainErr = ctx.Err()
+			return
+		}
+		if s.opts.SnapshotPath != "" {
+			if err := s.saveSnapshot(); err != nil {
+				s.drainErr = err
+			}
+		}
+	})
+	return s.drainErr
+}
+
+// Close is Drain without a bound.
+func (s *Server) Close() error { return s.Drain(context.Background()) }
+
+// Snapshot cuts a snapshot now (also called by the periodic loop and
+// the drain sequence). No-op without a snapshot path.
+func (s *Server) Snapshot() error {
+	if s.opts.SnapshotPath == "" {
+		return nil
+	}
+	return s.saveSnapshot()
+}
+
+func (s *Server) saveSnapshot() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	sf, err := snapshotState(s.engine, s.now())
+	if err == nil {
+		err = saveSnapshot(s.opts.SnapshotPath, sf)
+	}
+	if err != nil {
+		s.mSnapErrors.Inc()
+		return err
+	}
+	s.mSnapSaves.Inc()
+	return nil
+}
+
+func (s *Server) snapshotLoop(every time.Duration) {
+	defer s.loops.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+			_ = s.saveSnapshot() // failures are counted, not fatal
+		}
+	}
+}
+
+// ---- request/response shapes ----
+
+// submitRequest is the JSON body of POST /v1/schedule and POST
+// /v1/jobs. Graph is the dag JSON format (the same file format dagen
+// writes).
+type submitRequest struct {
+	Graph      json.RawMessage `json:"graph"`
+	Algorithm  string          `json:"algorithm"`
+	Procs      int             `json:"procs"`
+	Seed       int64           `json:"seed"`
+	DeadlineMS int64           `json:"deadline_ms"`
+	NoCache    bool            `json:"no_cache"`
+}
+
+// placementJSON is one node's slot in a response.
+type placementJSON struct {
+	Node   int     `json:"node"`
+	Proc   int     `json:"proc"`
+	Start  float64 `json:"start"`
+	Finish float64 `json:"finish"`
+}
+
+// scheduleResult is the deterministic scheduling payload: a pure
+// function of the scheduling input, byte-identical whether it came
+// from a cold run, the live cache, or a cache restored from a
+// snapshot. Request-lifetime metadata (cache hit, latency) travels in
+// the X-Fastsched-Cache and X-Fastsched-Elapsed-Ms headers (sync) or
+// the job envelope (async) so it never perturbs the payload.
+type scheduleResult struct {
+	Algorithm  string          `json:"algorithm"`
+	Makespan   float64         `json:"makespan"`
+	ProcsUsed  int             `json:"procs_used"`
+	Placements []placementJSON `json:"placements"`
+}
+
+// scheduleResponse is a finished job's outcome: exactly one of Result
+// or Err is set.
+type scheduleResponse struct {
+	Result    *scheduleResult
+	ErrStatus int
+	Err       *ErrorBody
+	Cache     string
+	ElapsedMS float64
+}
+
+// jobEnvelope is the GET /v1/jobs/{id} body.
+type jobEnvelope struct {
+	JobID     string          `json:"job_id"`
+	Status    string          `json:"status"` // "pending" or "done"
+	Cache     string          `json:"cache,omitempty"`
+	ElapsedMS float64         `json:"elapsed_ms,omitempty"`
+	Result    *scheduleResult `json:"result,omitempty"`
+	Error     *ErrorBody      `json:"error,omitempty"`
+}
+
+func cacheLabel(res batch.Result) string {
+	switch {
+	case res.CacheHit:
+		return "hit"
+	case res.Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+func toScheduleResult(algorithm string, sc *sched.Schedule) *scheduleResult {
+	v := sc.NumNodes()
+	out := &scheduleResult{
+		Algorithm:  algorithm,
+		Makespan:   sc.Length(),
+		ProcsUsed:  sc.ProcsUsed(),
+		Placements: make([]placementJSON, v),
+	}
+	for i := 0; i < v; i++ {
+		pl := sc.Of(dag.NodeID(i))
+		out.Placements[i] = placementJSON{Node: i, Proc: pl.Proc, Start: pl.Start, Finish: pl.Finish}
+	}
+	return out
+}
+
+func (s *Server) outcomeOf(res batch.Result) *scheduleResponse {
+	out := &scheduleResponse{Cache: cacheLabel(res), ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond)}
+	if res.Err != nil {
+		status, body := engineErrorBody(res.Err, s.opts.RetryAfter)
+		out.ErrStatus, out.Err = status, &body
+		return out
+	}
+	out.Result = toScheduleResult(res.Algorithm, res.Schedule)
+	return out
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, ErrorBody{Code: CodeMethodNotAllowed, Message: "GET only"})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.reg.WriteJSON(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.reg.WriteText(w)
+	default:
+		writeError(w, http.StatusBadRequest, ErrorBody{Code: CodeInvalidRequest, Message: "format must be json or text"})
+	}
+}
+
+// parseSubmit runs the admission pipeline shared by the sync and async
+// submit endpoints: drain gate, body-size gate, JSON decode, graph
+// parse/validation, tenant quota. It reports the rejection itself
+// (returning ok == false); on success the caller owns one admitted,
+// quota-charged request.
+func (s *Server) parseSubmit(w http.ResponseWriter, r *http.Request) (req batch.Request, tenant string, ok bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, ErrorBody{Code: CodeMethodNotAllowed, Message: "POST only"})
+		return req, "", false
+	}
+	if s.draining.Load() {
+		s.mRejDraining.Inc()
+		writeError(w, http.StatusServiceUnavailable, ErrorBody{
+			Code: CodeDraining, Message: "server is draining; retry against a healthy instance",
+			Retryable: true, RetryAfterMS: s.opts.RetryAfter.Milliseconds(),
+		})
+		return req, "", false
+	}
+	tenant = r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+
+	// Size-gate, decode and structurally validate the payload before
+	// quota or engine see it: garbage must be cheap for us and free for
+	// the tenant's budget.
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var sreq submitRequest
+	if err := json.NewDecoder(body).Decode(&sreq); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.mRejOversize.Inc()
+			writeError(w, http.StatusRequestEntityTooLarge, ErrorBody{
+				Code: CodeBodyTooLarge, Message: "request body exceeds " + strconv.FormatInt(mbe.Limit, 10) + " bytes",
+			})
+		} else {
+			s.mRejInvalid.Inc()
+			writeError(w, http.StatusBadRequest, ErrorBody{Code: CodeInvalidRequest, Message: "body does not parse: " + err.Error()})
+		}
+		return req, tenant, false
+	}
+	if len(sreq.Graph) == 0 {
+		s.mRejInvalid.Inc()
+		writeError(w, http.StatusBadRequest, ErrorBody{Code: CodeInvalidGraph, Message: "missing graph"})
+		return req, tenant, false
+	}
+	g, _, err := dag.ReadJSON(bytes.NewReader(sreq.Graph))
+	if err != nil {
+		s.mRejInvalid.Inc()
+		writeError(w, http.StatusBadRequest, ErrorBody{Code: CodeInvalidGraph, Message: err.Error()})
+		return req, tenant, false
+	}
+	if sreq.DeadlineMS < 0 {
+		s.mRejInvalid.Inc()
+		writeError(w, http.StatusBadRequest, ErrorBody{Code: CodeInvalidRequest, Message: "deadline_ms must be non-negative"})
+		return req, tenant, false
+	}
+
+	if admitted, retryAfter := s.quotas.admit(tenant); !admitted {
+		s.mRejQuota.Inc()
+		writeError(w, http.StatusTooManyRequests, ErrorBody{
+			Code: CodeQuotaExhausted, Message: "tenant " + tenant + " is over its admission rate",
+			Retryable: true, RetryAfterMS: retryAfter.Milliseconds(),
+		})
+		return req, tenant, false
+	}
+
+	req = batch.Request{
+		ID:        tenant,
+		Graph:     g,
+		Procs:     sreq.Procs,
+		Algorithm: sreq.Algorithm,
+		Seed:      sreq.Seed,
+		Deadline:  time.Duration(sreq.DeadlineMS) * time.Millisecond,
+		NoCache:   sreq.NoCache,
+	}
+	return req, tenant, true
+}
+
+// trySubmit maps the engine's admission onto HTTP, refunding the
+// tenant's quota token when the engine (not the tenant) is the reason
+// for rejection.
+func (s *Server) trySubmit(w http.ResponseWriter, ctx context.Context, req batch.Request, tenant string) (<-chan batch.Result, bool) {
+	ch, err := s.engine.TrySubmit(ctx, req)
+	if err == nil {
+		return ch, true
+	}
+	if errors.Is(err, batch.ErrQueueFull) || errors.Is(err, batch.ErrClosed) {
+		s.quotas.refund(tenant)
+		if errors.Is(err, batch.ErrQueueFull) {
+			s.mRejQueue.Inc()
+		} else {
+			s.mRejDraining.Inc()
+		}
+	} else {
+		s.mRejInvalid.Inc()
+	}
+	status, body := engineErrorBody(err, s.opts.RetryAfter)
+	writeError(w, status, body)
+	return nil, false
+}
+
+func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
+	req, tenant, ok := s.parseSubmit(w, r)
+	if !ok {
+		return
+	}
+	ch, ok := s.trySubmit(w, r.Context(), req, tenant)
+	if !ok {
+		return
+	}
+	res := <-ch // always delivered: the engine completes every admitted job
+	out := s.outcomeOf(res)
+	if out.Err != nil {
+		writeError(w, out.ErrStatus, *out.Err)
+		return
+	}
+	w.Header().Set("X-Fastsched-Cache", out.Cache)
+	w.Header().Set("X-Fastsched-Elapsed-Ms", strconv.FormatFloat(out.ElapsedMS, 'g', -1, 64))
+	writeJSON(w, http.StatusOK, out.Result)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	req, tenant, ok := s.parseSubmit(w, r)
+	if !ok {
+		return
+	}
+	j, ok := s.jobs.add(tenant)
+	if !ok {
+		s.quotas.refund(tenant)
+		writeError(w, http.StatusServiceUnavailable, ErrorBody{
+			Code: CodeJobTableFull, Message: "too many unfinished jobs; retry later",
+			Retryable: true, RetryAfterMS: s.opts.RetryAfter.Milliseconds(),
+		})
+		return
+	}
+	// The job outlives this HTTP request, so it is submitted under the
+	// server's lifetime, not the request's: an admitted job always runs
+	// to completion (and is flushed by Drain).
+	ch, ok := s.trySubmit(w, context.Background(), req, tenant)
+	if !ok {
+		j.complete(&scheduleResponse{ErrStatus: http.StatusServiceUnavailable,
+			Err: &ErrorBody{Code: CodeQueueFull, Message: "rejected at submit", Retryable: true}})
+		return
+	}
+	s.waiters.Add(1)
+	s.mJobsLive.Add(1)
+	go func() {
+		defer s.waiters.Done()
+		defer s.mJobsLive.Add(-1)
+		j.complete(s.outcomeOf(<-ch))
+	}()
+	writeJSON(w, http.StatusAccepted, jobEnvelope{JobID: j.id, Status: "pending"})
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, ErrorBody{Code: CodeMethodNotAllowed, Message: "GET only"})
+		return
+	}
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrorBody{Code: CodeNotFound, Message: "unknown job (completed jobs are retained until capacity pressure evicts them)"})
+		return
+	}
+	env := jobEnvelope{JobID: j.id, Status: "pending"}
+	if j.finished() {
+		env.Status = "done"
+		env.Cache = j.result.Cache
+		env.ElapsedMS = j.result.ElapsedMS
+		env.Result = j.result.Result
+		env.Error = j.result.Err
+	}
+	writeJSON(w, http.StatusOK, env)
+}
+
+// handleStream is the SSE-style endpoint: it holds the connection open
+// and emits exactly one "result" (or "error") event when the job
+// finishes, with keepalive comments while it waits. Clients that
+// disconnect early stop the stream; the job itself is unaffected.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, ErrorBody{Code: CodeMethodNotAllowed, Message: "GET only"})
+		return
+	}
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrorBody{Code: CodeNotFound, Message: "unknown job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, ErrorBody{Code: CodeInternal, Message: "streaming unsupported by this connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(": connected\n\n"))
+	fl.Flush()
+
+	keepalive := time.NewTicker(500 * time.Millisecond)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-j.done:
+			kind, payload := "result", any(j.result.Result)
+			if j.result.Err != nil {
+				kind, payload = "error", any(errorEnvelope{Error: *j.result.Err})
+			}
+			data, err := json.Marshal(payload)
+			if err != nil {
+				return
+			}
+			_, _ = w.Write([]byte("event: " + kind + "\ndata: "))
+			_, _ = w.Write(data)
+			_, _ = w.Write([]byte("\n\n"))
+			fl.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		case <-keepalive.C:
+			_, _ = w.Write([]byte(": keepalive\n\n"))
+			fl.Flush()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -39,6 +39,21 @@ echo "== streaming scale smoke (v=100000, race)"
 FASTSCHED_SCALE_V=100000 go test -race -timeout 300s \
     -run 'TestScaleSmoke|TestValidateFlatBig' ./internal/fast ./internal/sched
 
+echo "== schedd smoke (race)"
+# The serving-layer lifecycle under the race detector: daemon start,
+# submit, SIGTERM drain, restart from the snapshot, warm cache hit on
+# replay — plus the drain-rejects-new-work contract. These are the
+# kill-and-restart acceptance paths of the schedd service.
+go test -race -timeout 120s -run 'TestScheddSmoke|TestScheddDrainRejectsNewWork' ./cmd/schedd
+
+echo "== chaos soak (race, ${SOAK_MS:-1000}ms)"
+# A budgeted slice of the chaos harness: adversarial client
+# populations, snapshot corruption, and a mid-drain restart, with
+# goroutine-leak and payload-bit-identity assertions. FASTSCHED_SOAK_MS
+# scales the soak window; scripts/soak.sh runs the long version.
+FASTSCHED_SOAK_MS="${SOAK_MS:-1000}" go test -race -timeout 300s \
+    -run 'TestChaosSoak|TestQuotaFairnessUnderLoad' ./internal/server
+
 echo "== fuzz smoke (${FUZZ_TIME} per target)"
 # Discover every fuzz target; each needs its own `go test -fuzz` run
 # (the fuzz engine takes exactly one target per invocation). The loops

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Long-form chaos soak for the schedd serving layer.
+#
+# Runs the internal/server chaos harness under the race detector for a
+# configurable wall-clock window (default 30s, versus the ~1s slice
+# ci.sh takes), repeating the whole cycle REPEAT times so restart and
+# snapshot-corruption paths get fresh process state each round. Every
+# round asserts the same invariants as CI: typed responses only,
+# payload bit-identity against the cold reference, a balanced engine
+# ledger after drain, and zero leaked goroutines.
+#
+# Usage: scripts/soak.sh                 # 30s soak, 3 rounds
+#        SOAK_MS=120000 scripts/soak.sh  # 2-minute soak per round
+#        REPEAT=10 scripts/soak.sh       # more rounds
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SOAK_MS="${SOAK_MS:-30000}"
+REPEAT="${REPEAT:-3}"
+
+for round in $(seq 1 "$REPEAT"); do
+    echo "== soak round ${round}/${REPEAT} (${SOAK_MS}ms)"
+    FASTSCHED_SOAK_MS="$SOAK_MS" go test -race -count=1 \
+        -timeout "$(( SOAK_MS / 1000 + 300 ))s" \
+        -run 'TestChaosSoak|TestQuotaFairnessUnderLoad|TestDrainUnderLoad' \
+        ./internal/server
+done
+
+echo "soak.sh: all rounds green"
