@@ -178,10 +178,31 @@ func EZ() Scheduler { return ez.New() }
 // topology-aware classic; pass the mesh model the machine will use.
 func MH(topology MeshTopology) Scheduler { return mh.New(topology) }
 
-// Optimal returns the exact branch-and-bound solver, feasible only for
-// small graphs (roughly v <= 12); it errors when its expansion budget
-// is exceeded rather than returning a suboptimal schedule.
+// Optimal returns the exact branch-and-bound solver, feasible for
+// small graphs (roughly v <= 25–30 depending on structure); it errors
+// when its expansion budget is exceeded rather than returning a
+// suboptimal schedule. SolveOptimal is the anytime variant that also
+// reports how the search went.
 func Optimal() Scheduler { return optimal.New() }
+
+// OptimalReport describes an exact solve: whether optimality was
+// proven, the best makespan and root lower bound, the effective
+// processor count (and whether it was defaulted), and the search-work
+// counters.
+type OptimalReport = optimal.Report
+
+// ErrOptimalBudget is returned by Optimal().Schedule when the
+// branch-and-bound search exhausts its expansion budget before proving
+// optimality; treat it as "instance too large for exact solving".
+var ErrOptimalBudget = optimal.ErrBudgetExceeded
+
+// SolveOptimal runs the exact branch-and-bound solver in anytime mode:
+// the returned schedule is always valid — the canonical optimum when
+// the report says Proven, otherwise the best incumbent found within
+// the budget. procs <= 0 selects min(v, 4), surfaced in the report.
+func SolveOptimal(g *Graph, procs int) (*Schedule, OptimalReport, error) {
+	return optimal.New().Solve(g, procs)
+}
 
 // DuplicationResult is a duplication schedule: a derived graph with
 // cloned task executions plus a conventional schedule over it.

@@ -140,3 +140,25 @@ func TestPublicAPISeqProgramSurface(t *testing.T) {
 		t.Fatalf("edge = %v,%v", w, ok)
 	}
 }
+
+func TestPublicAPISolveOptimal(t *testing.T) {
+	g := fastsched.PaperExampleGraph()
+	out, rep, err := fastsched.SolveOptimal(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Proven || out.Length() != 20 || rep.Best != 20 {
+		t.Fatalf("Proven=%v length=%v best=%v, want proven optimum 20", rep.Proven, out.Length(), rep.Best)
+	}
+	if rep.Procs != 2 || rep.ProcsDefaulted {
+		t.Fatalf("Procs=%d Defaulted=%v, want 2/false", rep.Procs, rep.ProcsDefaulted)
+	}
+	// procs <= 0 applies and surfaces the default.
+	_, rep, err = fastsched.SolveOptimal(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ProcsDefaulted || rep.Procs != 4 {
+		t.Fatalf("Procs=%d Defaulted=%v, want 4/true", rep.Procs, rep.ProcsDefaulted)
+	}
+}

@@ -108,7 +108,7 @@ func run(w *os.File, fig, sizes string, procs int, seed int64, repeats int, form
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "Optimality-gap study (beyond the paper; exact B&B on tiny instances)\n%s\n", res.Render())
+		fmt.Fprintf(w, "Optimality-gap study (beyond the paper; exact B&B oracle at v <= 22)\n%s\n", res.Render())
 	}
 	if want("families") {
 		ran = true

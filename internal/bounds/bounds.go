@@ -1,11 +1,15 @@
 // Package bounds computes lower bounds on the schedule length of a
 // task graph — the yardsticks experiments and tests measure heuristics
-// against. No schedule on any number of homogeneous processors can beat
-// these.
+// against, and the pruning bounds the exact branch-and-bound solver
+// (internal/optimal) cuts its search with. No schedule on any number of
+// homogeneous processors can beat the processor-independent bounds
+// (Dependence, CommAware); no schedule on the given processor count can
+// beat the capacity bounds (Area, Fernandez).
 package bounds
 
 import (
 	"math"
+	"sort"
 
 	"fastsched/internal/dag"
 )
@@ -15,14 +19,29 @@ type Result struct {
 	// Dependence is the computation-only critical path: even with all
 	// communication zeroed, a dependence chain executes serially.
 	Dependence float64
+	// CommAware strengthens Dependence with a colocation argument: a
+	// join node can zero the communication of parents only by sharing
+	// their processor, and co-resident parents serialize. It is valid
+	// on any processor count (see CommAwareEST).
+	CommAware float64
 	// Area is total work divided by the processor count (0 procs: 0).
 	Area float64
+	// Fernandez is the interval-capacity bound of Fernández & Bussell:
+	// the smallest horizon T for which every time interval can hold the
+	// work that precedence forces into it on procs processors. At least
+	// as tight as Area; 0 when procs <= 0 or the graph is too large
+	// (see fernandezMaxV).
+	Fernandez float64
 	// Combined is the tightest of the above.
 	Combined float64
 }
 
+// fernandezMaxV caps the Fernández bound's O(v^3)-ish interval sweep;
+// larger graphs skip it (the bound reports 0).
+const fernandezMaxV = 160
+
 // Compute returns the lower bounds for scheduling g on procs
-// processors. procs <= 0 means unbounded (the area bound vanishes).
+// processors. procs <= 0 means unbounded (the capacity bounds vanish).
 func Compute(g *dag.Graph, procs int) (Result, error) {
 	l, err := dag.ComputeLevels(g)
 	if err != nil {
@@ -34,10 +53,22 @@ func Compute(g *dag.Graph, procs int) (Result, error) {
 			r.Dependence = s
 		}
 	}
+	est := CommAwareEST(g, l.Order)
+	for i := 0; i < g.NumNodes(); i++ {
+		n := dag.NodeID(i)
+		if b := est[n] + l.Static[n]; b > r.CommAware {
+			r.CommAware = b
+		}
+	}
 	if procs > 0 {
 		r.Area = g.TotalWork() / float64(procs)
+		if g.NumNodes() <= fernandezMaxV {
+			r.Fernandez = fernandez(g, l, est, procs,
+				math.Max(math.Max(r.Dependence, r.CommAware), r.Area))
+		}
 	}
-	r.Combined = math.Max(r.Dependence, r.Area)
+	r.Combined = math.Max(math.Max(r.Dependence, r.CommAware),
+		math.Max(r.Area, r.Fernandez))
 	return r, nil
 }
 
@@ -48,4 +79,198 @@ func (r Result) Gap(scheduleLength float64) float64 {
 		return 1
 	}
 	return scheduleLength / r.Combined
+}
+
+// CommAwareEST returns, per node, a lower bound on its start time valid
+// in every schedule on every processor count. The recurrence sharpens
+// the communication-free forward pass with a pairwise case analysis on
+// the two most binding parents a and b of each join node n: n shares a
+// processor with neither (both communications are paid), with exactly
+// one (the other's is paid), or with both (no communication, but the
+// parents' executions serialize on that processor). The minimum over
+// the cases is a sound start bound because every schedule realizes one
+// of them; it strictly dominates the communication-free pass whenever
+// paying for colocation beats paying for the message.
+//
+// order must be a topological order of g (e.g. dag.Levels.Order).
+func CommAwareEST(g *dag.Graph, order []dag.NodeID) []float64 {
+	est := make([]float64, g.NumNodes())
+	for _, n := range order {
+		est[n] = pairEST(g, est, n)
+	}
+	return est
+}
+
+// pairEST evaluates the comm-aware recurrence for one node given the
+// est values of its predecessors.
+func pairEST(g *dag.Graph, est []float64, n dag.NodeID) float64 {
+	preds := g.Pred(n)
+	switch len(preds) {
+	case 0:
+		return 0
+	case 1:
+		// A single parent can always be colocated: only its completion
+		// binds.
+		e := preds[0]
+		return est[e.From] + g.Weight(e.From)
+	}
+	// floor: every parent must at least complete (colocated case), and
+	// top-2 parents by arrival (completion + communication) drive the
+	// pairwise analysis.
+	var floor float64
+	var a, b dag.Edge // top-2 by arrival
+	arrA, arrB := math.Inf(-1), math.Inf(-1)
+	for _, e := range preds {
+		c := est[e.From] + g.Weight(e.From)
+		if c > floor {
+			floor = c
+		}
+		if arr := c + e.Weight; arr > arrA {
+			b, arrB = a, arrA
+			a, arrA = e, arr
+		} else if arr > arrB {
+			b, arrB = e, arr
+		}
+	}
+	sa, wa := est[a.From], g.Weight(a.From)
+	sb, wb := est[b.From], g.Weight(b.From)
+	ca, cb := sa+wa, sb+wb
+	caseA := math.Max(ca, arrB) // n on a's processor, b remote
+	caseB := math.Max(cb, arrA) // n on b's processor, a remote
+	caseBoth := math.Min(       // a, b, n co-resident: a and b serialize
+		math.Max(sb, ca)+wb, // a then b
+		math.Max(sa, cb)+wa) // b then a
+	pair := math.Min(caseBoth, math.Min(caseA, caseB))
+	return math.Max(floor, pair)
+}
+
+// WaterFill returns the earliest time by which processors that are busy
+// until the given ready times can have absorbed `work` additional units
+// of computation — the per-state generalization of the area bound: with
+// uneven ready times the machine is narrower than p-wide until the
+// laggards free up. ready is not modified; scratch, if non-nil and
+// large enough, avoids the internal allocation (the branch-and-bound
+// solver passes a reusable buffer). Zero processors yield +Inf for
+// positive work and 0 otherwise.
+func WaterFill(ready []float64, work float64, scratch []float64) float64 {
+	p := len(ready)
+	if p == 0 {
+		if work > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	var r []float64
+	if cap(scratch) >= p {
+		r = scratch[:p]
+	} else {
+		r = make([]float64, p)
+	}
+	copy(r, ready)
+	if p <= 16 {
+		insertionSort(r)
+	} else {
+		sort.Float64s(r)
+	}
+	sum := 0.0
+	for k := 1; k <= p; k++ {
+		sum += r[k-1]
+		t := (work + sum) / float64(k)
+		if k == p || t <= r[k] {
+			if t < r[k-1] {
+				t = r[k-1] // work == 0: the level is the lowest ready time
+			}
+			return t
+		}
+	}
+	panic("bounds: water fill fell through") // unreachable: k == p always returns
+}
+
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// fernandez computes the Fernández–Bussell interval-capacity bound: a
+// horizon T is infeasible when some interval [t1, t2] is forced to hold
+// more than procs·(t2−t1) work, where node n's forced contribution is
+// the minimum overlap of its execution window [est(n), T − tail(n)]
+// with the interval (tail(n) is the computation-only b-level, so the
+// window is valid on any schedule meeting T). Feasibility is monotone
+// in T, so the bound is found by bisection; the returned value is the
+// largest T proven infeasible (hence a true lower bound), never less
+// than the supplied floor lo.
+func fernandez(g *dag.Graph, l *dag.Levels, est []float64, procs int, lo float64) float64 {
+	v := g.NumNodes()
+	if feasibleHorizon(g, l, est, procs, lo) {
+		return lo
+	}
+	hi := lo + g.TotalWork()
+	for i := 0; i < 64 && !feasibleHorizon(g, l, est, procs, hi); i++ {
+		hi = 2*hi + 1
+	}
+	for i := 0; i < 60 && hi-lo > 1e-9*(1+math.Abs(hi)); i++ {
+		mid := lo + (hi-lo)/2
+		if feasibleHorizon(g, l, est, procs, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	_ = v
+	return lo
+}
+
+// feasibleHorizon reports whether horizon T passes every interval
+// capacity check. Candidate interval endpoints are the execution-window
+// extremes of every node (leftmost and rightmost runs).
+func feasibleHorizon(g *dag.Graph, l *dag.Levels, est []float64, procs int, T float64) bool {
+	v := g.NumNodes()
+	starts := make([]float64, 0, 2*v)
+	ends := make([]float64, 0, 2*v)
+	for i := 0; i < v; i++ {
+		n := dag.NodeID(i)
+		w := g.Weight(n)
+		e := est[n]
+		ls := T - l.Static[n] // latest start meeting horizon T
+		if ls < e-1e-9 {
+			return false // some node cannot meet T at all
+		}
+		starts = append(starts, e, ls)
+		ends = append(ends, e+w, ls+w)
+	}
+	cap64 := float64(procs)
+	for _, t1 := range starts {
+		for _, t2 := range ends {
+			if t2 <= t1+1e-12 {
+				continue
+			}
+			load := 0.0
+			for i := 0; i < v; i++ {
+				n := dag.NodeID(i)
+				load += minOverlap(est[n], T-l.Static[n], g.Weight(n), t1, t2)
+			}
+			if load > cap64*(t2-t1)+1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// minOverlap is the smallest overlap a w-long execution whose start is
+// confined to [e, ls] can have with the interval [t1, t2]: overlap as
+// the run slides right is unimodal, so the minimum sits at a window
+// extreme.
+func minOverlap(e, ls, w, t1, t2 float64) float64 {
+	left := math.Max(0, math.Min(e+w, t2)-math.Max(e, t1))
+	right := math.Max(0, math.Min(ls+w, t2)-math.Max(ls, t1))
+	return math.Min(left, right)
 }

@@ -1,9 +1,10 @@
-package bounds
+package bounds_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"fastsched/internal/bounds"
 	"fastsched/internal/casch"
 	"fastsched/internal/dag"
 	"fastsched/internal/schedtest"
@@ -12,7 +13,7 @@ import (
 func TestComputeKnown(t *testing.T) {
 	// chain of 4 unit tasks: dependence bound 4; on 2 procs area bound 2.
 	g := schedtest.Chain(4, 10)
-	r, err := Compute(g, 2)
+	r, err := bounds.Compute(g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +21,7 @@ func TestComputeKnown(t *testing.T) {
 		t.Fatalf("bounds = %+v", r)
 	}
 	// unbounded: area bound vanishes
-	r0, _ := Compute(g, 0)
+	r0, _ := bounds.Compute(g, 0)
 	if r0.Area != 0 || r0.Combined != 4 {
 		t.Fatalf("unbounded bounds = %+v", r0)
 	}
@@ -32,7 +33,7 @@ func TestComputeWideGraph(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		g.AddNode("", 1)
 	}
-	r, err := Compute(g, 2)
+	r, err := bounds.Compute(g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,17 +43,17 @@ func TestComputeWideGraph(t *testing.T) {
 }
 
 func TestGap(t *testing.T) {
-	r := Result{Combined: 10}
+	r := bounds.Result{Combined: 10}
 	if r.Gap(15) != 1.5 {
 		t.Fatalf("gap = %v", r.Gap(15))
 	}
-	if (Result{}).Gap(15) != 1 {
+	if (bounds.Result{}).Gap(15) != 1 {
 		t.Fatal("zero bound gap should be 1")
 	}
 }
 
 func TestComputeEmptyGraphErrors(t *testing.T) {
-	if _, err := Compute(dag.New(0), 2); err == nil {
+	if _, err := bounds.Compute(dag.New(0), 2); err == nil {
 		t.Fatal("empty graph accepted")
 	}
 }
@@ -69,7 +70,7 @@ func TestNoAlgorithmBeatsBound(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		g := schedtest.RandomLayered(rng, 2+rng.Intn(40))
 		procs := 1 + rng.Intn(5)
-		lb, err := Compute(g, procs)
+		lb, err := bounds.Compute(g, procs)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,169 @@
+// Differential tests for the strengthened lower bounds: on every
+// instance of a v <= 12 corpus the exact branch-and-bound optimum is
+// computed, and no bound may exceed it. This is the load-bearing
+// soundness property — an unsound bound would make the exact solver
+// prune optimal schedules away silently. Lives in the external test
+// package so it can import optimal (which imports bounds).
+package bounds_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/bounds"
+	"fastsched/internal/dag"
+	"fastsched/internal/optimal"
+	"fastsched/internal/schedtest"
+)
+
+// corpus returns the v <= 12 instance set: random layered graphs across
+// the comm spectrum plus the named elementary structures.
+func corpus() []*dag.Graph {
+	rng := rand.New(rand.NewSource(4242))
+	var gs []*dag.Graph
+	for i := 0; i < 12; i++ {
+		gs = append(gs, schedtest.RandomLayered(rng, 4+rng.Intn(9)))
+	}
+	gs = append(gs,
+		schedtest.Chain(8, 5),
+		schedtest.Chain(6, 0),
+		schedtest.ForkJoin(6, 3),
+		schedtest.ForkJoin(4, 12),
+		schedtest.Independent(10),
+	)
+	return gs
+}
+
+func TestBoundsNeverExceedOptimum(t *testing.T) {
+	for gi, g := range corpus() {
+		for _, procs := range []int{2, 3, 4} {
+			opt, err := optimal.New().Schedule(g, procs)
+			if err != nil {
+				t.Fatalf("graph %d procs %d: %v", gi, procs, err)
+			}
+			r, err := bounds.Compute(g, procs)
+			if err != nil {
+				t.Fatalf("graph %d: %v", gi, err)
+			}
+			L := opt.Length()
+			for name, b := range map[string]float64{
+				"Dependence": r.Dependence,
+				"CommAware":  r.CommAware,
+				"Area":       r.Area,
+				"Fernandez":  r.Fernandez,
+				"Combined":   r.Combined,
+			} {
+				if b > L+1e-9 {
+					t.Errorf("graph %d (v=%d) procs %d: %s bound %v exceeds optimum %v",
+						gi, g.NumNodes(), procs, name, b, L)
+				}
+			}
+		}
+	}
+}
+
+// The processor-independent bounds must also hold against the
+// unconstrained optimum (procs = v), which clustering algorithms are
+// boxed with.
+func TestProcIndependentBoundsUnconstrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		g := schedtest.RandomLayered(rng, 4+rng.Intn(6))
+		opt, err := optimal.New().Schedule(g, g.NumNodes())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		r, err := bounds.Compute(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CommAware > opt.Length()+1e-9 {
+			t.Fatalf("trial %d: CommAware %v exceeds unconstrained optimum %v",
+				trial, r.CommAware, opt.Length())
+		}
+		if r.CommAware < r.Dependence-1e-9 {
+			t.Fatalf("trial %d: CommAware %v below Dependence %v", trial, r.CommAware, r.Dependence)
+		}
+	}
+}
+
+// The bound ordering invariants: Fernandez >= Area, Combined is the max
+// of everything, and on communication-heavy joins CommAware strictly
+// improves on Dependence.
+func TestBoundOrdering(t *testing.T) {
+	g := schedtest.ForkJoin(4, 10) // heavy comm: colocation serializes
+	r, err := bounds.Compute(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fernandez < r.Area-1e-9 {
+		t.Fatalf("Fernandez %v below Area %v", r.Fernandez, r.Area)
+	}
+	if r.CommAware <= r.Dependence {
+		t.Fatalf("CommAware %v should strictly improve on Dependence %v for a comm-heavy join",
+			r.CommAware, r.Dependence)
+	}
+	for _, b := range []float64{r.Dependence, r.CommAware, r.Area, r.Fernandez} {
+		if b > r.Combined+1e-12 {
+			t.Fatalf("Combined %v not the max of %+v", r.Combined, r)
+		}
+	}
+}
+
+func TestWaterFill(t *testing.T) {
+	// Even ready times degrade to the plain area bound.
+	if got := bounds.WaterFill([]float64{0, 0}, 10, nil); got != 5 {
+		t.Fatalf("even water fill = %v, want 5", got)
+	}
+	// One processor busy until 8: 6 units of work cannot finish before
+	// max(water level) — the free processor absorbs alone until 8.
+	if got := bounds.WaterFill([]float64{0, 8}, 6, nil); got != 6 {
+		t.Fatalf("uneven water fill = %v, want 6", got)
+	}
+	// Work spills over the lagging processor's ready time.
+	if got := bounds.WaterFill([]float64{0, 8}, 12, nil); got != 10 {
+		t.Fatalf("spilling water fill = %v, want 10", got)
+	}
+	// Zero work: the level is the lowest ready time.
+	if got := bounds.WaterFill([]float64{3, 8}, 0, nil); got != 3 {
+		t.Fatalf("zero-work water fill = %v, want 3", got)
+	}
+	// No processors.
+	if got := bounds.WaterFill(nil, 5, nil); !math.IsInf(got, 1) {
+		t.Fatalf("no-proc water fill = %v, want +Inf", got)
+	}
+	if got := bounds.WaterFill(nil, 0, nil); got != 0 {
+		t.Fatalf("no-proc zero-work water fill = %v, want 0", got)
+	}
+	// Scratch reuse returns identical results.
+	scratch := make([]float64, 8)
+	ready := []float64{5, 1, 9, 2}
+	a := bounds.WaterFill(ready, 17, nil)
+	b := bounds.WaterFill(ready, 17, scratch)
+	if a != b {
+		t.Fatalf("scratch changed the result: %v vs %v", a, b)
+	}
+	// Combined with the busiest ready time (which also lower-bounds the
+	// makespan), water fill dominates the naive (readySum+work)/p
+	// formula the solver used to rely on.
+	if area := (5 + 1 + 9 + 2 + 17) / 4.0; math.Max(a, 9) < area-1e-9 {
+		t.Fatalf("max(water fill %v, max ready) below naive area %v", a, area)
+	}
+}
+
+// Exhaustive cross-check on independent tasks: water fill equals the
+// optimal completion of greedy LPT-free work (the bound is exactly
+// achievable with divisible work, so it must lower-bound the integral
+// optimum computed by the exact solver).
+func TestWaterFillAgainstOptimal(t *testing.T) {
+	g := schedtest.Independent(7)
+	opt, err := optimal.New().Schedule(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := bounds.WaterFill([]float64{0, 0, 0}, g.TotalWork(), nil)
+	if lvl > opt.Length()+1e-9 {
+		t.Fatalf("water fill %v exceeds optimum %v", lvl, opt.Length())
+	}
+}

@@ -28,11 +28,20 @@ type GapStudy struct {
 	Procs int
 	// Seed drives instance generation.
 	Seed int64
+	// MaxExpansions caps the exact solver's effort per instance
+	// (0: the solver default). Instances whose proof does not finish
+	// are skipped and counted in GapResults.Skipped rather than
+	// aborting the study.
+	MaxExpansions int64
 }
 
-// DefaultGapStudy measures 25 instances of up to 9 nodes on 2 procs.
+// DefaultGapStudy measures 15 instances of up to 22 nodes on 2 procs —
+// the scale the rebuilt branch-and-bound solver handles routinely
+// (the previous solver topped out near v = 9). The per-instance
+// expansion cap keeps a pathological instance from stalling the study;
+// it is simply skipped and reported.
 func DefaultGapStudy() *GapStudy {
-	return &GapStudy{Instances: 25, MaxV: 9, Procs: 2, Seed: 13}
+	return &GapStudy{Instances: 15, MaxV: 22, Procs: 2, Seed: 13, MaxExpansions: 1_500_000}
 }
 
 // GapResults holds per-heuristic gap statistics (schedule length over
@@ -44,8 +53,13 @@ type GapResults struct {
 	Gaps [][]float64
 	// Optimal counts how often each algorithm matched the optimum.
 	Optimal []int
-	// Solved is the number of instances the exact solver finished.
-	Solved int
+	// Solved is the number of instances the exact solver proved;
+	// Skipped counts those whose proof exceeded the expansion cap.
+	Solved  int
+	Skipped int
+	// Expansions is the total branch-and-bound work across the proven
+	// instances, from the solver's Report.
+	Expansions int64
 }
 
 // Run generates the instances, solves each exactly, and scores the
@@ -62,6 +76,7 @@ func (st *GapStudy) Run() (*GapResults, error) {
 	res.Optimal = make([]int, len(scheds))
 
 	solver := optimal.New()
+	solver.MaxExpansions = st.MaxExpansions
 	for i := 0; i < st.Instances; i++ {
 		g, err := workload.Random(workload.RandomOpts{
 			V:             4 + (i*3)%(st.MaxV-3),
@@ -73,11 +88,15 @@ func (st *GapStudy) Run() (*GapResults, error) {
 		if err != nil {
 			return nil, err
 		}
-		opt, err := solver.Schedule(g, st.Procs)
-		if err != nil {
-			continue // budget exceeded: skip the instance
+		opt, rep, err := solver.Solve(g, st.Procs)
+		if err != nil || !rep.Proven {
+			// Expansion cap hit: an unproven incumbent is not an oracle,
+			// so the instance is skipped (and surfaced), never scored.
+			res.Skipped++
+			continue
 		}
 		res.Solved++
+		res.Expansions += rep.Expansions
 		for si, s := range scheds {
 			hs, err := s.Schedule(g, st.Procs)
 			if err != nil {
@@ -99,10 +118,12 @@ func (st *GapStudy) Run() (*GapResults, error) {
 // Render returns the gap table: mean/max gap and how often each
 // heuristic found an optimal schedule.
 func (r *GapResults) Render() string {
-	t := table.New(
-		fmt.Sprintf("Optimality gaps on %d small instances (<= %d nodes, %d processors)",
-			r.Solved, r.Study.MaxV, r.Study.Procs),
-		"Algorithm", "mean gap", "max gap", "optimal")
+	title := fmt.Sprintf("Optimality gaps on %d proven instances (<= %d nodes, %d processors)",
+		r.Solved, r.Study.MaxV, r.Study.Procs)
+	if r.Skipped > 0 {
+		title += fmt.Sprintf(" — %d unproven, skipped", r.Skipped)
+	}
+	t := table.New(title, "Algorithm", "mean gap", "max gap", "optimal")
 	for i, alg := range r.Algorithms {
 		sum := stats.Summarize(r.Gaps[i])
 		t.AddRow(alg,

@@ -1,0 +1,150 @@
+package optimal
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fastsched/internal/obs"
+	"fastsched/internal/schedtest"
+)
+
+// TestProcsDefaultSurfaced pins the procs <= 0 contract: the default is
+// applied (min(v, DefaultProcs)) and SURFACED in the report, never
+// silent. A caller-supplied count passes through untouched.
+func TestProcsDefaultSurfaced(t *testing.T) {
+	g := schedtest.RandomLayered(rand.New(rand.NewSource(5)), 12)
+	_, rep, err := New().Solve(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ProcsDefaulted || rep.Procs != DefaultProcs {
+		t.Fatalf("procs=0 on v=12: got Procs=%d Defaulted=%v, want %d/true", rep.Procs, rep.ProcsDefaulted, DefaultProcs)
+	}
+	_, rep, err = New().Solve(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProcsDefaulted || rep.Procs != 3 {
+		t.Fatalf("procs=3: got Procs=%d Defaulted=%v, want 3/false", rep.Procs, rep.ProcsDefaulted)
+	}
+	// Fewer tasks than the default: the default clamps to v.
+	small := schedtest.Independent(3)
+	_, rep, err = New().Solve(small, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ProcsDefaulted || rep.Procs != 3 {
+		t.Fatalf("procs=0 on v=3: got Procs=%d Defaulted=%v, want 3/true", rep.Procs, rep.ProcsDefaulted)
+	}
+}
+
+// TestOptimaStableBeyondDefaultProcs checks the rationale behind the
+// procs default: on the v <= 12 oracle-scale instances, raising the
+// machine past DefaultProcs processors never changes the proven
+// optimum (it can only stay equal — more capacity never hurts, and at
+// these widths it no longer helps). Each larger machine's optimum is
+// asserted both <= (a theorem) and == (the measured fact).
+func TestOptimaStableBeyondDefaultProcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 4; trial++ {
+		g := schedtest.RandomLayered(rng, 8+rng.Intn(5))
+		base, rep, err := New().Solve(g, DefaultProcs)
+		if err != nil || !rep.Proven {
+			t.Fatalf("trial %d base: err=%v proven=%v", trial, err, rep.Proven)
+		}
+		for _, procs := range []int{6, 8} {
+			out, rep, err := New().Solve(g, procs)
+			if err != nil || !rep.Proven {
+				t.Fatalf("trial %d procs=%d: err=%v proven=%v", trial, procs, err, rep.Proven)
+			}
+			if out.Length() > base.Length()+1e-9 {
+				t.Fatalf("trial %d: optimum worsened from %v to %v when procs rose %d -> %d",
+					trial, base.Length(), out.Length(), DefaultProcs, procs)
+			}
+			if out.Length() != base.Length() {
+				t.Fatalf("trial %d: optimum changed from %v to %v when procs rose %d -> %d (v=%d)",
+					trial, base.Length(), out.Length(), DefaultProcs, procs, g.NumNodes())
+			}
+		}
+	}
+}
+
+// TestAnytimeBudget pins the wall-clock contract shared with
+// fast.Options: when Budget expires, Solve returns the best schedule
+// found so far with Proven=false and NO error. The instance is
+// random/v22/seed2, which calibration showed needs >5M expansions — a
+// millisecond budget cannot finish it on any hardware this runs on.
+func TestAnytimeBudget(t *testing.T) {
+	g := schedtest.RandomDAG(rand.New(rand.NewSource(2)), 22, 0.15)
+	s := &Solver{Budget: time.Millisecond}
+	out, rep, err := s.Solve(g, 2)
+	if err != nil {
+		t.Fatalf("anytime budget must not error, got %v", err)
+	}
+	if rep.Proven {
+		t.Fatal("a 1ms budget cannot prove a >5M-expansion instance")
+	}
+	if out == nil || out.Length() <= 0 || out.Length() != rep.Best {
+		t.Fatalf("best-so-far schedule invalid: out=%v best=%v", out, rep.Best)
+	}
+}
+
+// TestSolveBudgetExceededAnytime pins the expansion-cap contract: the
+// error is ErrBudgetExceeded, but the best-so-far schedule (at worst
+// the FAST warm start) is still returned alongside it.
+func TestSolveBudgetExceededAnytime(t *testing.T) {
+	g := schedtest.RandomDAG(rand.New(rand.NewSource(2)), 22, 0.15)
+	s := &Solver{MaxExpansions: 100}
+	out, rep, err := s.Solve(g, 2)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if rep.Proven {
+		t.Fatal("cannot prove within 100 expansions")
+	}
+	if out == nil || out.Length() != rep.Best {
+		t.Fatalf("best-so-far schedule missing: out=%v best=%v", out, rep.Best)
+	}
+}
+
+// TestContextCancelled pins the context contract shared with
+// fast.Options: cancellation surfaces ctx.Err() with the best-so-far
+// schedule still attached.
+func TestContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := schedtest.RandomDAG(rand.New(rand.NewSource(2)), 22, 0.15)
+	s := &Solver{Context: ctx}
+	out, rep, err := s.Solve(g, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Proven {
+		t.Fatal("a cancelled search cannot claim a proof")
+	}
+	if out == nil {
+		t.Fatal("best-so-far schedule missing")
+	}
+}
+
+// TestMetricsEmitted wires a real registry through Solver.Metrics and
+// checks the search counters land (the obs contract: a nil sink costs
+// nothing, a real one sees every Solve).
+func TestMetricsEmitted(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := schedtest.RandomLayered(rand.New(rand.NewSource(3)), 10)
+	s := &Solver{Metrics: reg}
+	_, rep, err := s.Solve(g, 2)
+	if err != nil || !rep.Proven {
+		t.Fatalf("err=%v proven=%v", err, rep.Proven)
+	}
+	if got := reg.Counter("optimal.expansions").Value(); got != rep.Expansions {
+		t.Fatalf("optimal.expansions counter %d != report %d", got, rep.Expansions)
+	}
+	if got := reg.Gauge("optimal.best_makespan").Value(); got != rep.Best {
+		t.Fatalf("optimal.best_makespan gauge %v != report %v", got, rep.Best)
+	}
+}

@@ -1,0 +1,64 @@
+package optimal
+
+import (
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+)
+
+// TestDeterminismMatrix proves the parallel search is reproducible: on
+// one oracle-corpus instance per family, the solver must return the
+// same optimal makespan AND the bit-identical canonical schedule
+// (per-node processor and start time) for 1, 2, 4 and 8 workers. The
+// makespan is unique by optimality; the schedule is pinned by the
+// serial canonical reconstruction pass, which is what this test guards
+// — a change that lets phase-one racing leak into the returned
+// schedule breaks it immediately.
+func TestDeterminismMatrix(t *testing.T) {
+	picked := map[string]bool{
+		"layered/v25/seed1": true,
+		"forkjoin/w23c3":    true,
+		"random/v22/seed1":  true,
+	}
+	for _, inst := range schedtest.OracleCorpus() {
+		if !picked[inst.Name] {
+			continue
+		}
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			var ref *sched.Schedule
+			var refWorkers int
+			for _, workers := range []int{1, 2, 4, 8} {
+				s := &Solver{Parallelism: workers}
+				out, rep, err := s.Solve(inst.Graph, inst.Procs)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !rep.Proven {
+					t.Fatalf("workers=%d: optimality not proven (%d expansions)", workers, rep.Expansions)
+				}
+				if out.Length() != rep.Best {
+					t.Fatalf("workers=%d: schedule length %v != reported best %v", workers, out.Length(), rep.Best)
+				}
+				if ref == nil {
+					ref, refWorkers = out, workers
+					continue
+				}
+				if out.Length() != ref.Length() {
+					t.Fatalf("workers=%d: makespan %v differs from workers=%d makespan %v",
+						workers, out.Length(), refWorkers, ref.Length())
+				}
+				for i := 0; i < inst.Graph.NumNodes(); i++ {
+					n := dag.NodeID(i)
+					if out.Proc(n) != ref.Proc(n) || out.Start(n) != ref.Start(n) {
+						t.Fatalf("workers=%d: node %d placed (proc %d, start %v), workers=%d placed (proc %d, start %v): canonical schedule not worker-count invariant",
+							workers, n, out.Proc(n), out.Start(n),
+							refWorkers, ref.Proc(n), ref.Start(n))
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package optimal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/schedtest"
+)
+
+// bruteForce exhaustively enumerates every semi-active schedule of g on
+// procs processors — every (ready node, processor) decision sequence,
+// with each task starting at max(data arrival, processor ready) — and
+// returns the minimum makespan. No bounds, no dominance, no duplicate
+// detection: an independent second implementation of the exact search
+// space that the pruned solver is differentially tested against.
+func bruteForce(g *dag.Graph, procs int) float64 {
+	v := g.NumNodes()
+	assign := make([]int, v)
+	finish := make([]float64, v)
+	ready := make([]float64, procs)
+	pending := make([]int, v)
+	for i := 0; i < v; i++ {
+		assign[i] = -1
+		pending[i] = len(g.Pred(dag.NodeID(i)))
+	}
+	best := math.Inf(1)
+	var rec func(done int, makespan float64)
+	rec = func(done int, makespan float64) {
+		if done == v {
+			if makespan < best {
+				best = makespan
+			}
+			return
+		}
+		for i := 0; i < v; i++ {
+			if assign[i] != -1 || pending[i] != 0 {
+				continue
+			}
+			n := dag.NodeID(i)
+			for p := 0; p < procs; p++ {
+				dat := 0.0
+				for _, e := range g.Pred(n) {
+					arr := finish[e.From]
+					if assign[e.From] != p {
+						arr += e.Weight
+					}
+					if arr > dat {
+						dat = arr
+					}
+				}
+				st := math.Max(dat, ready[p])
+				f := st + g.Weight(n)
+				prevReady := ready[p]
+				assign[i], finish[i], ready[p] = p, f, f
+				for _, e := range g.Succ(n) {
+					pending[e.To]--
+				}
+				rec(done+1, math.Max(makespan, f))
+				for _, e := range g.Succ(n) {
+					pending[e.To]++
+				}
+				assign[i], ready[p] = -1, prevReady
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// FuzzOptimal differentially fuzzes the pruned branch-and-bound solver
+// against the unpruned exhaustive enumeration on random DAGs small
+// enough to enumerate (v <= 6, procs <= 3), and checks the serial and
+// parallel searches agree on both the makespan and the canonical
+// schedule. Any unsound pruning rule — a bound that overshoots, a
+// dominance rule that deletes all optima, a duplicate key that aliases
+// distinct states — shows up as the solver "proving" a worse optimum
+// than the enumeration finds.
+func FuzzOptimal(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(2), uint8(30))
+	f.Add(int64(2), uint8(5), uint8(3), uint8(50))
+	f.Add(int64(3), uint8(4), uint8(1), uint8(70))
+	f.Add(int64(4), uint8(6), uint8(2), uint8(10))
+	f.Add(int64(99), uint8(5), uint8(2), uint8(90))
+	f.Fuzz(func(t *testing.T, seed int64, vRaw, procsRaw, densityRaw uint8) {
+		v := 2 + int(vRaw%5)         // 2..6
+		procs := 1 + int(procsRaw%3) // 1..3
+		if procs == 3 && v > 5 {
+			v = 5 // keep the unpruned enumeration tractable
+		}
+		density := 0.1 + float64(densityRaw%80)/100
+		g := schedtest.RandomDAG(rand.New(rand.NewSource(seed)), v, density)
+
+		want := bruteForce(g, procs)
+
+		serial := &Solver{Parallelism: 1}
+		outS, repS, err := serial.Solve(g, procs)
+		if err != nil {
+			t.Fatalf("serial solve: %v", err)
+		}
+		if !repS.Proven {
+			t.Fatalf("serial solve did not prove a v=%d instance", v)
+		}
+		if math.Abs(repS.Best-want) > 1e-9 {
+			t.Fatalf("solver proved %v but exhaustive enumeration found %v (v=%d procs=%d seed=%d density=%v)",
+				repS.Best, want, v, procs, seed, density)
+		}
+
+		par := &Solver{Parallelism: 4}
+		outP, repP, err := par.Solve(g, procs)
+		if err != nil {
+			t.Fatalf("parallel solve: %v", err)
+		}
+		if !repP.Proven || math.Abs(repP.Best-repS.Best) > 1e-9 {
+			t.Fatalf("parallel solve best %v (proven=%v) != serial best %v",
+				repP.Best, repP.Proven, repS.Best)
+		}
+		for i := 0; i < v; i++ {
+			n := dag.NodeID(i)
+			if outS.Proc(n) != outP.Proc(n) || outS.Start(n) != outP.Start(n) {
+				t.Fatalf("canonical schedule differs between 1 and 4 workers at node %d", n)
+			}
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package optimal
+
+import (
+	"testing"
+
+	"fastsched/internal/schedtest"
+)
+
+// expansionCeilings pins, per oracle-corpus instance, a hard cap on the
+// serial search's expansion count at ~2.5x the measured value (serial
+// search is fully deterministic, so the slack only absorbs future
+// intentional changes, not run-to-run noise). These ceilings are the
+// regression guard for the pruning stack: a change that weakens the
+// comm-aware bound, the water-fill/energetic area bounds, the
+// dominance rules or the duplicate table blows one of them long before
+// it blows the 5M default budget. scripts/ci.sh runs this test as a
+// dedicated step. Measured baselines (2026-08-09) in the comments.
+var expansionCeilings = map[string]int64{
+	"layered/v25/seed1": 30_000,  // 11622
+	"layered/v25/seed2": 7_000,   // 2495
+	"layered/v25/seed3": 3_000,   // 1062
+	"layered/v25/seed4": 3_000,   // 1109
+	"layered/v25/seed7": 3_000,   // 1166
+	"forkjoin/w18c3":    18_000,  // 6841
+	"forkjoin/w18c6":    19_000,  // 7279
+	"forkjoin/w20c5":    29_000,  // 11301
+	"forkjoin/w23c3":    110_000, // 42667
+	"forkjoin/w23c7":    42_000,  // 16420
+	"random/v22/seed1":  230_000, // 89673
+	"random/v22/seed4":  1_000,   // 354
+	"random/v22/seed6":  1_500,   // 487
+	"random/v22/seed7":  1_500,   // 483
+	"random/v22/seed8":  1_200,   // 417
+}
+
+// TestExpansionBudgetRegression solves every oracle-corpus instance
+// with a single worker and asserts the proof lands under its pinned
+// expansion ceiling. The ceiling is also fed to MaxExpansions, so a
+// regression fails fast instead of burning the full default budget.
+func TestExpansionBudgetRegression(t *testing.T) {
+	corpus := schedtest.OracleCorpus()
+	if len(corpus) != len(expansionCeilings) {
+		t.Fatalf("corpus has %d instances but %d ceilings are pinned — keep them in lockstep",
+			len(corpus), len(expansionCeilings))
+	}
+	for _, inst := range corpus {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			ceiling, ok := expansionCeilings[inst.Name]
+			if !ok {
+				t.Fatalf("no pinned expansion ceiling for %s", inst.Name)
+			}
+			s := &Solver{Parallelism: 1, MaxExpansions: ceiling}
+			_, rep, err := s.Solve(inst.Graph, inst.Procs)
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			if !rep.Proven {
+				t.Fatalf("not proven within the %d-expansion ceiling (pruning regression)", ceiling)
+			}
+			if rep.Expansions > ceiling {
+				t.Fatalf("expansions %d exceed the pinned ceiling %d", rep.Expansions, ceiling)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@
 package schedtest
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -76,6 +77,82 @@ func ForkJoin(width int, comm float64) *dag.Graph {
 		g.MustAddEdge(m, exit, comm)
 	}
 	return g
+}
+
+// RandomDAG builds a sparse unstructured random DAG: every pair i < j
+// is wired with probability density, node weights in [1,9] and edge
+// weights in [0,9]. Unlike RandomLayered there is no layer discipline,
+// so antichains span the whole graph — the adversarial shape for
+// schedulers tuned to layered inputs.
+func RandomDAG(rng *rand.Rand, v int, density float64) *dag.Graph {
+	g := dag.New(v)
+	ids := make([]dag.NodeID, v)
+	for i := 0; i < v; i++ {
+		ids[i] = g.AddNode("", 1+float64(rng.Intn(9)))
+	}
+	for i := 0; i < v; i++ {
+		for j := i + 1; j < v; j++ {
+			if rng.Float64() < density {
+				g.MustAddEdge(ids[i], ids[j], float64(rng.Intn(10)))
+			}
+		}
+	}
+	return g
+}
+
+// CorpusInstance is one seeded workload of the oracle corpus.
+type CorpusInstance struct {
+	// Name identifies the instance (family plus seed) in test failures.
+	Name string
+	// Family is "layered", "forkjoin" or "random".
+	Family string
+	Seed   int64
+	Graph  *dag.Graph
+	// Procs is the processor count the instance is solved on — chosen
+	// per family so the exact solver proves optimality within test
+	// budgets.
+	Procs int
+}
+
+// OracleCorpus returns the pinned v ≈ 20–25 instance set behind the
+// wide optimality-boxing suite: five layered DAGs (v = 25, 2 procs),
+// five communication-weighted fork-joins (v = 20–25, 4 procs), and
+// five sparse unstructured random DAGs (v = 22, 2 procs). Seeds and
+// shapes are curated so internal/optimal proves every true optimum
+// within milliseconds-to-tens-of-milliseconds (calibrated by expansion
+// count, so the suite also survives -race slowdowns); the corpus is
+// fully deterministic across runs.
+func OracleCorpus() []CorpusInstance {
+	var out []CorpusInstance
+	for _, seed := range []int64{1, 2, 3, 4, 7} {
+		g := RandomLayered(rand.New(rand.NewSource(seed)), 25)
+		out = append(out, CorpusInstance{
+			Name:   fmt.Sprintf("layered/v25/seed%d", seed),
+			Family: "layered", Seed: seed, Graph: g, Procs: 2,
+		})
+	}
+	// Width + entry and exit = v; comm spread over the spokes makes
+	// colocation vs distribution a real decision. The (width, comm)
+	// pairs avoid the hard cells (e.g. width 23 with comm 2, 4 or 6
+	// need millions of expansions).
+	for _, fc := range []struct {
+		width int
+		comm  float64
+	}{{18, 3}, {18, 6}, {20, 5}, {23, 3}, {23, 7}} {
+		g := ForkJoin(fc.width, fc.comm)
+		out = append(out, CorpusInstance{
+			Name:   fmt.Sprintf("forkjoin/w%dc%g", fc.width, fc.comm),
+			Family: "forkjoin", Seed: int64(fc.width), Graph: g, Procs: 4,
+		})
+	}
+	for _, seed := range []int64{1, 4, 6, 7, 8} {
+		g := RandomDAG(rand.New(rand.NewSource(seed)), 22, 0.15)
+		out = append(out, CorpusInstance{
+			Name:   fmt.Sprintf("random/v22/seed%d", seed),
+			Family: "random", Seed: seed, Graph: g, Procs: 2,
+		})
+	}
+	return out
 }
 
 // Independent returns n edge-free nodes with weights 1..n — the

@@ -54,6 +54,14 @@ echo "== chaos soak (race, ${SOAK_MS:-1000}ms)"
 FASTSCHED_SOAK_MS="${SOAK_MS:-1000}" go test -race -timeout 300s \
     -run 'TestChaosSoak|TestQuotaFairnessUnderLoad' ./internal/server
 
+echo "== exact-solver expansion regression"
+# The branch-and-bound pruning stack is gated by pinned per-instance
+# expansion ceilings on the oracle corpus (internal/optimal
+# regression_test.go): a change that weakens a bound, a dominance rule
+# or the duplicate table fails here in under a second instead of
+# silently making the oracle suites 100x slower.
+go test -timeout 120s -run TestExpansionBudgetRegression ./internal/optimal
+
 echo "== fuzz smoke (${FUZZ_TIME} per target)"
 # Discover every fuzz target; each needs its own `go test -fuzz` run
 # (the fuzz engine takes exactly one target per invocation). The loops
