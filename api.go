@@ -24,6 +24,7 @@ import (
 	"fastsched/internal/md"
 	"fastsched/internal/mh"
 	"fastsched/internal/obs"
+	"fastsched/internal/online"
 	"fastsched/internal/optimal"
 	"fastsched/internal/plan"
 	"fastsched/internal/report"
@@ -380,6 +381,64 @@ func WriteBatchJSONL(w io.Writer, results []BatchFileResult) error {
 func FormatBatchAggregate(agg BatchAggregate, workers int) string {
 	return report.BatchText(agg, workers)
 }
+
+// Online serving. The online engine runs a stream of jobs — DAGs with
+// arrival times, deadlines, tenants and weights — against one shared
+// machine over simulated time, with deadline misses, tardiness,
+// response times and per-tenant fairness as first-class outcomes, and
+// mid-stream processor crashes repaired through the rescheduler.
+
+// OnlineJob is one arriving unit of work: a task graph plus arrival
+// time, optional absolute deadline, tenant and share weight.
+type OnlineJob = online.Job
+
+// OnlineOptions configures an online run (machine size, packing
+// policy, solo-plan delegate algorithm, fault plan, metrics).
+type OnlineOptions = online.Options
+
+// OnlineJobResult is one job's realized outcome — the JSONL trace
+// record of fastsched -online.
+type OnlineJobResult = online.JobResult
+
+// OnlineReport aggregates an online run: misses, tardiness, response
+// times, crash repairs, per-tenant fairness.
+type OnlineReport = online.Report
+
+// Typed online submission errors, classifiable with errors.Is.
+var (
+	ErrOnlineBadProcs         = online.ErrBadProcs
+	ErrOnlineBadPolicy        = online.ErrBadPolicy
+	ErrOnlineBadArrival       = online.ErrBadArrival
+	ErrOnlineBadDeadline      = online.ErrBadDeadline
+	ErrOnlineDuplicateID      = online.ErrDuplicateID
+	ErrOnlineFaultUnsupported = online.ErrFaultUnsupported
+	ErrOnlineAllProcsDead     = online.ErrAllProcessorsDead
+)
+
+// OnlinePolicyNames lists the accepted packing policies.
+func OnlinePolicyNames() []string { return online.PolicyNames() }
+
+// RunOnline drives the whole workload to quiescence and reports
+// per-job outcomes in submission order. Bit-identical for a fixed seed
+// across runs and GOMAXPROCS settings.
+func RunOnline(jobs []OnlineJob, opts OnlineOptions) (*OnlineReport, error) {
+	return online.Run(jobs, opts)
+}
+
+// WriteOnlineJSONL emits one JSON object per job outcome plus a final
+// aggregate record.
+func WriteOnlineJSONL(w io.Writer, rep *OnlineReport) error { return online.WriteJSONL(w, rep) }
+
+// FormatOnlineReport renders an online run's aggregate as plain text.
+func FormatOnlineReport(rep *OnlineReport) string { return report.OnlineText(rep) }
+
+// ArrivalOptions configures the seeded arrival-time generator
+// (Poisson or bursty) feeding the online engine.
+type ArrivalOptions = workload.ArrivalOpts
+
+// GenerateArrivals draws n nondecreasing arrival instants
+// deterministically from the seed.
+func GenerateArrivals(opts ArrivalOptions) ([]float64, error) { return workload.Arrivals(opts) }
 
 // Validate checks that s is a legal execution of g: complete, overlap-
 // free, and respecting every precedence and communication delay.

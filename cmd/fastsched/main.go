@@ -67,6 +67,18 @@ type options struct {
 	workers  int    // worker-pool size (<= 0: GOMAXPROCS)
 	batchOut string // JSONL result stream destination ("-" for stdout)
 	noCache  bool   // disable the content-addressed result cache
+
+	// Online mode: a stream of jobs with arrivals and deadlines
+	// competing for one shared machine.
+	online    int     // number of jobs; 0 disables online mode
+	policy    string  // packing policy: fifo, edf, fast
+	arrival   string  // arrival process: poisson or bursty
+	rate      float64 // mean arrivals (or burst epochs) per time unit
+	burst     int     // jobs per burst epoch (bursty only)
+	slack     float64 // deadline slack factor; 0 leaves jobs deadline-free
+	tenants   int     // number of round-robin tenants
+	faultPlan string  // JSON fault plan file injecting processor crashes
+	onlineOut string  // JSONL trace destination ("-" for stdout)
 }
 
 func main() {
@@ -94,6 +106,15 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "batch worker-pool size (<= 0: GOMAXPROCS)")
 	flag.StringVar(&o.batchOut, "batch-out", "-", "batch mode: JSONL result stream destination (\"-\" for stdout)")
 	flag.BoolVar(&o.noCache, "no-cache", false, "batch mode: disable the content-addressed result cache")
+	flag.IntVar(&o.online, "online", 0, "online mode: run this many arriving jobs against one shared machine")
+	flag.StringVar(&o.policy, "policy", "edf", fmt.Sprintf("online packing policy: %v", fastsched.OnlinePolicyNames()))
+	flag.StringVar(&o.arrival, "arrival", "poisson", "online arrival process: poisson or bursty")
+	flag.Float64Var(&o.rate, "rate", 0.05, "online mean arrivals (bursty: burst epochs) per time unit")
+	flag.IntVar(&o.burst, "burst", 4, "online jobs per burst epoch (bursty arrivals)")
+	flag.Float64Var(&o.slack, "slack", 2, "online deadline slack: deadline = arrival + slack*work/procs (0: no deadlines)")
+	flag.IntVar(&o.tenants, "tenants", 2, "online round-robin tenant count for the fairness accounting")
+	flag.StringVar(&o.faultPlan, "fault-plan", "", "online: JSON fault plan file injecting processor crashes")
+	flag.StringVar(&o.onlineOut, "online-out", "-", "online mode: JSONL trace destination (\"-\" for stdout)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -347,9 +368,112 @@ func loadGraph(o options) (*fastsched.Graph, string, error) {
 	}
 }
 
+// runOnline is the -online mode: generate a seeded stream of random
+// jobs (arrivals from the workload generator, deadlines from the slack
+// factor, tenants round-robin), drive it through the online engine,
+// stream the JSONL trace, and print the aggregate report.
+func runOnline(o options) error {
+	procs := o.procs
+	if procs <= 0 {
+		procs = 8 // the online machine cannot be unbounded
+	}
+	arrivals, err := fastsched.GenerateArrivals(fastsched.ArrivalOptions{
+		N:         o.online,
+		Process:   o.arrival,
+		Rate:      o.rate,
+		BurstSize: o.burst,
+		Seed:      o.seed,
+	})
+	if err != nil {
+		return err
+	}
+	if o.tenants < 1 {
+		return fmt.Errorf("-tenants must be at least 1, got %d", o.tenants)
+	}
+	if o.slack < 0 {
+		return fmt.Errorf("-slack must be non-negative, got %v", o.slack)
+	}
+	jobs := make([]fastsched.OnlineJob, o.online)
+	for i := range jobs {
+		g, err := fastsched.RandomDAG(fastsched.RandomDAGOptions{
+			V:            20 + (i*13)%21, // deterministic 20..40 node jobs
+			Seed:         o.seed + int64(i)*1000003,
+			MeanInDegree: 3,
+		})
+		if err != nil {
+			return err
+		}
+		jobs[i] = fastsched.OnlineJob{
+			ID:      fmt.Sprintf("job-%03d", i),
+			Tenant:  fmt.Sprintf("tenant-%d", i%o.tenants),
+			Weight:  1,
+			Graph:   g,
+			Arrival: arrivals[i],
+		}
+		if o.slack > 0 {
+			jobs[i].Deadline = arrivals[i] + o.slack*g.TotalWork()/float64(procs)
+		}
+	}
+
+	var faults *fastsched.FaultPlan
+	if o.faultPlan != "" {
+		f, err := os.Open(o.faultPlan)
+		if err != nil {
+			return err
+		}
+		faults, err = fastsched.ReadFaultPlan(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	var reg *fastsched.MetricsRegistry
+	var sink fastsched.MetricsSink
+	if o.metrics != "" {
+		reg = fastsched.NewMetricsRegistry()
+		sink = reg
+	}
+
+	rep, runErr := fastsched.RunOnline(jobs, fastsched.OnlineOptions{
+		Procs:     procs,
+		Policy:    o.policy,
+		Algorithm: o.algo,
+		Seed:      o.seed,
+		Faults:    faults,
+		Metrics:   sink,
+	})
+	if rep == nil {
+		return runErr
+	}
+	// Even a machine-death run has a trace worth writing: finished jobs
+	// carry their outcomes, unfinished ones are marked uncompleted.
+	w, closeW, err := openSink(o.onlineOut)
+	if err != nil {
+		return err
+	}
+	err = fastsched.WriteOnlineJSONL(w, rep)
+	if cerr := closeW(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(os.Stderr, fastsched.FormatOnlineReport(rep))
+	if err := dumpTelemetry(o, reg, nil); err != nil {
+		return err
+	}
+	return runErr
+}
+
 func run(o options) error {
+	if o.batchDir != "" && o.online > 0 {
+		return fmt.Errorf("-batch and -online are mutually exclusive")
+	}
 	if o.batchDir != "" {
 		return runBatch(o)
+	}
+	if o.online > 0 {
+		return runOnline(o)
 	}
 	var g *fastsched.Graph
 	name := "graph"

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStderr mirrors capture for os.Stderr: the online mode streams
+// its JSONL trace to a sink and prints the aggregate report to stderr.
+func captureStderr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := fn()
+	w.Close()
+	os.Stderr = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	return buf.String(), runErr
+}
+
+// onlineOpts is the baseline online-mode flag set the tests start
+// from: 8 Poisson jobs, 4 processors, EDF, deterministic seed.
+func onlineOpts(t *testing.T) options {
+	t.Helper()
+	return options{
+		online:     8,
+		algo:       "fast",
+		policy:     "edf",
+		arrival:    "poisson",
+		rate:       0.05,
+		burst:      4,
+		slack:      2,
+		tenants:    2,
+		procs:      4,
+		seed:       1,
+		metricsFmt: "json",
+		onlineOut:  filepath.Join(t.TempDir(), "trace.jsonl"),
+	}
+}
+
+// TestGoldenOnlineTrace pins the JSONL trace and the aggregate report
+// of a fault-free online run. Every trace line must parse as JSON.
+func TestGoldenOnlineTrace(t *testing.T) {
+	o := onlineOpts(t)
+	report, err := captureStderr(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := os.ReadFile(o.onlineOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(trace, "\n"), []byte("\n"))
+	if len(lines) != o.online+1 {
+		t.Fatalf("trace has %d lines, want %d jobs + 1 summary", len(lines), o.online)
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("trace line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+	}
+	checkGolden(t, "online_trace.golden", trace)
+	checkGolden(t, "online_report.golden", []byte(report))
+}
+
+// TestGoldenOnlineCrash pins the trace of a run with a mid-stream
+// processor crash injected from a fault-plan file: the repair path is
+// deterministic too.
+func TestGoldenOnlineCrash(t *testing.T) {
+	o := onlineOpts(t)
+	o.faultPlan = filepath.Join(t.TempDir(), "faults.json")
+	if err := os.WriteFile(o.faultPlan, []byte(`{"crashes":[{"proc":1,"time":120}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, err := captureStderr(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "crashes        1") {
+		t.Fatalf("report does not mention the crash:\n%s", report)
+	}
+	trace, err := os.ReadFile(o.onlineOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "online_crash_trace.golden", trace)
+	checkGolden(t, "online_crash_report.golden", []byte(report))
+}
+
+// TestOnlineCLIErrors covers the online-mode flag validation.
+func TestOnlineCLIErrors(t *testing.T) {
+	o := onlineOpts(t)
+	o.policy = "lifo"
+	if _, err := captureStderr(t, func() error { return run(o) }); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	o = onlineOpts(t)
+	o.batchDir = "x"
+	if _, err := captureStderr(t, func() error { return run(o) }); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-batch with -online: %v", err)
+	}
+	o = onlineOpts(t)
+	o.tenants = 0
+	if _, err := captureStderr(t, func() error { return run(o) }); err == nil {
+		t.Error("zero tenants accepted")
+	}
+	o = onlineOpts(t)
+	o.slack = -1
+	if _, err := captureStderr(t, func() error { return run(o) }); err == nil {
+		t.Error("negative slack accepted")
+	}
+	o = onlineOpts(t)
+	o.arrival = "weibull"
+	if _, err := captureStderr(t, func() error { return run(o) }); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+	o = onlineOpts(t)
+	o.faultPlan = filepath.Join(t.TempDir(), "missing.json")
+	if _, err := captureStderr(t, func() error { return run(o) }); err == nil {
+		t.Error("missing fault plan accepted")
+	}
+}
+
+// TestOnlineMetricsDump: the online path exports its obs metrics
+// through the standard -metrics flag.
+func TestOnlineMetricsDump(t *testing.T) {
+	o := onlineOpts(t)
+	o.metrics = filepath.Join(t.TempDir(), "m.json")
+	if _, err := captureStderr(t, func() error { return run(o) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"online.jobs_arrived", "online.jobs_completed", "online.fairness_jain"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics dump missing %s", want)
+		}
+	}
+}

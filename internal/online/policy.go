@@ -1,0 +1,106 @@
+package online
+
+import (
+	"fmt"
+	"math"
+)
+
+// policyKind selects the cross-job ordering of ready tasks.
+type policyKind int8
+
+const (
+	// policyFIFO serves jobs strictly in arrival order; inside a job,
+	// tasks follow the compiled CPN-Dominate rank.
+	policyFIFO policyKind = iota
+	// policyEDF serves the job with the earliest absolute deadline
+	// first (deadline-free jobs sort last, FIFO among themselves).
+	policyEDF
+	// policyFAST orders individual tasks by least laxity, where a
+	// task's laxity is its job's deadline minus the task's compiled
+	// b-level (the critical-path time still needed below it). Urgent
+	// work deep inside a late-arriving DAG can overtake an earlier
+	// job's slack-rich fringe.
+	policyFAST
+)
+
+// PolicyNames lists the accepted Options.Policy values.
+func PolicyNames() []string { return []string{"edf", "fast", "fifo"} }
+
+func parsePolicy(name string) (policyKind, error) {
+	switch name {
+	case "", "edf":
+		return policyEDF, nil
+	case "fifo":
+		return policyFIFO, nil
+	case "fast":
+		return policyFAST, nil
+	default:
+		return 0, fmt.Errorf("%w: %q (want fifo, edf or fast)", ErrBadPolicy, name)
+	}
+}
+
+func (k policyKind) String() string {
+	switch k {
+	case policyFIFO:
+		return "fifo"
+	case policyEDF:
+		return "edf"
+	default:
+		return "fast"
+	}
+}
+
+// laxity is the FAST-hybrid urgency of one task: how much slack remains
+// between the job's deadline and the critical-path work still hanging
+// below the task. Deadline-free jobs have infinite laxity.
+func (e *engine) laxity(r taskRef) float64 {
+	js := e.jobs[r.job]
+	d := js.deadlineOrInf()
+	if math.IsInf(d, 1) {
+		return d
+	}
+	return d - js.cg.Levels.BLevel[r.node]
+}
+
+// less is the total order dispatch drains ready tasks in. Every branch
+// bottoms out in (arrival, submission order, compiled rank, node id),
+// so the order is deterministic for any input.
+func (e *engine) less(a, b taskRef) bool {
+	ja, jb := e.jobs[a.job], e.jobs[b.job]
+	switch e.policy {
+	case policyEDF:
+		if da, db := ja.deadlineOrInf(), jb.deadlineOrInf(); da != db {
+			return da < db
+		}
+	case policyFAST:
+		if la, lb := e.laxity(a), e.laxity(b); la != lb {
+			return la < lb
+		}
+	}
+	if ja.job.Arrival != jb.job.Arrival {
+		return ja.job.Arrival < jb.job.Arrival
+	}
+	if ja.seq != jb.seq {
+		return ja.seq < jb.seq
+	}
+	if ja.rank[a.node] != ja.rank[b.node] {
+		return ja.rank[a.node] < ja.rank[b.node]
+	}
+	return a.node < b.node
+}
+
+// jobLess orders whole jobs for crash repair: affected jobs replan in
+// the same priority order dispatch would serve them in, so the most
+// urgent job gets first pick of the survivor timeline.
+func (e *engine) jobLess(a, b *jobState) bool {
+	switch e.policy {
+	case policyEDF, policyFAST:
+		if da, db := a.deadlineOrInf(), b.deadlineOrInf(); da != db {
+			return da < db
+		}
+	}
+	if a.job.Arrival != b.job.Arrival {
+		return a.job.Arrival < b.job.Arrival
+	}
+	return a.seq < b.seq
+}

@@ -1,0 +1,139 @@
+package online
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/obs"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+	"fastsched/internal/sim"
+	"fastsched/internal/workload"
+)
+
+// TestOnlineChaosSoak is the ci.sh chaos slice: seeded random
+// workloads (Poisson and bursty arrivals, mixed policies, mid-stream
+// crashes) hammer the engine for a wall-clock budget. Every iteration
+// must finish every job, every realized schedule must validate, the
+// machine-level timeline must stay exclusive, the miss accounting must
+// match the trace, and a re-run must be bit-identical.
+//
+// The budget defaults to a smoke-level 300ms; the ci.sh soak slice
+// raises it via FASTSCHED_ONLINE_SOAK_MS.
+func TestOnlineChaosSoak(t *testing.T) {
+	budget := 300 * time.Millisecond
+	if s := os.Getenv("FASTSCHED_ONLINE_SOAK_MS"); s != "" {
+		ms, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("FASTSCHED_ONLINE_SOAK_MS=%q: %v", s, err)
+		}
+		budget = time.Duration(ms) * time.Millisecond
+	}
+	deadline := time.Now().Add(budget)
+	policies := PolicyNames()
+	processes := []string{"poisson", "bursty"}
+	algos := []string{"fast", "mcp", "none"}
+
+	iter := 0
+	for ; iter == 0 || time.Now().Before(deadline); iter++ {
+		seed := int64(1000 + iter)
+		rng := rand.New(rand.NewSource(seed))
+		procs := 4 + rng.Intn(5)
+
+		n := 3 + rng.Intn(5)
+		arr, err := workload.Arrivals(workload.ArrivalOpts{
+			N:       n,
+			Process: processes[iter%len(processes)],
+			Rate:    0.05,
+			Seed:    seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := make([]Job, n)
+		for i := range jobs {
+			g := schedtest.RandomLayered(rng, 15+rng.Intn(30))
+			jobs[i] = Job{
+				ID:      "j" + strconv.Itoa(i),
+				Tenant:  "t" + strconv.Itoa(i%3),
+				Weight:  1 + float64(rng.Intn(3)),
+				Graph:   g,
+				Arrival: arr[i],
+			}
+			if rng.Intn(2) == 0 {
+				jobs[i].Deadline = arr[i] + 20 + float64(rng.Intn(200))
+			}
+		}
+		// One or two crashes, never killing the whole machine.
+		crashes := []sim.Crash{{Proc: rng.Intn(procs), Time: 10 + 150*rng.Float64()}}
+		if rng.Intn(2) == 0 {
+			crashes = append(crashes, sim.Crash{Proc: rng.Intn(procs), Time: 10 + 150*rng.Float64()})
+		}
+		opts := Options{
+			Procs:     procs,
+			Policy:    policies[iter%len(policies)],
+			Algorithm: algos[iter%len(algos)],
+			Seed:      seed,
+			Faults:    &sim.FaultPlan{Crashes: crashes},
+			Metrics:   obs.NewRegistry(),
+		}
+
+		rep, err := Run(jobs, opts)
+		if err != nil {
+			t.Fatalf("iter %d (seed %d): %v", iter, seed, err)
+		}
+		missed := 0
+		for i, r := range rep.Results {
+			if !r.Completed {
+				t.Fatalf("iter %d: job %s dropped", iter, r.ID)
+			}
+			if err := sched.ValidateDurations(jobs[i].Graph, r.Schedule, nil); err != nil {
+				t.Fatalf("iter %d: job %s: %v", iter, r.ID, err)
+			}
+			if r.Start < r.Arrival-1e-9 {
+				t.Fatalf("iter %d: job %s started %v before arrival %v", iter, r.ID, r.Start, r.Arrival)
+			}
+			for n := 0; n < jobs[i].Graph.NumNodes(); n++ {
+				pl := r.Schedule.Of(dag.NodeID(n))
+				for _, c := range crashes {
+					if pl.Proc == c.Proc && pl.Finish > c.Time+1e-9 {
+						t.Fatalf("iter %d: job %s node %d finishes %v on PE %d dead since %v",
+							iter, r.ID, n, pl.Finish, pl.Proc, c.Time)
+					}
+				}
+			}
+			if r.Missed {
+				missed++
+			}
+		}
+		checkMachine(t, jobs, rep, procs)
+		if missed != rep.Missed {
+			t.Fatalf("iter %d: trace shows %d misses, report says %d", iter, missed, rep.Missed)
+		}
+		if got := opts.Metrics.Counter("online.jobs_missed").Value(); got != int64(missed) {
+			t.Fatalf("iter %d: online.jobs_missed metric %d, trace %d", iter, got, missed)
+		}
+
+		// Bit-identical replay.
+		var a, b bytes.Buffer
+		if err := WriteJSONL(&a, rep); err != nil {
+			t.Fatal(err)
+		}
+		rep2, err := Run(jobs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSONL(&b, rep2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("iter %d: replay trace differs", iter)
+		}
+	}
+	t.Logf("chaos soak: %d iterations in %v budget", iter, budget)
+}

@@ -1,0 +1,209 @@
+package online
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/sched"
+)
+
+// JobResult is one job's realized outcome, in submission order. It is
+// the JSONL trace record of `fastsched -online`.
+type JobResult struct {
+	ID        string  `json:"job"`
+	Tenant    string  `json:"tenant,omitempty"`
+	Arrival   float64 `json:"arrival"`
+	Deadline  float64 `json:"deadline,omitempty"`
+	Completed bool    `json:"completed"`
+	Start     float64 `json:"start"`     // first task start (0 if uncompleted)
+	Finish    float64 `json:"finish"`    // last task finish (0 if uncompleted)
+	Response  float64 `json:"response"`  // Finish - Arrival
+	Missed    bool    `json:"missed"`    // deadline set and not met
+	Tardiness float64 `json:"tardiness"` // max(0, Finish - Deadline)
+	Tasks     int     `json:"tasks"`
+	Work      float64 `json:"work"` // total node weight
+	Solo      bool    `json:"solo"` // delegated whole to the registry algorithm
+	Replans   int     `json:"replans"`
+	Aborted   int     `json:"aborted"` // task executions lost to crashes
+
+	// Schedule is the realized per-task placement (nil when the job
+	// never finished). Not part of the JSONL record.
+	Schedule *sched.Schedule `json:"-"`
+}
+
+// TenantStat aggregates one tenant's service for the fairness report.
+type TenantStat struct {
+	Tenant    string  `json:"tenant"`
+	Jobs      int     `json:"jobs"`
+	Completed int     `json:"completed"`
+	Missed    int     `json:"missed"`
+	Weight    float64 `json:"weight"`  // summed job weights
+	Work      float64 `json:"work"`    // completed work
+	Service   float64 `json:"service"` // Work / Weight, the fairness share
+}
+
+// Report is the aggregate outcome of one engine run.
+type Report struct {
+	Policy    string       `json:"policy"`
+	Algorithm string       `json:"algorithm"`
+	Procs     int          `json:"procs"`
+	Jobs      int          `json:"jobs"`
+	Completed int          `json:"completed"`
+	Missed    int          `json:"missed"`
+	Makespan  float64      `json:"makespan"` // last finish over all jobs
+	MeanResp  float64      `json:"mean_response"`
+	MaxResp   float64      `json:"max_response"`
+	TotalTard float64      `json:"total_tardiness"`
+	MaxTard   float64      `json:"max_tardiness"`
+	Crashes   int          `json:"crashes"`
+	Replans   int          `json:"replans"`
+	Aborted   int          `json:"aborted_tasks"`
+	SoloPlans int          `json:"solo_plans"`
+	Fairness  float64      `json:"fairness_jain"` // Jain's index over tenant service
+	Tenants   []TenantStat `json:"tenants,omitempty"`
+	Results   []JobResult  `json:"-"` // per-job records, submission order
+}
+
+// WriteJSONL writes one JSON object per line: each job's result in
+// submission order, then a final aggregate record {"report": ...}. The
+// encoding is deterministic, so identical runs produce byte-identical
+// traces.
+func WriteJSONL(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	for i := range rep.Results {
+		if err := enc.Encode(&rep.Results[i]); err != nil {
+			return fmt.Errorf("online: encoding trace record %d: %w", i, err)
+		}
+	}
+	if err := enc.Encode(struct {
+		Report *Report `json:"report"`
+	}{rep}); err != nil {
+		return fmt.Errorf("online: encoding trace summary: %w", err)
+	}
+	return nil
+}
+
+// finalize assembles the Report once the event loop has drained.
+func (e *engine) finalize() (*Report, error) {
+	rep := &Report{
+		Policy:    e.policy.String(),
+		Algorithm: e.opts.Algorithm,
+		Procs:     e.opts.Procs,
+		Jobs:      len(e.jobs),
+		Crashes:   e.crashes,
+		Replans:   e.replans,
+		Aborted:   e.aborted,
+		Results:   make([]JobResult, len(e.jobs)),
+	}
+	tenants := map[string]*TenantStat{}
+	unfinished := 0
+	for i, js := range e.jobs {
+		g := js.job.Graph
+		v := g.NumNodes()
+		r := JobResult{
+			ID:       js.job.ID,
+			Tenant:   js.job.Tenant,
+			Arrival:  js.job.Arrival,
+			Deadline: js.job.Deadline,
+			Tasks:    v,
+			Work:     g.TotalWork(),
+			Solo:     js.solo,
+			Replans:  js.replans,
+			Aborted:  js.aborted,
+		}
+		ts := tenants[js.job.Tenant]
+		if ts == nil {
+			ts = &TenantStat{Tenant: js.job.Tenant}
+			tenants[js.job.Tenant] = ts
+		}
+		ts.Jobs++
+		ts.Weight += js.job.Weight
+		if js.done {
+			r.Completed = true
+			r.Solo = js.solo
+			first := math.Inf(1)
+			s := sched.New(v)
+			s.Algorithm = "online-" + rep.Policy
+			for n := 0; n < v; n++ {
+				if js.start[n] < first {
+					first = js.start[n]
+				}
+				s.Place(dag.NodeID(n), int(js.proc[n]), js.start[n], js.finish[n])
+			}
+			r.Start = first
+			r.Finish = js.maxFinish
+			r.Response = js.maxFinish - js.job.Arrival
+			r.Schedule = s
+			rep.Completed++
+			ts.Completed++
+			ts.Work += r.Work
+			if js.maxFinish > rep.Makespan {
+				rep.Makespan = js.maxFinish
+			}
+			rep.MeanResp += r.Response
+			if r.Response > rep.MaxResp {
+				rep.MaxResp = r.Response
+			}
+			if d := js.job.Deadline; d > 0 && js.maxFinish > d+eps {
+				r.Missed = true
+				r.Tardiness = js.maxFinish - d
+			}
+		} else {
+			unfinished++
+			// A job the crashed machine could never finish has missed
+			// any deadline it had.
+			r.Missed = js.job.Deadline > 0
+		}
+		if r.Missed {
+			rep.Missed++
+			ts.Missed++
+			rep.TotalTard += r.Tardiness
+			if r.Tardiness > rep.MaxTard {
+				rep.MaxTard = r.Tardiness
+			}
+		}
+		rep.Results[i] = r
+	}
+	if rep.Completed > 0 {
+		rep.MeanResp /= float64(rep.Completed)
+	}
+	for _, js := range e.jobs {
+		if js.solo {
+			rep.SoloPlans++
+		}
+	}
+
+	names := make([]string, 0, len(tenants))
+	for name := range tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sum, sumSq float64
+	for _, name := range names {
+		ts := tenants[name]
+		if ts.Weight > 0 {
+			ts.Service = ts.Work / ts.Weight
+		}
+		sum += ts.Service
+		sumSq += ts.Service * ts.Service
+		rep.Tenants = append(rep.Tenants, *ts)
+	}
+	// Jain's fairness index over per-tenant weighted service: 1 when
+	// every tenant gets service proportional to its weight, 1/n when a
+	// single tenant starves the rest.
+	rep.Fairness = 1
+	if len(names) > 0 && sumSq > 0 {
+		rep.Fairness = sum * sum / (float64(len(names)) * sumSq)
+	}
+	e.mFairness.Set(rep.Fairness)
+	e.mMakespan.Set(rep.Makespan)
+
+	if unfinished > 0 {
+		return rep, fmt.Errorf("%w: %d of %d jobs unfinished", ErrAllProcessorsDead, unfinished, len(e.jobs))
+	}
+	return rep, nil
+}

@@ -1,0 +1,40 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsched/internal/online"
+)
+
+// OnlineText renders an online run's aggregate as the plain-text
+// report fastsched's online mode prints after the JSONL trace — the
+// same fixed-width style as the batch report.
+func OnlineText(rep *online.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "online: %d jobs, %d processors, policy %s (delegate %s)\n",
+		rep.Jobs, rep.Procs, rep.Policy, rep.Algorithm)
+	fmt.Fprintf(&b, "  completed      %d\n", rep.Completed)
+	fmt.Fprintf(&b, "  missed         %d\n", rep.Missed)
+	fmt.Fprintf(&b, "  makespan       %.6g\n", rep.Makespan)
+	fmt.Fprintf(&b, "  mean response  %.6g\n", rep.MeanResp)
+	fmt.Fprintf(&b, "  max response   %.6g\n", rep.MaxResp)
+	fmt.Fprintf(&b, "  total tardy    %.6g\n", rep.TotalTard)
+	fmt.Fprintf(&b, "  max tardy      %.6g\n", rep.MaxTard)
+	fmt.Fprintf(&b, "  solo plans     %d\n", rep.SoloPlans)
+	if rep.Crashes > 0 {
+		fmt.Fprintf(&b, "  crashes        %d\n", rep.Crashes)
+		fmt.Fprintf(&b, "  replans        %d\n", rep.Replans)
+		fmt.Fprintf(&b, "  aborted tasks  %d\n", rep.Aborted)
+	}
+	fmt.Fprintf(&b, "  fairness       %.4f\n", rep.Fairness)
+	for _, ts := range rep.Tenants {
+		name := ts.Tenant
+		if name == "" {
+			name = "(default)"
+		}
+		fmt.Fprintf(&b, "  tenant %-10s %d jobs, %d missed, service %.6g\n",
+			name, ts.Jobs, ts.Missed, ts.Service)
+	}
+	return b.String()
+}

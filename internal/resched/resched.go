@@ -73,6 +73,96 @@ type Result struct {
 	Report *sim.Report
 }
 
+// Prefix describes the executed part of a DAG at the instant a replan
+// is requested: which tasks have completed (or are guaranteed to
+// complete — an in-flight task on a surviving processor counts), when
+// each of them finishes, and where it ran. Finish and Proc are read
+// only at indices where Done is true.
+type Prefix struct {
+	Done   []bool
+	Finish []float64
+	Proc   []int
+}
+
+// SuffixPlan is the replanned placement of a DAG's unexecuted suffix:
+// parallel arrays over Nodes (the suffix tasks in ascending original
+// node ID), plus the makespan of the suffix placement.
+type SuffixPlan struct {
+	Nodes    []dag.NodeID
+	Proc     []int
+	Start    []float64
+	Finish   []float64
+	Makespan float64
+}
+
+// PlanSuffix replans the unexecuted suffix of g — every task pre.Done
+// does not cover — onto the surviving processors, no earlier than each
+// survivor's floor. It runs FAST's two phases over the suffix subgraph:
+// the CPN-Dominate initial placement, then the budgeted greedy random
+// walk. Boundary messages from prefix parents arrive at
+// pre.Finish[parent], plus the edge's communication cost when the
+// consumer runs on a different processor than pre.Proc[parent] — a dead
+// processor's results are assumed checkpointed, so they remain
+// fetchable at that cost.
+//
+// On context expiry the best plan found so far is returned together
+// with ctx.Err(); both are non-nil in that case. This is the planner
+// the online multi-DAG engine calls once per affected job after a
+// crash, with the shared-timeline frontiers as floors.
+func PlanSuffix(g *dag.Graph, pre Prefix, survivors []int, floor map[int]float64, opts Options) (*SuffixPlan, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	v := g.NumNodes()
+	if len(pre.Done) != v {
+		return nil, fmt.Errorf("resched: prefix sized for %d nodes, graph has %d", len(pre.Done), v)
+	}
+	if len(survivors) == 0 {
+		return nil, errors.New("resched: no surviving processors")
+	}
+	pl, err := newPlanner(g, pre, survivors, floor)
+	if err != nil {
+		return nil, err
+	}
+	if len(pl.orig) == 0 {
+		return nil, errors.New("resched: crash report shows no unexecuted tasks")
+	}
+	if err := pl.priorityOrder(); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: FAST's initial placement over the suffix subgraph —
+	// CPN-Dominate list order, each node placed on the surviving
+	// processor that finishes it earliest given the boundary arrivals.
+	pl.initialPlacement()
+
+	// Phase 2: FAST's greedy random walk, budgeted at MaxSteps, moving
+	// one suffix task to a random survivor and keeping strict
+	// improvements only.
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	var ctxErr error
+	if maxSteps > 0 && len(survivors) > 1 {
+		ctxErr = pl.search(ctx, maxSteps, rand.New(rand.NewSource(opts.Seed)))
+	}
+
+	plan := &SuffixPlan{
+		Nodes:  append([]dag.NodeID(nil), pl.orig...),
+		Proc:   append([]int(nil), pl.assign...),
+		Start:  append([]float64(nil), pl.start...),
+		Finish: append([]float64(nil), pl.finish...),
+	}
+	for _, f := range plan.Finish {
+		if f > plan.Makespan {
+			plan.Makespan = f
+		}
+	}
+	return plan, ctxErr
+}
+
 // Repair replans the unexecuted suffix of a crashed run onto the
 // surviving processors. The spliced schedule is validated against the
 // realized prefix durations before it is returned; a validation failure
@@ -81,10 +171,6 @@ type Result struct {
 // On context expiry the best plan found so far is returned together
 // with ctx.Err(); both are non-nil in that case.
 func Repair(g *dag.Graph, s *sched.Schedule, crash *sim.CrashError, opts Options) (*Result, error) {
-	ctx := opts.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if crash == nil {
 		return nil, errors.New("resched: nil crash report")
 	}
@@ -115,36 +201,18 @@ func Repair(g *dag.Graph, s *sched.Schedule, crash *sim.CrashError, opts Options
 		floor[p] = maxf(crash.ProcFree[p], lastCrash)
 	}
 
-	pl, err := newPlanner(g, crash, survivors, floor)
-	if err != nil {
-		return nil, err
+	pre := Prefix{Done: crash.Done, Finish: crash.Finish, Proc: make([]int, v)}
+	for i := 0; i < v; i++ {
+		if crash.Done[i] {
+			pre.Proc[i] = s.Proc(dag.NodeID(i))
+		}
 	}
-	if len(pl.orig) == 0 {
-		return nil, errors.New("resched: crash report shows no unexecuted tasks")
-	}
-	pl.fillBoundaryProcs(g, s)
-	if err := pl.priorityOrder(); err != nil {
-		return nil, err
-	}
-
-	// Phase 1: FAST's initial placement over the suffix subgraph —
-	// CPN-Dominate list order, each node placed on the surviving
-	// processor that finishes it earliest given the boundary arrivals.
-	pl.initialPlacement()
-
-	// Phase 2: FAST's greedy random walk, budgeted at MaxSteps, moving
-	// one suffix task to a random survivor and keeping strict
-	// improvements only.
-	maxSteps := opts.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = DefaultMaxSteps
-	}
-	var ctxErr error
-	if maxSteps > 0 && len(survivors) > 1 {
-		ctxErr = pl.search(ctx, maxSteps, rand.New(rand.NewSource(opts.Seed)))
+	plan, ctxErr := PlanSuffix(g, pre, survivors, floor, opts)
+	if plan == nil {
+		return nil, ctxErr
 	}
 
-	res, err := pl.splice(g, s, crash)
+	res, err := splice(g, s, crash, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -190,12 +258,12 @@ type planner struct {
 // newPlanner extracts the unexecuted suffix of g as its own graph (IDs
 // remapped densely) and records the boundary arrivals from the executed
 // prefix.
-func newPlanner(g *dag.Graph, crash *sim.CrashError, survivors []int, floor map[int]float64) (*planner, error) {
+func newPlanner(g *dag.Graph, pre Prefix, survivors []int, floor map[int]float64) (*planner, error) {
 	v := g.NumNodes()
 	subOf := make([]int, v)
 	var orig []dag.NodeID
 	for i := 0; i < v; i++ {
-		if crash.Done[i] {
+		if pre.Done[i] {
 			subOf[i] = -1
 		} else {
 			subOf[i] = len(orig)
@@ -216,8 +284,8 @@ func newPlanner(g *dag.Graph, crash *sim.CrashError, survivors []int, floor map[
 				}
 			} else {
 				boundary[j] = append(boundary[j], boundaryEdge{
-					proc:   -1, // stamped by fillBoundaryProcs
-					finish: crash.Finish[e.From],
+					proc:   pre.Proc[e.From],
+					finish: pre.Finish[e.From],
 					comm:   e.Weight,
 				})
 			}
@@ -236,20 +304,6 @@ func newPlanner(g *dag.Graph, crash *sim.CrashError, survivors []int, floor map[
 		procReady: make(map[int]float64, len(survivors)),
 	}
 	return pl, nil
-}
-
-// fillBoundaryProcs stamps each boundary edge with the prefix parent's
-// processor from the original schedule.
-func (pl *planner) fillBoundaryProcs(g *dag.Graph, s *sched.Schedule) {
-	for j, n := range pl.orig {
-		bi := 0
-		for _, e := range g.Pred(n) {
-			if pl.subOf[e.From] < 0 {
-				pl.boundary[j][bi].proc = s.Proc(e.From)
-				bi++
-			}
-		}
-	}
 }
 
 // priorityOrder builds FAST's phase-1 list over the suffix subgraph.
@@ -382,18 +436,25 @@ func (pl *planner) search(ctx context.Context, maxSteps int, rng *rand.Rand) err
 // splice builds the repaired full schedule: prefix tasks at their
 // realized times, suffix tasks at their planned times, validated
 // against the realized prefix durations.
-func (pl *planner) splice(g *dag.Graph, s *sched.Schedule, crash *sim.CrashError) (*Result, error) {
+func splice(g *dag.Graph, s *sched.Schedule, crash *sim.CrashError, plan *SuffixPlan) (*Result, error) {
 	v := g.NumNodes()
+	subOf := make([]int, v)
+	for i := range subOf {
+		subOf[i] = -1
+	}
+	for j, n := range plan.Nodes {
+		subOf[n] = j
+	}
 	out := sched.New(v)
 	out.Algorithm = s.Algorithm + "+resched"
 	dur := make([]float64, v)
 	finishAll := make([]float64, v)
 	for i := 0; i < v; i++ {
 		n := dag.NodeID(i)
-		if j := pl.subOf[i]; j >= 0 {
-			out.Place(n, pl.assign[j], pl.start[j], pl.finish[j])
+		if j := subOf[i]; j >= 0 {
+			out.Place(n, plan.Proc[j], plan.Start[j], plan.Finish[j])
 			dur[i] = g.Weight(n)
-			finishAll[i] = pl.finish[j]
+			finishAll[i] = plan.Finish[j]
 		} else {
 			out.Place(n, s.Proc(n), crash.Start[i], crash.Finish[i])
 			dur[i] = crash.Finish[i] - crash.Start[i]
@@ -404,9 +465,9 @@ func (pl *planner) splice(g *dag.Graph, s *sched.Schedule, crash *sim.CrashError
 		return nil, fmt.Errorf("resched: spliced schedule invalid: %w", err)
 	}
 
-	suffix := append([]dag.NodeID(nil), pl.orig...)
+	suffix := append([]dag.NodeID(nil), plan.Nodes...)
 	sort.Slice(suffix, func(a, b int) bool {
-		sa, sb := pl.start[pl.subOf[suffix[a]]], pl.start[pl.subOf[suffix[b]]]
+		sa, sb := plan.Start[subOf[suffix[a]]], plan.Start[subOf[suffix[b]]]
 		if sa != sb {
 			return sa < sb
 		}
@@ -423,8 +484,8 @@ func (pl *planner) splice(g *dag.Graph, s *sched.Schedule, crash *sim.CrashError
 	for p, b := range crash.BusyTime {
 		busy[p] = b
 	}
-	for j, n := range pl.orig {
-		busy[pl.assign[j]] += g.Weight(n)
+	for j, n := range plan.Nodes {
+		busy[plan.Proc[j]] += g.Weight(n)
 	}
 	return &Result{
 		Schedule:  out,

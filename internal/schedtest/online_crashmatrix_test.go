@@ -1,0 +1,143 @@
+package schedtest_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/online"
+	"fastsched/internal/sched"
+	"fastsched/internal/schedtest"
+	"fastsched/internal/sim"
+	"fastsched/internal/workload"
+)
+
+// TestOnlineCrashMatrix is the PR's crash acceptance matrix: 3 arrival
+// patterns × 5 seeds × losing 1 of 8 PEs mid-stream. Every run must
+// finish every job (nothing silently dropped), every realized schedule
+// must pass duration-aware validation, nothing may run on the dead
+// processor past the crash, and the miss accounting must agree with
+// the per-job JSONL trace.
+func TestOnlineCrashMatrix(t *testing.T) {
+	const procs, njobs = 8, 6
+	patterns := []string{"poisson", "bursty", "all-at-once"}
+	for _, pattern := range patterns {
+		for seed := int64(1); seed <= 5; seed++ {
+			t.Run(pattern+"/"+string(rune('0'+seed)), func(t *testing.T) {
+				arrivals := make([]float64, njobs)
+				if pattern != "all-at-once" {
+					var err error
+					arrivals, err = workload.Arrivals(workload.ArrivalOpts{
+						N: njobs, Process: pattern, Rate: 0.04, Seed: seed,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				rng := rand.New(rand.NewSource(seed * 997))
+				jobs := make([]online.Job, njobs)
+				for i := range jobs {
+					jobs[i] = online.Job{
+						ID:      "job" + string(rune('A'+i)),
+						Tenant:  "t" + string(rune('0'+i%3)),
+						Graph:   schedtest.RandomLayered(rng, 20+rng.Intn(20)),
+						Arrival: arrivals[i],
+					}
+					if i%2 == 1 {
+						jobs[i].Deadline = arrivals[i] + 60 + float64(rng.Intn(120))
+					}
+				}
+				opts := online.Options{
+					Procs:  procs,
+					Policy: online.PolicyNames()[int(seed)%3],
+					Seed:   seed,
+				}
+				base, err := online.Run(jobs, opts)
+				if err != nil {
+					t.Fatalf("fault-free baseline: %v", err)
+				}
+
+				deadProc := int(seed) % procs
+				crashT := 0.4 * base.Makespan
+				opts.Faults = &sim.FaultPlan{Crashes: []sim.Crash{{Proc: deadProc, Time: crashT}}}
+				rep, err := online.Run(jobs, opts)
+				if err != nil {
+					t.Fatalf("crash run: %v", err)
+				}
+				if rep.Crashes != 1 {
+					t.Fatalf("crashes=%d", rep.Crashes)
+				}
+				if len(rep.Results) != njobs {
+					t.Fatalf("submitted %d jobs, traced %d", njobs, len(rep.Results))
+				}
+				missed := 0
+				for i, r := range rep.Results {
+					if !r.Completed || r.Schedule == nil {
+						t.Fatalf("job %s silently dropped", r.ID)
+					}
+					if err := sched.ValidateDurations(jobs[i].Graph, r.Schedule, nil); err != nil {
+						t.Fatalf("job %s: %v", r.ID, err)
+					}
+					for n := 0; n < jobs[i].Graph.NumNodes(); n++ {
+						pl := r.Schedule.Of(dag.NodeID(n))
+						if pl.Proc == deadProc && pl.Finish > crashT+1e-9 {
+							t.Fatalf("job %s node %d on PE %d finishes %v after the crash at %v",
+								r.ID, n, deadProc, pl.Finish, crashT)
+						}
+					}
+					if r.Missed {
+						missed++
+					}
+				}
+				if missed != rep.Missed {
+					t.Fatalf("results carry %d misses, report says %d", missed, rep.Missed)
+				}
+
+				// The JSONL trace must tell the same story.
+				var buf bytes.Buffer
+				if err := online.WriteJSONL(&buf, rep); err != nil {
+					t.Fatal(err)
+				}
+				lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+				if len(lines) != njobs+1 {
+					t.Fatalf("trace has %d lines, want %d", len(lines), njobs+1)
+				}
+				traceMissed := 0
+				seen := map[string]bool{}
+				for _, line := range lines[:njobs] {
+					var rec struct {
+						Job       string `json:"job"`
+						Completed bool   `json:"completed"`
+						Missed    bool   `json:"missed"`
+					}
+					if err := json.Unmarshal(line, &rec); err != nil {
+						t.Fatalf("trace line: %v", err)
+					}
+					if !rec.Completed {
+						t.Fatalf("trace marks %s uncompleted", rec.Job)
+					}
+					seen[rec.Job] = true
+					if rec.Missed {
+						traceMissed++
+					}
+				}
+				for _, j := range jobs {
+					if !seen[j.ID] {
+						t.Fatalf("job %s missing from the trace", j.ID)
+					}
+				}
+				var tail struct {
+					Report *online.Report `json:"report"`
+				}
+				if err := json.Unmarshal(lines[njobs], &tail); err != nil || tail.Report == nil {
+					t.Fatalf("summary line: %v", err)
+				}
+				if traceMissed != tail.Report.Missed || traceMissed != rep.Missed {
+					t.Fatalf("trace misses %d, summary %d, report %d", traceMissed, tail.Report.Missed, rep.Missed)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package schedtest_test
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"fastsched/internal/dag"
+	"fastsched/internal/online"
+	"fastsched/internal/schedtest"
+	"fastsched/internal/sim"
+)
+
+// intJobs builds a workload whose every time quantity is an integer —
+// node weights, edge weights, arrivals, deadlines. All engine
+// arithmetic (EFT maxima, communication sums, policy laxities) then
+// stays exactly representable, so the metamorphic equalities below
+// hold bit-for-bit rather than within a tolerance.
+func intJobs(seed int64, n int) []online.Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]online.Job, n)
+	for i := range jobs {
+		g := schedtest.RandomLayered(rng, 18+rng.Intn(18))
+		jobs[i] = online.Job{
+			ID:      "j" + string(rune('a'+i)),
+			Tenant:  "t" + string(rune('0'+i%2)),
+			Graph:   g,
+			Arrival: float64(7 * i),
+		}
+		if i%2 == 0 {
+			jobs[i].Deadline = jobs[i].Arrival + float64(40+10*i)
+		}
+	}
+	return jobs
+}
+
+func shiftJobs(jobs []online.Job, c float64) []online.Job {
+	out := append([]online.Job(nil), jobs...)
+	for i := range out {
+		out[i].Arrival += c
+		if out[i].Deadline > 0 {
+			out[i].Deadline += c
+		}
+	}
+	return out
+}
+
+// TestOnlineArrivalShift: shifting every arrival (and deadline, and
+// crash time) by a constant shifts every completion by exactly that
+// constant, for every policy, with and without a mid-stream crash.
+func TestOnlineArrivalShift(t *testing.T) {
+	const c = 17
+	jobs := intJobs(101, 5)
+	faultsFor := func(shift float64) *sim.FaultPlan {
+		return &sim.FaultPlan{Crashes: []sim.Crash{{Proc: 2, Time: 40 + shift}}}
+	}
+	for _, policy := range online.PolicyNames() {
+		for _, crashed := range []bool{false, true} {
+			opts := online.Options{Procs: 4, Policy: policy, Seed: 9}
+			if crashed {
+				opts.Faults = faultsFor(0)
+			}
+			base, err := online.Run(jobs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if crashed {
+				opts.Faults = faultsFor(c)
+			}
+			shifted, err := online.Run(shiftJobs(jobs, c), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range jobs {
+				b, s := base.Results[i], shifted.Results[i]
+				if s.Finish != b.Finish+c || s.Start != b.Start+c {
+					t.Fatalf("%s crash=%v job %s: shifted [%v,%v], base [%v,%v] + %d",
+						policy, crashed, b.ID, s.Start, s.Finish, b.Start, b.Finish, c)
+				}
+				if s.Missed != b.Missed || s.Tardiness != b.Tardiness {
+					t.Fatalf("%s crash=%v job %s: miss accounting changed under shift", policy, crashed, b.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineDeadlineScaling: loosening deadlines never increases the
+// miss count. Additive loosening preserves every policy's ordering
+// exactly (so the schedule is unchanged and misses are monotone);
+// multiplicative scaling preserves the deadline order, which pins fifo
+// and edf but not the laxity hybrid.
+func TestOnlineDeadlineScaling(t *testing.T) {
+	jobs := intJobs(77, 6)
+	scale := func(mul, add float64) []online.Job {
+		out := append([]online.Job(nil), jobs...)
+		for i := range out {
+			if out[i].Deadline > 0 {
+				out[i].Deadline = out[i].Deadline*mul + add
+			}
+		}
+		return out
+	}
+	run := func(js []online.Job, policy string) *online.Report {
+		rep, err := online.Run(js, online.Options{Procs: 3, Policy: policy, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	for _, policy := range online.PolicyNames() {
+		base := run(jobs, policy)
+		loose := run(scale(1, 30), policy)
+		if loose.Missed > base.Missed {
+			t.Fatalf("%s: +30 deadline slack raised misses %d -> %d", policy, base.Missed, loose.Missed)
+		}
+		for i := range jobs {
+			if loose.Results[i].Finish != base.Results[i].Finish {
+				t.Fatalf("%s: additive deadline slack changed job %s finish %v -> %v",
+					policy, jobs[i].ID, base.Results[i].Finish, loose.Results[i].Finish)
+			}
+			if loose.Results[i].Missed && !base.Results[i].Missed {
+				t.Fatalf("%s: job %s started missing with a looser deadline", policy, jobs[i].ID)
+			}
+		}
+	}
+	for _, policy := range []string{"fifo", "edf"} {
+		base := run(jobs, policy)
+		doubled := run(scale(2, 0), policy)
+		if doubled.Missed > base.Missed {
+			t.Fatalf("%s: doubling deadlines raised misses %d -> %d", policy, base.Missed, doubled.Missed)
+		}
+	}
+}
+
+// TestOnlineGOMAXPROCSIdentical: an empty-FaultPlan run is
+// bit-identical in its JSONL trace across repeated runs and
+// GOMAXPROCS settings, for both the serial and the parallel-search
+// delegate.
+func TestOnlineGOMAXPROCSIdentical(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, algo := range []string{"fast", "pfast"} {
+		for _, seed := range []int64{1, 2, 3} {
+			jobs := intJobs(seed*13, 4)
+			trace := func() []byte {
+				rep, err := online.Run(jobs, online.Options{
+					Procs:     4,
+					Policy:    "fast",
+					Algorithm: algo,
+					Seed:      seed,
+					Faults:    &sim.FaultPlan{},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := online.WriteJSONL(&buf, rep); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			var want []byte
+			for _, gmp := range []int{1, 4, 1} {
+				runtime.GOMAXPROCS(gmp)
+				for rep := 0; rep < 2; rep++ {
+					got := trace()
+					if want == nil {
+						want = got
+						continue
+					}
+					if !bytes.Equal(want, got) {
+						t.Fatalf("%s seed %d: trace differs at GOMAXPROCS=%d rep %d", algo, seed, gmp, rep)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineJobsUntouched: the engine treats submitted graphs as
+// read-only; a run must not mutate them (guarding the replay-based
+// metamorphic tests above).
+func TestOnlineJobsUntouched(t *testing.T) {
+	jobs := intJobs(3, 3)
+	type nodeState struct {
+		w     float64
+		succs int
+	}
+	snapshot := func() [][]nodeState {
+		var snap [][]nodeState
+		for _, j := range jobs {
+			var ns []nodeState
+			for i := 0; i < j.Graph.NumNodes(); i++ {
+				ns = append(ns, nodeState{j.Graph.Weight(dag.NodeID(i)), len(j.Graph.Succ(dag.NodeID(i)))})
+			}
+			snap = append(snap, ns)
+		}
+		return snap
+	}
+	before := snapshot()
+	if _, err := online.Run(jobs, online.Options{
+		Procs:  3,
+		Faults: &sim.FaultPlan{Crashes: []sim.Crash{{Proc: 0, Time: 25}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := snapshot()
+	for j := range before {
+		for i := range before[j] {
+			if before[j][i] != after[j][i] {
+				t.Fatalf("job %d node %d mutated: %+v -> %+v", j, i, before[j][i], after[j][i])
+			}
+		}
+	}
+}

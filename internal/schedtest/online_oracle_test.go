@@ -1,0 +1,102 @@
+package schedtest_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"fastsched/internal/batch"
+	"fastsched/internal/casch"
+	"fastsched/internal/dag"
+	"fastsched/internal/online"
+	"fastsched/internal/schedtest"
+)
+
+// unboundedName marks the clustering algorithms that may legitimately
+// use more processors than the online machine has; for those the solo
+// delegation falls back to dynamic dispatch and the makespans need not
+// match. Every other registry algorithm MUST be delegated and match
+// the offline batch path exactly.
+var unboundedName = map[string]bool{
+	"dsc": true, "md": true, "lc": true, "ez": true, "dcp": true,
+}
+
+// TestOnlineDifferentialOracle: a single DAG arriving at t = 0 with no
+// deadline through the online engine produces the same makespan as the
+// offline batch path, for every registry algorithm the solo policy
+// delegates to — the online engine's whole-DAG path IS the batch
+// compiled dispatch, shifted by zero.
+func TestOnlineDifferentialOracle(t *testing.T) {
+	g := schedtest.RandomLayered(rand.New(rand.NewSource(31)), 16)
+	const procs, seed = 4, 7
+
+	eng := batch.New(batch.Options{})
+	defer eng.Close()
+
+	for _, name := range casch.AlgorithmNames() {
+		t.Run(name, func(t *testing.T) {
+			off := eng.Do(context.Background(), batch.Request{
+				Graph:     g,
+				Procs:     procs,
+				Algorithm: name,
+				Seed:      seed,
+			})
+			if off.Err != nil {
+				t.Fatalf("offline batch: %v", off.Err)
+			}
+			rep, err := online.Run(
+				[]online.Job{{ID: "solo", Graph: g}},
+				online.Options{Procs: procs, Algorithm: name, Seed: seed},
+			)
+			if err != nil {
+				t.Fatalf("online: %v", err)
+			}
+			r := rep.Results[0]
+			if !r.Solo {
+				if !unboundedName[name] {
+					t.Fatalf("bounded algorithm %s was not delegated", name)
+				}
+				if off.ProcsUsed <= procs {
+					t.Fatalf("%s fit the machine (%d PEs) yet was not delegated", name, off.ProcsUsed)
+				}
+				return
+			}
+			if r.Finish != off.Makespan {
+				t.Fatalf("online makespan %v != offline %v", r.Finish, off.Makespan)
+			}
+			if rep.Makespan != off.Makespan {
+				t.Fatalf("report makespan %v != offline %v", rep.Makespan, off.Makespan)
+			}
+		})
+	}
+}
+
+// TestOnlineOracleAcrossGraphs widens the t=0 differential to the
+// shared corpus for the default delegate.
+func TestOnlineOracleAcrossGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	graphs := map[string]*dag.Graph{
+		"chain":    schedtest.Chain(12, 3),
+		"forkjoin": schedtest.ForkJoin(9, 2),
+		"random":   schedtest.RandomLayered(rng, 45),
+		"tiefree":  schedtest.TieFreeRandom(rng, 30),
+	}
+	eng := batch.New(batch.Options{})
+	defer eng.Close()
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			off := eng.Do(context.Background(), batch.Request{Graph: g, Procs: 4, Algorithm: "fast", Seed: 3})
+			if off.Err != nil {
+				t.Fatal(off.Err)
+			}
+			rep, err := online.Run([]online.Job{{ID: "solo", Graph: g}},
+				online.Options{Procs: 4, Algorithm: "fast", Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Results[0].Solo || rep.Results[0].Finish != off.Makespan {
+				t.Fatalf("solo=%v online %v vs offline %v", rep.Results[0].Solo, rep.Results[0].Finish, off.Makespan)
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ArrivalOpts configures the seeded arrival-time generator feeding the
+// online multi-DAG engine: N job arrival instants drawn from a chosen
+// stochastic process. The same options always reproduce the same
+// arrival vector.
+type ArrivalOpts struct {
+	// N is the number of arrivals (>= 0; zero yields an empty vector).
+	N int
+	// Process selects the arrival process: "poisson" (default) draws
+	// independent exponential inter-arrival times; "bursty" draws
+	// Poisson-spaced burst epochs and releases BurstSize jobs at each
+	// epoch simultaneously — the flash-crowd shape a serving system has
+	// to absorb.
+	Process string
+	// Rate is the mean number of arrivals (poisson) or burst epochs
+	// (bursty) per simulated time unit. 0 selects 1; negative, NaN and
+	// infinite rates are rejected.
+	Rate float64
+	// BurstSize is the number of jobs released per burst epoch (bursty
+	// only; 0 selects 4).
+	BurstSize int
+	// Seed seeds the draw; the same seed replays the same arrivals.
+	Seed int64
+}
+
+// Arrivals generates opts.N nondecreasing arrival times starting after
+// t = 0, deterministically from the seed.
+func Arrivals(opts ArrivalOpts) ([]float64, error) {
+	if opts.N < 0 {
+		return nil, fmt.Errorf("workload: arrivals need N >= 0, got %d", opts.N)
+	}
+	rate := opts.Rate
+	if rate == 0 {
+		rate = 1
+	}
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+		return nil, fmt.Errorf("workload: arrival rate %v not a positive finite number", opts.Rate)
+	}
+	process := opts.Process
+	if process == "" {
+		process = "poisson"
+	}
+	burst := opts.BurstSize
+	if burst == 0 {
+		burst = 4
+	}
+	if burst < 0 {
+		return nil, fmt.Errorf("workload: burst size %d negative", opts.BurstSize)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := make([]float64, 0, opts.N)
+	switch process {
+	case "poisson":
+		t := 0.0
+		for len(out) < opts.N {
+			t += rng.ExpFloat64() / rate
+			out = append(out, t)
+		}
+	case "bursty":
+		t := 0.0
+		for len(out) < opts.N {
+			t += rng.ExpFloat64() / rate
+			for i := 0; i < burst && len(out) < opts.N; i++ {
+				out = append(out, t)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown arrival process %q (want poisson or bursty)", opts.Process)
+	}
+	return out, nil
+}

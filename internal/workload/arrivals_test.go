@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestArrivalsPoissonDeterministic(t *testing.T) {
+	a, err := Arrivals(ArrivalOpts{N: 50, Process: "poisson", Rate: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Arrivals(ArrivalOpts{N: 50, Process: "poisson", Rate: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 50 {
+		t.Fatalf("want 50 arrivals, got %d", len(a))
+	}
+	prev := 0.0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] <= prev {
+			t.Fatalf("arrival %d = %v not increasing past %v", i, a[i], prev)
+		}
+		prev = a[i]
+	}
+	c, err := Arrivals(ArrivalOpts{N: 50, Process: "poisson", Rate: 0.5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical arrivals")
+	}
+}
+
+func TestArrivalsPoissonMeanRate(t *testing.T) {
+	const n, rate = 4000, 2.0
+	a, err := Arrivals(ArrivalOpts{N: n, Rate: rate, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean inter-arrival should track 1/rate within a few percent at
+	// this sample size.
+	mean := a[n-1] / float64(n)
+	if math.Abs(mean-1/rate) > 0.05/rate {
+		t.Fatalf("mean inter-arrival %v far from %v", mean, 1/rate)
+	}
+}
+
+func TestArrivalsBursty(t *testing.T) {
+	a, err := Arrivals(ArrivalOpts{N: 10, Process: "bursty", Rate: 1, BurstSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 {
+		t.Fatalf("want 10 arrivals, got %d", len(a))
+	}
+	// Bursts of 4: positions 0-3, 4-7 and the truncated 8-9 share their
+	// epoch; epochs strictly increase.
+	for _, group := range [][2]int{{0, 3}, {4, 7}, {8, 9}} {
+		for i := group[0] + 1; i <= group[1]; i++ {
+			if a[i] != a[group[0]] {
+				t.Fatalf("burst member %d at %v, epoch at %v", i, a[i], a[group[0]])
+			}
+		}
+	}
+	if !(a[0] < a[4] && a[4] < a[8]) {
+		t.Fatalf("burst epochs not increasing: %v", a)
+	}
+}
+
+func TestArrivalsEmptyAndDefaults(t *testing.T) {
+	a, err := Arrivals(ArrivalOpts{N: 0})
+	if err != nil || len(a) != 0 {
+		t.Fatalf("N=0 should yield an empty vector, got %v, %v", a, err)
+	}
+	if _, err := Arrivals(ArrivalOpts{N: 3}); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+}
+
+func TestArrivalsRejectsBadOptions(t *testing.T) {
+	cases := []ArrivalOpts{
+		{N: -1},
+		{N: 3, Rate: -1},
+		{N: 3, Rate: math.NaN()},
+		{N: 3, Rate: math.Inf(1)},
+		{N: 3, Process: "weibull"},
+		{N: 3, Process: "bursty", BurstSize: -2},
+	}
+	for i, o := range cases {
+		if _, err := Arrivals(o); err == nil {
+			t.Errorf("case %d (%+v): want error, got none", i, o)
+		}
+	}
+}

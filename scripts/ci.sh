@@ -54,6 +54,17 @@ echo "== chaos soak (race, ${SOAK_MS:-1000}ms)"
 FASTSCHED_SOAK_MS="${SOAK_MS:-1000}" go test -race -timeout 300s \
     -run 'TestChaosSoak|TestQuotaFairnessUnderLoad' ./internal/server
 
+echo "== online chaos soak (race, ${ONLINE_SOAK_MS:-1000}ms)"
+# The multi-DAG workload engine under fire: seeded Poisson/bursty
+# arrival streams with deadlines and tenants, mixed packing policies
+# and delegates, and mid-stream processor crashes repaired through the
+# rescheduler. Every iteration validates all realized schedules,
+# machine-level exclusivity and the miss accounting, then replays the
+# run and asserts a bit-identical JSONL trace — under the race
+# detector. ONLINE_SOAK_MS scales the soak window.
+FASTSCHED_ONLINE_SOAK_MS="${ONLINE_SOAK_MS:-1000}" go test -race -timeout 300s \
+    -run 'TestOnlineChaosSoak' ./internal/online
+
 echo "== exact-solver expansion regression"
 # The branch-and-bound pruning stack is gated by pinned per-instance
 # expansion ceilings on the oracle corpus (internal/optimal
