@@ -20,7 +20,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -103,30 +102,14 @@ func runLayers(cfg config) error {
 	name := fmt.Sprintf("layers-%d-seed%d", opts.V, cfg.seed)
 	switch cfg.format {
 	case "edgelist":
-		bw := bufio.NewWriterSize(w, 1<<20)
-		nodes, edges := 0, 0
-		// Emit the header, then stream: every node line lands before
-		// any edge referencing it (the generator wires each node only
-		// to the already-emitted previous layer).
+		// Stream through the allocation-free emitter: every node line
+		// lands before any edge referencing it (the generator wires each
+		// node only to the already-emitted previous layer).
 		if opts.V < 2 {
 			return fmt.Errorf("layered graph needs -scale/-v >= 2, got %d", opts.V)
 		}
-		fmt.Fprintf(bw, "v %d\n", opts.V)
-		err := workload.Layered(opts,
-			func(_ int32, weight float64) error {
-				nodes++
-				_, err := fmt.Fprintf(bw, "n %g\n", weight)
-				return err
-			},
-			func(from, to int32, weight float64) error {
-				edges++
-				_, err := fmt.Fprintf(bw, "e %d %d %g\n", from, to, weight)
-				return err
-			})
+		nodes, edges, err := workload.WriteLayeredEdgeList(w, opts)
 		if err != nil {
-			return err
-		}
-		if err := bw.Flush(); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "dagen: %s: v=%d e=%d (streamed)\n", name, nodes, edges)

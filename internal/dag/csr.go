@@ -117,12 +117,30 @@ func (c *CSR) TopoOrder() ([]int32, error) {
 // topoOrderInto appends the topological order to order (which must be
 // empty but may carry capacity, letting callers reuse scratch).
 func (c *CSR) topoOrderInto(order []int32) ([]int32, error) {
+	return c.topoOrderArenaInto(order, nil)
+}
+
+// topoCheck verifies acyclicity with every scratch array — the order
+// itself, the indegrees, and the ready heap — drawn from a and
+// released before returning.
+func (c *CSR) topoCheck(a *ScaleArena) error {
+	slab := a.I32(c.NumNodes())
+	_, err := c.topoOrderArenaInto(slab[:0], a)
+	a.ReleaseI32(slab)
+	return err
+}
+
+// topoOrderArenaInto is topoOrderInto drawing its two O(v) scratch
+// arrays from a; both are released on return (the order is not — it is
+// the caller's).
+func (c *CSR) topoOrderArenaInto(order []int32, a *ScaleArena) ([]int32, error) {
 	v := c.NumNodes()
-	indeg := make([]int32, v)
+	indeg := a.I32(v)
 	for n := 0; n < v; n++ {
 		indeg[n] = c.PredOff[n+1] - c.PredOff[n]
 	}
-	h := &i32Heap{}
+	heapSlab := a.I32(v)
+	h := &i32Heap{a: heapSlab[:0]}
 	for n := 0; n < v; n++ {
 		if indeg[n] == 0 {
 			h.push(int32(n))
@@ -139,6 +157,8 @@ func (c *CSR) topoOrderInto(order []int32) ([]int32, error) {
 			}
 		}
 	}
+	a.ReleaseI32(indeg)
+	a.ReleaseI32(heapSlab)
 	if len(order) != v {
 		return nil, fmt.Errorf("dag: %w (%d of %d nodes ordered)", ErrCycle, len(order), v)
 	}

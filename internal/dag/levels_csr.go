@@ -89,18 +89,34 @@ func (l *CompactLevels) IsCPN(n int32) bool {
 // The t- and b-level values are bit-identical to ComputeLevels on the
 // same graph.
 func (c *CSR) ComputeLevelsCompact(scratch *CompactLevels) (*CompactLevels, error) {
+	return c.ComputeLevelsCompactArena(scratch, nil)
+}
+
+// ComputeLevelsCompactArena is ComputeLevelsCompact with the level
+// tables and all topological scratch drawn from a; values are
+// bit-identical (same folds, same visit order). With a non-nil arena
+// the tables are re-acquired every call — pass the same l to reuse its
+// header, not its arrays — and are invalidated by the arena's Reset.
+func (c *CSR) ComputeLevelsCompactArena(l *CompactLevels, a *ScaleArena) (*CompactLevels, error) {
 	v := c.NumNodes()
 	if v == 0 {
 		return nil, fmt.Errorf("dag: cannot compute levels of an empty graph")
 	}
-	l := scratch
 	if l == nil {
 		l = &CompactLevels{}
 	}
-	l.TLevel = growF64(l.TLevel, v)
-	l.BLevel = growF64(l.BLevel, v)
 	l.CPLen = 0
-	order, err := c.topoOrderInto(growI32(l.Order, v)[:0])
+	var orderScratch []int32
+	if a == nil {
+		l.TLevel = growF64(l.TLevel, v)
+		l.BLevel = growF64(l.BLevel, v)
+		orderScratch = growI32(l.Order, v)[:0]
+	} else {
+		l.TLevel = a.F64(v)
+		l.BLevel = a.F64(v)
+		orderScratch = a.I32(v)[:0]
+	}
+	order, err := c.topoOrderArenaInto(orderScratch, a)
 	if err != nil {
 		return nil, err
 	}
@@ -166,13 +182,23 @@ func ClassifyCSR(c *CSR, l *Levels) []Class {
 // writing into cls when its capacity suffices (pass nil to allocate).
 // The scratch bitmap is internal; two calls never share state.
 func (c *CSR) ClassifyCompact(l *CompactLevels, cls []Class) []Class {
+	return c.ClassifyCompactArena(l, cls, nil)
+}
+
+// ClassifyCompactArena is ClassifyCompact with the class table and the
+// reachability bitmap drawn from a; same sweep, same result. With a
+// non-nil arena the cls argument is ignored and a fresh arena table is
+// returned (invalidated by the arena's Reset).
+func (c *CSR) ClassifyCompactArena(l *CompactLevels, cls []Class, a *ScaleArena) []Class {
 	v := c.NumNodes()
-	if cap(cls) >= v {
+	if a != nil {
+		cls = a.Cls(v)
+	} else if cap(cls) >= v {
 		cls = cls[:v]
 	} else {
 		cls = make([]Class, v)
 	}
-	reaches := make([]bool, v)
+	reaches := a.Bool(v)
 	for i := v - 1; i >= 0; i-- {
 		n := l.Order[i]
 		if l.IsCPN(n) {

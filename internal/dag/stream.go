@@ -2,6 +2,7 @@ package dag
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -28,15 +29,26 @@ import (
 // header claiming 2^30 tasks fails with a parse error, not an OOM
 // (the FuzzReadSTG corpus case, replayed by FuzzStreamSTG).
 func StreamSTG(r io.Reader, defaultComm float64) (*CSR, error) {
+	return StreamSTGArena(r, defaultComm, nil)
+}
+
+// StreamSTGArena is StreamSTG with every dense table — row
+// accumulators, raw edge endpoints, and the finished CSR arenas —
+// drawn from a (the allocation-flat serving path). The parse is
+// bit-identical to StreamSTG; a nil arena is exactly StreamSTG. The
+// returned CSR's arrays belong to the arena and are invalidated by its
+// next Reset; parse one graph per arena cycle.
+func StreamSTGArena(r io.Reader, defaultComm float64, a *ScaleArena) (*CSR, error) {
 	if math.IsNaN(defaultComm) || math.IsInf(defaultComm, 0) || defaultComm < 0 {
 		return nil, fmt.Errorf("dag: stg: %w: default comm %v", ErrBadWeight, defaultComm)
 	}
-	sc := newFieldScanner(r)
+	var sc fieldScanner
+	sc.init(r, a)
 	head, err := sc.next()
 	if err != nil {
 		return nil, fmt.Errorf("dag: stg: missing task count: %w", err)
 	}
-	n, err := strconv.Atoi(head[0])
+	n, err := atoiBytes(head[0])
 	if err != nil || n < 1 {
 		return nil, fmt.Errorf("dag: stg: bad task count %q", head[0])
 	}
@@ -55,41 +67,41 @@ func StreamSTG(r io.Reader, defaultComm float64) (*CSR, error) {
 			return nil, fmt.Errorf("dag: stg: expected %d task rows, got %d", n, i)
 		}
 		if len(f) < 3 {
-			return nil, fmt.Errorf("dag: stg: short task row %q", strings.Join(f, " "))
+			return nil, fmt.Errorf("dag: stg: short task row %q", joinFields(f))
 		}
-		id, err := strconv.Atoi(f[0])
+		id, err := atoiBytes(f[0])
 		if err != nil || id < 0 || id >= n {
 			return nil, fmt.Errorf("dag: stg: bad task id %q", f[0])
 		}
-		cost, err := strconv.ParseFloat(f[1], 64)
+		cost, err := parseFloatBytes(f[1])
 		// NaN/Inf are rejected here where the legacy path rejects them in
 		// Graph.Validate — acceptance must agree for the differential fuzz.
 		if err != nil || math.IsNaN(cost) || math.IsInf(cost, 0) || cost < 0 {
 			return nil, fmt.Errorf("dag: stg: bad cost %q for task %d", f[1], id)
 		}
-		np, err := strconv.Atoi(f[2])
+		np, err := atoiBytes(f[2])
 		if err != nil || np < 0 || len(f) != 3+np {
 			return nil, fmt.Errorf("dag: stg: task %d declares %s predecessors, row has %d ids", id, f[2], len(f)-3)
 		}
 		for j := 0; j < np; j++ {
-			p, err := strconv.Atoi(f[3+j])
+			p, err := atoiBytes(f[3+j])
 			if err != nil || p < 0 || p >= n {
 				return nil, fmt.Errorf("dag: stg: bad predecessor %q of task %d", f[3+j], id)
 			}
 			if p == id {
 				return nil, fmt.Errorf("dag: stg: %w on node %d", ErrSelfLoop, id)
 			}
-			efrom = append(efrom, int32(p))
-			eto = append(eto, int32(id))
+			efrom = a.AppendI32(efrom, int32(p))
+			eto = a.AppendI32(eto, int32(id))
 		}
-		rowID = append(rowID, int32(id))
-		rowCost = append(rowCost, cost)
+		rowID = a.AppendI32(rowID, int32(id))
+		rowCost = a.AppendF64(rowCost, cost)
 	}
 
 	// All n rows were physically consumed, so O(n) tables are now
 	// proportional to the input actually read.
-	nodeW := make([]float64, n)
-	seen := make([]bool, n)
+	nodeW := a.F64(n)
+	seen := a.Bool(n)
 	for i, id := range rowID {
 		if seen[id] {
 			return nil, fmt.Errorf("dag: stg: duplicate task id %d", id)
@@ -97,7 +109,9 @@ func StreamSTG(r io.Reader, defaultComm float64) (*CSR, error) {
 		seen[id] = true
 		nodeW[id] = rowCost[i]
 	}
-	c, err := finishCSR(nodeW, efrom, eto, nil, defaultComm)
+	a.ReleaseI32(rowID)
+	a.ReleaseF64(rowCost)
+	c, err := finishCSR(nodeW, efrom, eto, nil, defaultComm, a)
 	if err != nil {
 		return nil, fmt.Errorf("dag: stg: %w", err)
 	}
@@ -126,15 +140,24 @@ func StreamSTG(r io.Reader, defaultComm float64) (*CSR, error) {
 // WriteEdgeList and the layered generator emit — round-trips with its
 // edge order intact.
 func StreamEdgeList(r io.Reader) (*CSR, error) {
-	sc := newFieldScanner(r)
+	return StreamEdgeListArena(r, nil)
+}
+
+// StreamEdgeListArena is StreamEdgeList drawing every dense table from
+// a. Bit-identical output; nil arena is exactly StreamEdgeList. The
+// returned CSR's arrays belong to the arena and are invalidated by its
+// next Reset; parse one graph per arena cycle.
+func StreamEdgeListArena(r io.Reader, a *ScaleArena) (*CSR, error) {
+	var sc fieldScanner
+	sc.init(r, a)
 	head, err := sc.next()
 	if err != nil {
 		return nil, fmt.Errorf("dag: edgelist: missing header: %w", err)
 	}
-	if len(head) != 2 || head[0] != "v" {
-		return nil, fmt.Errorf("dag: edgelist: bad header %q, want \"v <count>\"", strings.Join(head, " "))
+	if len(head) != 2 || !bytes.Equal(head[0], []byte{'v'}) {
+		return nil, fmt.Errorf("dag: edgelist: bad header %q, want \"v <count>\"", joinFields(head))
 	}
-	declared, err := strconv.Atoi(head[1])
+	declared, err := atoiBytes(head[1])
 	if err != nil || declared < 1 {
 		return nil, fmt.Errorf("dag: edgelist: bad node count %q", head[1])
 	}
@@ -153,28 +176,28 @@ func StreamEdgeList(r io.Reader) (*CSR, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dag: edgelist: %w", err)
 		}
-		switch f[0] {
-		case "n":
+		switch {
+		case len(f[0]) == 1 && f[0][0] == 'n':
 			if len(f) != 2 {
-				return nil, fmt.Errorf("dag: edgelist: bad node line %q", strings.Join(f, " "))
+				return nil, fmt.Errorf("dag: edgelist: bad node line %q", joinFields(f))
 			}
-			w, err := strconv.ParseFloat(f[1], 64)
+			w, err := parseFloatBytes(f[1])
 			if err != nil || math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
 				return nil, fmt.Errorf("dag: edgelist: %w: node %d has weight %q", ErrBadWeight, len(nodeW), f[1])
 			}
 			if len(nodeW) >= declared {
 				return nil, fmt.Errorf("dag: edgelist: more than the declared %d nodes", declared)
 			}
-			nodeW = append(nodeW, w)
-		case "e":
+			nodeW = a.AppendF64(nodeW, w)
+		case len(f[0]) == 1 && f[0][0] == 'e':
 			if len(f) != 4 {
-				return nil, fmt.Errorf("dag: edgelist: bad edge line %q", strings.Join(f, " "))
+				return nil, fmt.Errorf("dag: edgelist: bad edge line %q", joinFields(f))
 			}
-			from, err1 := strconv.Atoi(f[1])
-			to, err2 := strconv.Atoi(f[2])
-			w, err3 := strconv.ParseFloat(f[3], 64)
+			from, err1 := atoiBytes(f[1])
+			to, err2 := atoiBytes(f[2])
+			w, err3 := parseFloatBytes(f[3])
 			if err1 != nil || err2 != nil || err3 != nil {
-				return nil, fmt.Errorf("dag: edgelist: bad edge line %q", strings.Join(f, " "))
+				return nil, fmt.Errorf("dag: edgelist: bad edge line %q", joinFields(f))
 			}
 			if from < 0 || from >= len(nodeW) || to < 0 || to >= len(nodeW) {
 				return nil, fmt.Errorf("dag: edgelist: %w: %d -> %d (declared so far: %d)", ErrEdgeEndpoint, from, to, len(nodeW))
@@ -185,9 +208,9 @@ func StreamEdgeList(r io.Reader) (*CSR, error) {
 			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
 				return nil, fmt.Errorf("dag: edgelist: %w: edge %d->%d has weight %q", ErrBadWeight, from, to, f[3])
 			}
-			efrom = append(efrom, int32(from))
-			eto = append(eto, int32(to))
-			ew = append(ew, w)
+			efrom = a.AppendI32(efrom, int32(from))
+			eto = a.AppendI32(eto, int32(to))
+			ew = a.AppendF64(ew, w)
 		default:
 			return nil, fmt.Errorf("dag: edgelist: unknown line kind %q", f[0])
 		}
@@ -195,7 +218,7 @@ func StreamEdgeList(r io.Reader) (*CSR, error) {
 	if len(nodeW) != declared {
 		return nil, fmt.Errorf("dag: edgelist: header declares %d nodes, file has %d", declared, len(nodeW))
 	}
-	c, err := finishCSR(nodeW, efrom, eto, ew, 0)
+	c, err := finishCSR(nodeW, efrom, eto, ew, 0, a)
 	if err != nil {
 		return nil, fmt.Errorf("dag: edgelist: %w", err)
 	}
@@ -236,27 +259,25 @@ func FinishCSR(nodeW []float64, efrom, eto []int32, ew []float64, uniformW float
 			}
 		}
 	}
-	return finishCSR(nodeW, efrom, eto, ew, uniformW)
+	return finishCSR(nodeW, efrom, eto, ew, uniformW, nil)
 }
 
 // finishCSR assembles the arenas from raw edge endpoints via two
 // stable counting scatters and validates the result (duplicates,
 // cycle). ew carries per-edge weights in file order; a nil ew means
 // every edge costs uniformW (the STG case, which then never allocates
-// a raw weight array at all). The raw endpoint arrays are released as
-// soon as the predecessor arenas are built, keeping the ingest peak at
-// raw endpoints + one adjacency direction.
-func finishCSR(nodeW []float64, efrom, eto []int32, ew []float64, uniformW float64) (*CSR, error) {
+// a raw weight array at all). The raw endpoint arrays are dead as soon
+// as the predecessor arenas are built: with an arena their slabs are
+// recycled straight into the successor arenas (the ingest peak stays at
+// raw endpoints + one adjacency direction either way — without an
+// arena the GC reclaims them at the same point).
+func finishCSR(nodeW []float64, efrom, eto []int32, ew []float64, uniformW float64, a *ScaleArena) (*CSR, error) {
 	v, e := len(nodeW), len(efrom)
-	c := &CSR{
-		PredOff:  make([]int32, v+1),
-		PredFrom: make([]int32, e),
-		PredW:    make([]float64, e),
-		SuccOff:  make([]int32, v+1),
-		SuccTo:   make([]int32, e),
-		SuccW:    make([]float64, e),
-		NodeW:    nodeW,
-	}
+	c := a.csr()
+	c.PredOff = a.I32(v + 1)
+	c.PredFrom = a.I32(e)
+	c.PredW = a.F64(e)
+	c.NodeW = nodeW
 	// Predecessor arenas: stable scatter by child keeps file order
 	// within each child's group.
 	for _, to := range eto {
@@ -265,7 +286,7 @@ func finishCSR(nodeW []float64, efrom, eto []int32, ew []float64, uniformW float
 	for n := 0; n < v; n++ {
 		c.PredOff[n+1] += c.PredOff[n]
 	}
-	next := make([]int32, v)
+	next := a.I32(v)
 	copy(next, c.PredOff[:v])
 	for i := 0; i < e; i++ {
 		to := eto[i]
@@ -278,8 +299,15 @@ func finishCSR(nodeW []float64, efrom, eto []int32, ew []float64, uniformW float
 			c.PredW[s] = uniformW
 		}
 	}
-	// The raw endpoint arrays are dead from here on; the GC reclaims
-	// them while the successor arenas are built.
+	// The raw endpoint arrays are dead from here on; their slabs back
+	// the successor arenas (without an arena, the GC reclaims them
+	// while the successor arenas are built).
+	a.ReleaseI32(efrom)
+	a.ReleaseI32(eto)
+	a.ReleaseF64(ew)
+	c.SuccOff = a.I32(v + 1)
+	c.SuccTo = a.I32(e)
+	c.SuccW = a.F64(e)
 
 	// Successor arenas: scatter the pred slots (walked child-ascending,
 	// slot order) by parent — within each parent the slots land in
@@ -300,6 +328,7 @@ func finishCSR(nodeW []float64, efrom, eto []int32, ew []float64, uniformW float
 			c.SuccW[i] = c.PredW[s]
 		}
 	}
+	a.ReleaseI32(next)
 	// Within each parent the successor slots are sorted by child, so
 	// duplicate (from, to) pairs sit adjacent.
 	for n := 0; n < v; n++ {
@@ -309,7 +338,7 @@ func finishCSR(nodeW []float64, efrom, eto []int32, ew []float64, uniformW float
 			}
 		}
 	}
-	if _, err := c.TopoOrder(); err != nil {
+	if err := c.topoCheck(a); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -334,29 +363,178 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// fieldScanner yields the whitespace-split fields of each non-blank,
-// non-comment line.
-type fieldScanner struct{ sc *bufio.Scanner }
-
-func newFieldScanner(r io.Reader) *fieldScanner {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	return &fieldScanner{sc: sc}
+// atoiBytes parses an integer token without allocating on the common
+// path: a run of 1–15 ASCII digits converts directly (always in int
+// range). Anything else — signs, hex, overflow-length runs — falls
+// back to strconv.Atoi on a copied string, so acceptance and values
+// agree with the legacy string-based parse exactly.
+func atoiBytes(b []byte) (int, error) {
+	if n := len(b); n >= 1 && n <= 15 {
+		v := 0
+		digits := true
+		for _, c := range b {
+			if c < '0' || c > '9' {
+				digits = false
+				break
+			}
+			v = v*10 + int(c-'0')
+		}
+		if digits {
+			return v, nil
+		}
+	}
+	return strconv.Atoi(string(b))
 }
 
-func (f *fieldScanner) next() ([]string, error) {
-	for f.sc.Scan() {
-		line := f.sc.Text()
-		if i := strings.IndexByte(line, '#'); i >= 0 {
+// parseFloatBytes parses a float token without allocating on the
+// common path: a run of 1–15 ASCII digits is at most 10^15-1 < 2^53,
+// so the integer conversion is exactly the float64 ParseFloat would
+// produce. Everything else falls back to strconv.ParseFloat on a
+// copied string for bit-exact acceptance parity.
+func parseFloatBytes(b []byte) (float64, error) {
+	if n := len(b); n >= 1 && n <= 15 {
+		v := uint64(0)
+		digits := true
+		for _, c := range b {
+			if c < '0' || c > '9' {
+				digits = false
+				break
+			}
+			v = v*10 + uint64(c-'0')
+		}
+		if digits {
+			return float64(v), nil
+		}
+	}
+	return strconv.ParseFloat(string(b), 64)
+}
+
+// joinFields renders a field row for error messages, matching the old
+// strings.Join(fields, " ") output.
+func joinFields(f [][]byte) string {
+	return string(bytes.Join(f, []byte{' '}))
+}
+
+// fieldScanner yields the whitespace-split fields of each non-blank,
+// non-comment line as subslices of the read buffer — valid until the
+// following next() call. Pure-ASCII lines split without allocating;
+// lines carrying bytes >= 0x80 defer to strings.Fields so the split
+// agrees with the legacy readers' unicode.IsSpace semantics exactly.
+type fieldScanner struct {
+	lr     lineReader
+	arena  *ScaleArena
+	fields [][]byte
+}
+
+func (f *fieldScanner) init(r io.Reader, a *ScaleArena) {
+	buf, fields := a.lineScratch()
+	f.lr = lineReader{r: r, buf: buf}
+	f.arena = a
+	f.fields = fields
+}
+
+func (f *fieldScanner) next() ([][]byte, error) {
+	for {
+		line, err := f.lr.next()
+		if err != nil {
+			return nil, err
+		}
+		if i := bytes.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}
-		fields := strings.Fields(line)
+		fields := f.fields[:0]
+		ascii := true
+		for _, c := range line {
+			if c >= 0x80 {
+				ascii = false
+				break
+			}
+		}
+		if ascii {
+			start := -1
+			for i, c := range line {
+				if c == ' ' || c == '\t' || c == '\v' || c == '\f' || c == '\r' {
+					if start >= 0 {
+						fields = append(fields, line[start:i])
+						start = -1
+					}
+					continue
+				}
+				if start < 0 {
+					start = i
+				}
+			}
+			if start >= 0 {
+				fields = append(fields, line[start:])
+			}
+		} else {
+			for _, s := range strings.Fields(string(line)) {
+				fields = append(fields, []byte(s))
+			}
+		}
+		f.fields = fields
+		f.arena.storeFields(fields)
 		if len(fields) > 0 {
 			return fields, nil
 		}
 	}
-	if err := f.sc.Err(); err != nil {
-		return nil, err
+}
+
+// lineReader is a value-type replacement for bufio.Scanner's line
+// splitting: same 1 MiB line limit (bufio.ErrTooLong beyond it), same
+// trailing-\r stripping, no allocation per line and no Scanner struct
+// per parse — the warm streaming path's last per-call allocation.
+type lineReader struct {
+	r          io.Reader
+	buf        []byte
+	start, end int
+	eof        bool
+}
+
+func (lr *lineReader) next() ([]byte, error) {
+	empty := 0
+	for {
+		if i := bytes.IndexByte(lr.buf[lr.start:lr.end], '\n'); i >= 0 {
+			line := lr.buf[lr.start : lr.start+i]
+			lr.start += i + 1
+			return dropCR(line), nil
+		}
+		if lr.eof {
+			if lr.start < lr.end {
+				line := lr.buf[lr.start:lr.end]
+				lr.start = lr.end
+				return dropCR(line), nil
+			}
+			return nil, io.EOF
+		}
+		if lr.start > 0 {
+			copy(lr.buf, lr.buf[lr.start:lr.end])
+			lr.end -= lr.start
+			lr.start = 0
+		}
+		if lr.end == len(lr.buf) {
+			return nil, bufio.ErrTooLong
+		}
+		n, err := lr.r.Read(lr.buf[lr.end:])
+		lr.end += n
+		if n == 0 && err == nil {
+			if empty++; empty >= 100 {
+				return nil, io.ErrNoProgress
+			}
+			continue
+		}
+		empty = 0
+		if err == io.EOF {
+			lr.eof = true
+		} else if err != nil {
+			return nil, err
+		}
 	}
-	return nil, io.EOF
+}
+
+func dropCR(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		return line[:n-1]
+	}
+	return line
 }

@@ -28,6 +28,16 @@ func FuzzStreamSTG(f *testing.F) {
 		if (errLegacy == nil) != (errStream == nil) {
 			t.Fatalf("acceptance diverges: legacy=%v stream=%v", errLegacy, errStream)
 		}
+		ca, errArena := StreamSTGArena(strings.NewReader(input), 1, NewScaleArena())
+		if (errStream == nil) != (errArena == nil) {
+			t.Fatalf("arena acceptance diverges: stream=%v arena=%v", errStream, errArena)
+		}
+		if errStream != nil && errArena.Error() != errStream.Error() {
+			t.Fatalf("arena error text diverges:\n  %v\n  %v", errStream, errArena)
+		}
+		if errStream == nil {
+			compareCSR(t, c, ca)
+		}
 		if errLegacy != nil {
 			return
 		}
@@ -68,9 +78,17 @@ func FuzzStreamEdgeList(f *testing.F) {
 	f.Add("v 2\nn 1\nn 1\ne 1 0 1\ne 0 1 1\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		c, err := StreamEdgeList(strings.NewReader(input))
+		ca, errArena := StreamEdgeListArena(strings.NewReader(input), NewScaleArena())
+		if (err == nil) != (errArena == nil) {
+			t.Fatalf("arena acceptance diverges: stream=%v arena=%v", err, errArena)
+		}
+		if err != nil && errArena.Error() != err.Error() {
+			t.Fatalf("arena error text diverges:\n  %v\n  %v", err, errArena)
+		}
 		if err != nil {
 			return
 		}
+		compareCSR(t, c, ca)
 		if err := c.Validate(); err != nil {
 			t.Fatalf("accepted edge list fails validation: %v", err)
 		}

@@ -29,6 +29,21 @@ type HierOptions struct {
 	// Metrics, when non-nil, receives hier.clusters, hier.contracted
 	// and the inner search's telemetry.
 	Metrics obs.Sink
+	// Arena, when non-nil, supplies every O(v + e) dense array the
+	// pipeline needs — levels, priority order, clustering, contraction
+	// scratch and the flat schedule itself. Warm re-runs after
+	// Arena.Reset() then allocate nothing in these kernels (only the
+	// inner search on the ≤ MaxClusters contracted graph still
+	// allocates). An arena-backed scheduler is single-goroutine and its
+	// returned schedules are invalidated by the next Reset; with a nil
+	// Arena the scheduler is safe for concurrent use, as before.
+	Arena *dag.ScaleArena
+	// PinnedSplice restores the pre-balancing splice that keeps every
+	// node on its cluster's processor (the PR 6 behavior). The default
+	// work-stealing splice may move individual ready tasks to an idle
+	// processor when that strictly lowers their start time; both are
+	// deterministic.
+	PinnedSplice bool
 }
 
 // Hierarchical is the million-node FAST variant: rather than running
@@ -46,16 +61,25 @@ type HierOptions struct {
 //     contracted cycles);
 //  3. runs the full FAST two-phase algorithm on the contracted graph;
 //  4. splices the result back, list-scheduling the original nodes in
-//     priority order with each node pinned to its cluster's processor.
+//     priority order. Each node prefers its cluster's processor, and —
+//     unless PinnedSplice is set — a node whose own processor is the
+//     bottleneck (its queue, not its data, delays it) is stolen onto
+//     the processor where it can start strictly earliest.
 //
-// Every phase is deterministic for a fixed seed, and the whole pipeline
-// is O(v + e + inner FAST on ≤ MaxClusters nodes). The splice is a
-// fixed-assignment list schedule, so the makespan is bounded by
+// Every phase is deterministic for a fixed seed — the splice is a
+// sequential replay in a fixed priority order with a fixed tie-break,
+// so its output is bit-identical regardless of GOMAXPROCS. The splice
+// is an append-only list schedule, so the makespan is bounded by
 // TotalWork + TotalComm (each blocking chain charges every node and
 // edge at most once) — the same oracle envelope as the bounded
 // schedulers.
 type Hierarchical struct {
 	opts HierOptions
+
+	// Reusable shells for arena runs (opts.Arena != nil only; nil-arena
+	// scheduling never touches them and stays concurrency-safe).
+	levels dag.CompactLevels
+	flat   sched.Flat
 }
 
 // NewHierarchical returns a hierarchical FAST scheduler.
@@ -95,19 +119,26 @@ func (h *Hierarchical) ScheduleCompiled(cg *plan.CompiledGraph, procs int) (*sch
 
 // ScheduleCSR is the native large-graph entry point: CSR in, flat
 // schedule out, no *dag.Graph or *sched.Schedule ever materialized for
-// the full node set. Allocations are O(v) dense arrays plus the
-// contracted graph (≤ MaxClusters nodes).
+// the full node set. With a nil arena, allocations are O(v) dense
+// arrays plus the contracted graph (≤ MaxClusters nodes); with
+// HierOptions.Arena set, the dense arrays come from the arena and warm
+// re-runs allocate only the contracted graph and the inner search.
 func (h *Hierarchical) ScheduleCSR(c *dag.CSR, procs int) (*sched.Flat, error) {
 	v := c.NumNodes()
 	if v == 0 {
 		return nil, errors.New("fast: empty graph")
 	}
+	a := h.opts.Arena
 	maxClusters := h.opts.MaxClusters
 	if maxClusters <= 0 {
 		maxClusters = DefaultMaxClusters
 	}
 
-	levels, err := c.ComputeLevelsCompact(nil)
+	var lvlShell *dag.CompactLevels
+	if a != nil {
+		lvlShell = &h.levels
+	}
+	levels, err := c.ComputeLevelsCompactArena(lvlShell, a)
 	if err != nil {
 		return nil, err
 	}
@@ -116,9 +147,9 @@ func (h *Hierarchical) ScheduleCSR(c *dag.CSR, procs int) (*sched.Flat, error) {
 	// b-level(parent) ≥ b-level(child) for non-negative weights, so with
 	// the topological tie-break this is itself a valid topological order
 	// — the splice replays it directly.
-	prio := buildPriorityOrder(levels, v)
+	prio := buildPriorityOrder(levels, v, a)
 
-	cluster, vc := linearClusters(c, levels, prio)
+	cluster, vc := linearClusters(c, levels, prio, a)
 	if vc > maxClusters {
 		// Monotone fold: preserves cluster-id order (and thus priority
 		// structure — lower ids were seeded by higher-priority nodes).
@@ -128,7 +159,7 @@ func (h *Hierarchical) ScheduleCSR(c *dag.CSR, procs int) (*sched.Flat, error) {
 		vc = maxClusters
 	}
 
-	cg, clusterOf := contract(c, cluster, vc)
+	cg, clusterOf := contract(c, cluster, vc, a)
 	if sink := h.opts.Metrics; sink != nil {
 		sink.Counter("hier.clusters").Add(int64(vc))
 		sink.Counter("hier.contracted.nodes").Add(int64(cg.NumNodes()))
@@ -145,7 +176,18 @@ func (h *Hierarchical) ScheduleCSR(c *dag.CSR, procs int) (*sched.Flat, error) {
 		return nil, fmt.Errorf("fast: hierarchical inner search: %w", err)
 	}
 
-	f := splice(c, prio, clusterOf, is, procs)
+	f := &sched.Flat{}
+	if a != nil {
+		f = &h.flat
+		*f = sched.Flat{}
+	}
+	if h.opts.PinnedSplice {
+		splicePinned(c, prio, clusterOf, is, procs, f, a)
+	} else {
+		spliceBalanced(c, prio, clusterOf, is, procs, f, a)
+	}
+	a.ReleaseI32(prio)
+	a.ReleaseI32(clusterOf)
 	f.Algorithm = h.Name()
 	return f, nil
 }
@@ -155,23 +197,23 @@ func (h *Hierarchical) ScheduleCSR(c *dag.CSR, procs int) (*sched.Flat, error) {
 // positions are already unique). Counting-free: we sort indices with a
 // bottom-up merge over int32 to avoid sort.Slice's interface overhead
 // on 10⁶ elements — and to keep the comparison total and deterministic.
-func buildPriorityOrder(l *dag.CompactLevels, v int) []int32 {
-	pos := make([]int32, v)
+func buildPriorityOrder(l *dag.CompactLevels, v int, a *dag.ScaleArena) []int32 {
+	pos := a.I32(v)
 	for i, n := range l.Order {
 		pos[n] = int32(i)
 	}
-	prio := make([]int32, v)
+	prio := a.I32(v)
 	copy(prio, l.Order)
-	less := func(a, b int32) bool {
-		if l.BLevel[a] != l.BLevel[b] {
-			return l.BLevel[a] > l.BLevel[b]
+	less := func(x, y int32) bool {
+		if l.BLevel[x] != l.BLevel[y] {
+			return l.BLevel[x] > l.BLevel[y]
 		}
-		return pos[a] < pos[b]
+		return pos[x] < pos[y]
 	}
 	// Bottom-up merge sort, stable. Starting from l.Order (a valid
 	// topological order) makes equal-b-level runs already pos-ordered,
 	// but stability guarantees the tie-break regardless.
-	buf := make([]int32, v)
+	buf := a.I32(v)
 	for width := 1; width < v; width *= 2 {
 		for lo := 0; lo < v; lo += 2 * width {
 			mid, hi := lo+width, lo+2*width
@@ -197,6 +239,8 @@ func buildPriorityOrder(l *dag.CompactLevels, v int) []int32 {
 		}
 		prio, buf = buf, prio
 	}
+	a.ReleaseI32(pos)
+	a.ReleaseI32(buf)
 	return prio
 }
 
@@ -206,9 +250,9 @@ func buildPriorityOrder(l *dag.CompactLevels, v int) []int32 {
 // (max comm weight + b-level — the successor whose incoming edge is
 // most worth zeroing). Each node's successor list is scanned exactly
 // once, so the pass is O(v + e).
-func linearClusters(c *dag.CSR, l *dag.CompactLevels, prio []int32) (cluster []int32, vc int) {
+func linearClusters(c *dag.CSR, l *dag.CompactLevels, prio []int32, a *dag.ScaleArena) (cluster []int32, vc int) {
 	v := c.NumNodes()
-	cluster = make([]int32, v)
+	cluster = a.I32(v)
 	for i := range cluster {
 		cluster[i] = -1
 	}
@@ -250,22 +294,24 @@ func linearClusters(c *dag.CSR, l *dag.CompactLevels, prio []int32) (cluster []i
 // clusters (a1→a2 in one cluster plus a1→x→a2 outside), so strongly
 // connected components of the contracted multigraph are collapsed.
 // Returns the contracted graph and the per-original-node super-cluster
-// index aligned with the graph's node IDs.
-func contract(c *dag.CSR, cluster []int32, vc int) (*dag.Graph, []int32) {
+// index aligned with the graph's node IDs. The cluster array and all
+// O(v) scratch are released back to the arena; only super (the
+// caller's) and the small contracted *dag.Graph survive.
+func contract(c *dag.CSR, cluster []int32, vc int, a *dag.ScaleArena) (*dag.Graph, []int32) {
 	v := c.NumNodes()
 
 	// Counting-sort members by cluster so each cluster's out-edges are
 	// visited contiguously — that is what lets a flat stamp array
 	// deduplicate edges without a hash map.
-	off := make([]int32, vc+1)
+	off := a.I32(vc + 1)
 	for _, cl := range cluster {
 		off[cl+1]++
 	}
 	for i := 0; i < vc; i++ {
 		off[i+1] += off[i]
 	}
-	members := make([]int32, v)
-	fill := make([]int32, vc)
+	members := a.I32(v)
+	fill := a.I32(vc)
 	copy(fill, off[:vc])
 	for n := 0; n < v; n++ { // ID order → members sorted within cluster
 		cl := cluster[n]
@@ -273,11 +319,11 @@ func contract(c *dag.CSR, cluster []int32, vc int) (*dag.Graph, []int32) {
 		fill[cl]++
 	}
 
-	nodeW := make([]float64, vc)
+	nodeW := a.F64(vc)
 	var efrom, eto []int32
 	var ew []float64
-	stamp := make([]int32, vc) // stamp[cv] = cu+1 when edge cu→cv already open
-	slot := make([]int32, vc)  // its index in the edge arrays
+	stamp := a.I32(vc) // stamp[cv] = cu+1 when edge cu→cv already open
+	slot := a.I32(vc)  // its index in the edge arrays
 	for cu := int32(0); cu < int32(vc); cu++ {
 		for m := off[cu]; m < off[cu+1]; m++ {
 			n := members[m]
@@ -293,17 +339,19 @@ func contract(c *dag.CSR, cluster []int32, vc int) (*dag.Graph, []int32) {
 				}
 				stamp[cv] = cu + 1
 				slot[cv] = int32(len(efrom))
-				efrom = append(efrom, cu)
-				eto = append(eto, cv)
-				ew = append(ew, c.SuccW[s])
+				efrom = a.AppendI32(efrom, cu)
+				eto = a.AppendI32(eto, cv)
+				ew = a.AppendF64(ew, c.SuccW[s])
 			}
 		}
 	}
+	a.ReleaseI32(members)
+	a.ReleaseI32(fill)
 
-	scc, nscc := condense(vc, efrom, eto)
+	scc, nscc := condense(vc, efrom, eto, a)
 
 	g := dag.New(nscc)
-	sccW := make([]float64, nscc)
+	sccW := a.F64(nscc)
 	for cl, w := range nodeW {
 		sccW[scc[cl]] += w
 	}
@@ -312,23 +360,25 @@ func contract(c *dag.CSR, cluster []int32, vc int) (*dag.Graph, []int32) {
 	}
 	// Re-deduplicate edges at the SCC level. Edges are grouped by
 	// source via another counting sort to reuse the stamp trick.
-	eoff := make([]int32, nscc+1)
+	eoff := a.I32(nscc + 1)
 	for i := range efrom {
 		eoff[scc[efrom[i]]+1]++
 	}
 	for i := 0; i < nscc; i++ {
 		eoff[i+1] += eoff[i]
 	}
-	eorder := make([]int32, len(efrom))
-	efill := make([]int32, nscc)
+	eorder := a.I32(len(efrom))
+	efill := a.I32(nscc)
 	copy(efill, eoff[:nscc])
 	for i := range efrom { // original append order → deterministic within source
 		su := scc[efrom[i]]
 		eorder[efill[su]] = int32(i)
 		efill[su]++
 	}
-	estamp := make([]int32, nscc)
-	eslot := make([]int32, nscc)
+	estamp := stamp // reuse: both vc-sized, nscc <= vc
+	eslot := slot
+	clear(estamp[:nscc])
+	clear(eslot[:nscc])
 	type cedge struct {
 		from, to dag.NodeID
 		w        float64
@@ -354,10 +404,23 @@ func contract(c *dag.CSR, cluster []int32, vc int) (*dag.Graph, []int32) {
 		g.MustAddEdge(e.from, e.to, e.w)
 	}
 
-	super := make([]int32, v)
+	super := a.I32(v)
 	for n := 0; n < v; n++ {
 		super[n] = scc[cluster[n]]
 	}
+	a.ReleaseI32(cluster)
+	a.ReleaseI32(off)
+	a.ReleaseF64(nodeW)
+	a.ReleaseI32(stamp)
+	a.ReleaseI32(slot)
+	a.ReleaseI32(efrom)
+	a.ReleaseI32(eto)
+	a.ReleaseF64(ew)
+	a.ReleaseI32(scc)
+	a.ReleaseF64(sccW)
+	a.ReleaseI32(eoff)
+	a.ReleaseI32(eorder)
+	a.ReleaseI32(efill)
 	return g, super
 }
 
@@ -365,17 +428,18 @@ func contract(c *dag.CSR, cluster []int32, vc int) (*dag.Graph, []int32) {
 // digraph with an iterative Tarjan, then renumbers components into a
 // topological order (Tarjan emits them in reverse topological order).
 // Deterministic: the DFS visits nodes and edge slots in stored order.
-func condense(vc int, efrom, eto []int32) (scc []int32, nscc int) {
+// All scratch except the returned scc array is released back to a.
+func condense(vc int, efrom, eto []int32, a *dag.ScaleArena) (scc []int32, nscc int) {
 	// Adjacency in CSR form.
-	aoff := make([]int32, vc+1)
+	aoff := a.I32(vc + 1)
 	for _, f := range efrom {
 		aoff[f+1]++
 	}
 	for i := 0; i < vc; i++ {
 		aoff[i+1] += aoff[i]
 	}
-	adj := make([]int32, len(efrom))
-	afill := make([]int32, vc)
+	adj := a.I32(len(efrom))
+	afill := a.I32(vc)
 	copy(afill, aoff[:vc])
 	for i, f := range efrom {
 		adj[afill[f]] = eto[i]
@@ -383,36 +447,38 @@ func condense(vc int, efrom, eto []int32) (scc []int32, nscc int) {
 	}
 
 	const unvisited = -1
-	index := make([]int32, vc)
-	low := make([]int32, vc)
-	onStack := make([]bool, vc)
+	index := a.I32(vc)
+	low := a.I32(vc)
+	onStack := a.Bool(vc)
 	for i := range index {
 		index[i] = unvisited
 	}
-	scc = make([]int32, vc)
-	stack := make([]int32, 0, vc)
+	scc = a.I32(vc)
+	stack := a.I32(vc)[:0]
 	// Explicit DFS frames: node and the next adjacency slot to explore.
-	type frame struct{ n, slot int32 }
-	var frames []frame
+	frameN := a.I32(vc)[:0]
+	frameSlot := a.I32(vc)[:0]
 	var counter int32
 
 	for root := int32(0); root < int32(vc); root++ {
 		if index[root] != unvisited {
 			continue
 		}
-		frames = append(frames[:0], frame{root, aoff[root]})
+		frameN = append(frameN[:0], root)
+		frameSlot = append(frameSlot[:0], aoff[root])
 		index[root], low[root] = counter, counter
 		counter++
 		stack = append(stack, root)
 		onStack[root] = true
-		for len(frames) > 0 {
-			fr := &frames[len(frames)-1]
-			n := fr.n
-			if fr.slot < aoff[n+1] {
-				m := adj[fr.slot]
-				fr.slot++
+		for len(frameN) > 0 {
+			top := len(frameN) - 1
+			n := frameN[top]
+			if frameSlot[top] < aoff[n+1] {
+				m := adj[frameSlot[top]]
+				frameSlot[top]++
 				if index[m] == unvisited {
-					frames = append(frames, frame{m, aoff[m]})
+					frameN = append(frameN, m)
+					frameSlot = append(frameSlot, aoff[m])
 					index[m], low[m] = counter, counter
 					counter++
 					stack = append(stack, m)
@@ -422,9 +488,10 @@ func condense(vc int, efrom, eto []int32) (scc []int32, nscc int) {
 				}
 				continue
 			}
-			frames = frames[:len(frames)-1]
-			if len(frames) > 0 {
-				if p := frames[len(frames)-1].n; low[n] < low[p] {
+			frameN = frameN[:top]
+			frameSlot = frameSlot[:top]
+			if top > 0 {
+				if p := frameN[top-1]; low[n] < low[p] {
 					low[p] = low[n]
 				}
 			}
@@ -448,22 +515,26 @@ func condense(vc int, efrom, eto []int32) (scc []int32, nscc int) {
 	for i := range scc {
 		scc[i] = int32(nscc-1) - scc[i]
 	}
+	a.ReleaseI32(aoff)
+	a.ReleaseI32(adj)
+	a.ReleaseI32(afill)
+	a.ReleaseI32(index)
+	a.ReleaseI32(low)
+	a.ReleaseI32(stack[:0])
+	a.ReleaseI32(frameN[:0])
+	a.ReleaseI32(frameSlot[:0])
 	return scc, nscc
 }
 
-// splice replays the original nodes in priority order (a valid
-// topological order) with each node pinned to its super-cluster's
-// processor: start = max(processor ready time, latest parent arrival),
-// communication charged only across processors. A fixed-assignment
-// list schedule — every blocking chain charges each node and edge at
-// most once, so the makespan is ≤ TotalWork + TotalComm.
-func splice(c *dag.CSR, prio []int32, super []int32, inner *sched.Schedule, procs int) *sched.Flat {
+// spliceAssign fills f's shape and the per-node processor pin from the
+// inner schedule, returning the processor count P the splice schedules
+// onto: procs when given, one past the highest pinned processor when
+// procs <= 0.
+func spliceAssign(c *dag.CSR, super []int32, inner *sched.Schedule, procs int, f *sched.Flat, a *dag.ScaleArena) int {
 	v := c.NumNodes()
-	f := &sched.Flat{
-		Assign: make([]int32, v),
-		Start:  make([]float64, v),
-		Finish: make([]float64, v),
-	}
+	f.Assign = a.I32(v)
+	f.Start = a.F64(v)
+	f.Finish = a.F64(v)
 	maxProc := 0
 	for n := 0; n < v; n++ {
 		p := inner.Proc(dag.NodeID(super[n]))
@@ -476,7 +547,18 @@ func splice(c *dag.CSR, prio []int32, super []int32, inner *sched.Schedule, proc
 	if procs <= 0 {
 		f.Procs = maxProc + 1
 	}
-	ready := make([]float64, maxProc+1)
+	return f.Procs
+}
+
+// splicePinned replays the original nodes in priority order (a valid
+// topological order) with each node pinned to its super-cluster's
+// processor: start = max(processor ready time, latest parent arrival),
+// communication charged only across processors. A fixed-assignment
+// list schedule — every blocking chain charges each node and edge at
+// most once, so the makespan is ≤ TotalWork + TotalComm.
+func splicePinned(c *dag.CSR, prio []int32, super []int32, inner *sched.Schedule, procs int, f *sched.Flat, a *dag.ScaleArena) {
+	P := spliceAssign(c, super, inner, procs, f, a)
+	ready := a.F64(P)
 	for _, n := range prio {
 		p := f.Assign[n]
 		start := ready[p]
@@ -494,5 +576,102 @@ func splice(c *dag.CSR, prio []int32, super []int32, inner *sched.Schedule, proc
 		f.Finish[n] = start + c.NodeW[n]
 		ready[p] = f.Finish[n]
 	}
-	return f
+	a.ReleaseF64(ready)
+}
+
+// spliceBalanced is the work-stealing splice: the same priority-order
+// replay as splicePinned, but a node whose pinned processor is the
+// bottleneck — its queue delays it beyond its data arrival — is stolen
+// onto the processor where it starts strictly earliest, communication
+// recharged accordingly. Each node's candidate start on every
+// processor is evaluated in O(deg + P) via a three-term decomposition
+// of the data-arrival max, so the pass stays O(e + v·P).
+//
+// Determinism: the replay is sequential in priority order (the node's
+// position is its stamp), the pinned processor wins ties, and among
+// strictly better processors the lowest index wins — so the schedule
+// is a pure function of the CSR and the inner schedule, bit-identical
+// regardless of GOMAXPROCS. The envelope argument of splicePinned
+// still applies: the schedule is append-only per processor and every
+// start equals either its processor's previous finish or a parent's
+// arrival, so blocking chains charge each node and edge at most once
+// and the makespan stays ≤ TotalWork + TotalComm.
+func spliceBalanced(c *dag.CSR, prio []int32, super []int32, inner *sched.Schedule, procs int, f *sched.Flat, a *dag.ScaleArena) {
+	P := spliceAssign(c, super, inner, procs, f, a)
+	ready := a.F64(P)
+	// Per-node scratch for the arrival decomposition, stamp-validated so
+	// it never needs clearing between nodes.
+	localMax := a.F64(P)   // max parent finish per processor (no comm)
+	localStamp := a.I32(P) // node stamp for localMax validity
+	for i := range localStamp {
+		localStamp[i] = -1
+	}
+	for stamp, n := range prio {
+		p := f.Assign[n]
+		// Decompose data arrival: for candidate processor q,
+		//   dat(q) = max( localMax[q],  q == m1p ? m2 : m1 )
+		// where m1 is the max remote-charged arrival (finish + comm) over
+		// all parents, m1p the processor of the first parent achieving it,
+		// and m2 the max over parents on other processors than m1p.
+		var m1, m2 float64
+		m1p := int32(-1)
+		for s := c.PredOff[n]; s < c.PredOff[n+1]; s++ {
+			from := c.PredFrom[s]
+			fp := f.Assign[from]
+			arr := f.Finish[from] + c.PredW[s]
+			if arr > m1 || m1p < 0 {
+				if m1p >= 0 && fp != m1p && m1 > m2 {
+					m2 = m1
+				}
+				m1, m1p = arr, fp
+			} else if fp != m1p && arr > m2 {
+				m2 = arr
+			}
+			if localStamp[fp] != int32(stamp) {
+				localStamp[fp] = int32(stamp)
+				localMax[fp] = f.Finish[from]
+			} else if f.Finish[from] > localMax[fp] {
+				localMax[fp] = f.Finish[from]
+			}
+		}
+		dat := func(q int32) float64 {
+			d := m1
+			if q == m1p {
+				d = m2
+			}
+			if localStamp[q] == int32(stamp) && localMax[q] > d {
+				d = localMax[q]
+			}
+			return d
+		}
+		datP := dat(p)
+		best, bestStart := p, ready[p]
+		if bestStart < datP {
+			bestStart = datP
+		}
+		if ready[p] > datP {
+			// The pinned processor, not the data, is the bottleneck: the
+			// EST frontier has slack somewhere. Steal to the strictly
+			// earliest start; lowest processor index breaks ties.
+			for q := int32(0); q < int32(P); q++ {
+				if q == p {
+					continue
+				}
+				st := dat(q)
+				if r := ready[q]; r > st {
+					st = r
+				}
+				if st < bestStart {
+					best, bestStart = q, st
+				}
+			}
+		}
+		f.Assign[n] = best
+		f.Start[n] = bestStart
+		f.Finish[n] = bestStart + c.NodeW[n]
+		ready[best] = f.Finish[n]
+	}
+	a.ReleaseF64(ready)
+	a.ReleaseF64(localMax)
+	a.ReleaseI32(localStamp)
 }

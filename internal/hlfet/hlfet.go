@@ -11,6 +11,7 @@ package hlfet
 
 import (
 	"errors"
+	"math"
 
 	"fastsched/internal/dag"
 	"fastsched/internal/listsched"
@@ -47,6 +48,100 @@ func (*Scheduler) ScheduleCompiled(cg *plan.CompiledGraph, procs int) (*sched.Sc
 		return nil, errors.New("hlfet: empty graph")
 	}
 	return scheduleWithLevels(cg.Graph, cg.Levels, procs)
+}
+
+// ScheduleCSR is the CSR-only entry point: static levels come from a
+// compact plan (plan.CompileCompact) and the whole run touches nothing
+// but flat arrays — no *dag.Graph, no *sched.Schedule, no per-node
+// maps. The result is bit-identical to Schedule on the same graph:
+// the static-level fold, the ready-node max scan, the per-processor
+// DAT folds and every tie-break replicate the legacy path's visit
+// order exactly (pinned by TestScheduleCSRBitIdentical). procs <= 0 is
+// treated as one processor per node.
+func (*Scheduler) ScheduleCSR(c *dag.CSR, procs int) (*sched.Flat, error) {
+	v := c.NumNodes()
+	if v == 0 {
+		return nil, errors.New("hlfet: empty graph")
+	}
+	cp, err := plan.CompileCompact(c, nil)
+	if err != nil {
+		return nil, err
+	}
+	static := cp.Static()
+	if procs <= 0 {
+		procs = v
+	}
+	f := &sched.Flat{
+		Algorithm: "HLFET",
+		Procs:     procs,
+		Assign:    make([]int32, v),
+		Start:     make([]float64, v),
+		Finish:    make([]float64, v),
+	}
+	unschedParents := make([]int32, v)
+	ready := make([]bool, v)
+	readyCount := 0
+	for n := 0; n < v; n++ {
+		unschedParents[n] = c.PredOff[n+1] - c.PredOff[n]
+		if unschedParents[n] == 0 {
+			ready[n] = true
+			readyCount++
+		}
+	}
+	procReady := make([]float64, procs) // append-only timelines: last finish
+	for scheduled := 0; scheduled < v; scheduled++ {
+		if readyCount == 0 {
+			return nil, errors.New("hlfet: no ready node (cyclic graph?)")
+		}
+		listsched.ObserveReadyList(readyCount)
+		// Highest static level among ready nodes; ties to smaller ID.
+		best := -1
+		for n := 0; n < v; n++ {
+			if !ready[n] {
+				continue
+			}
+			if best < 0 || static[n] > static[best] {
+				best = n
+			}
+		}
+		// Earliest-start processor for that node, scan order breaks
+		// ties — the same max fold per processor the DATCache collapses,
+		// in the same pred slot order.
+		proc, start := -1, 0.0
+		for p := 0; p < procs; p++ {
+			dat := 0.0
+			for s := c.PredOff[best]; s < c.PredOff[best+1]; s++ {
+				from := c.PredFrom[s]
+				arr := f.Finish[from]
+				if f.Assign[from] != int32(p) {
+					arr += c.PredW[s]
+				}
+				if arr > dat {
+					dat = arr
+				}
+			}
+			st := math.Max(procReady[p], dat)
+			if proc == -1 || st < start {
+				proc, start = p, st
+			}
+		}
+		w := c.NodeW[best]
+		f.Assign[best] = int32(proc)
+		f.Start[best] = start
+		f.Finish[best] = start + w
+		procReady[proc] = start + w
+		ready[best] = false
+		readyCount--
+		for s := c.SuccOff[best]; s < c.SuccOff[best+1]; s++ {
+			to := c.SuccTo[s]
+			unschedParents[to]--
+			if unschedParents[to] == 0 {
+				ready[to] = true
+				readyCount++
+			}
+		}
+	}
+	return f, nil
 }
 
 func scheduleWithLevels(g *dag.Graph, l *dag.Levels, procs int) (*sched.Schedule, error) {

@@ -7,6 +7,7 @@ import (
 	"fastsched/internal/example"
 	"fastsched/internal/sched"
 	"fastsched/internal/schedtest"
+	"fastsched/internal/workload"
 )
 
 func TestConformance(t *testing.T) {
@@ -63,5 +64,45 @@ func TestPlacementAvoidsComm(t *testing.T) {
 	}
 	if s.Proc(a) != s.Proc(b) || s.Length() != 2 {
 		t.Fatalf("placement paid the message: %v", s.Length())
+	}
+}
+
+// TestScheduleCSRBitIdentical pins the CSR-only path against the
+// legacy *dag.Graph path: same assignments, same start/finish times,
+// bit for bit, across shapes, sizes and processor counts — including
+// procs <= 0 (one processor per node).
+func TestScheduleCSRBitIdentical(t *testing.T) {
+	graphs := []*dag.Graph{example.Graph()}
+	for seed := int64(1); seed <= 6; seed++ {
+		g, err := workload.Random(workload.RandomOpts{V: 40, Seed: seed, MeanInDegree: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	lg, err := workload.LayeredCSR(workload.LayeredOpts{V: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, lg.ToGraph())
+	for gi, g := range graphs {
+		for _, procs := range []int{-1, 1, 2, 4, 7} {
+			want, err := New().Schedule(g, procs)
+			if err != nil {
+				t.Fatalf("graph %d procs %d: legacy: %v", gi, procs, err)
+			}
+			f, err := New().ScheduleCSR(dag.BuildCSR(g), procs)
+			if err != nil {
+				t.Fatalf("graph %d procs %d: csr: %v", gi, procs, err)
+			}
+			for n := 0; n < g.NumNodes(); n++ {
+				id := dag.NodeID(n)
+				pl := want.Of(id)
+				if int(f.Assign[n]) != pl.Proc || f.Start[n] != pl.Start || f.Finish[n] != pl.Finish {
+					t.Fatalf("graph %d procs %d node %d: csr (%d, %v, %v) vs legacy (%d, %v, %v)",
+						gi, procs, n, f.Assign[n], f.Start[n], f.Finish[n], pl.Proc, pl.Start, pl.Finish)
+				}
+			}
+		}
 	}
 }

@@ -35,6 +35,31 @@ func (f *Flat) Length() float64 {
 	return max
 }
 
+// Balance returns the load-balance ratio max busy-time / mean
+// busy-time across the schedule's Procs processors (idle processors
+// count toward the mean): 1.0 is a perfectly even spread, Procs is one
+// processor carrying everything. Returns 1 for an empty schedule.
+func (f *Flat) Balance() float64 {
+	if f.Procs <= 0 {
+		return 1
+	}
+	busy := make([]float64, f.Procs)
+	var total, max float64
+	for n, p := range f.Assign {
+		busy[p] += f.Finish[n] - f.Start[n]
+	}
+	for _, b := range busy {
+		total += b
+		if b > max {
+			max = b
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return max / (total / float64(f.Procs))
+}
+
 // ProcsUsed returns the number of distinct processors with work.
 func (f *Flat) ProcsUsed() int {
 	used := make([]bool, f.Procs)

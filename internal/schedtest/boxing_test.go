@@ -41,21 +41,21 @@ var corpusOptima = map[string]float64{
 }
 
 var corpusHeuristics = map[string][3]float64{ // fast, fast-hier, pfast
-	"layered/v25/seed1": {68, 121, 67},
-	"layered/v25/seed2": {74, 83, 74},
-	"layered/v25/seed3": {66, 69, 62},
-	"layered/v25/seed4": {77, 107, 74},
-	"layered/v25/seed7": {72, 98, 67},
-	"forkjoin/w18c3":    {32, 38, 32},
-	"forkjoin/w18c6":    {32, 38, 32},
-	"forkjoin/w20c5":    {36, 42, 36},
-	"forkjoin/w23c3":    {42, 48, 42},
-	"forkjoin/w23c7":    {42, 48, 42},
-	"random/v22/seed1":  {59, 103, 59},
-	"random/v22/seed4":  {66, 105, 60},
-	"random/v22/seed6":  {66, 118, 66},
-	"random/v22/seed7":  {56, 90, 56},
-	"random/v22/seed8":  {64, 98, 64},
+	"layered/v25/seed1": {68, 99, 67},
+	"layered/v25/seed2": {74, 74, 74},
+	"layered/v25/seed3": {66, 53, 62},
+	"layered/v25/seed4": {77, 74, 74},
+	"layered/v25/seed7": {72, 85, 67},
+	"forkjoin/w18c3":    {32, 16, 32},
+	"forkjoin/w18c6":    {32, 22, 32},
+	"forkjoin/w20c5":    {36, 22, 36},
+	"forkjoin/w23c3":    {42, 20, 42},
+	"forkjoin/w23c7":    {42, 26, 42},
+	"random/v22/seed1":  {59, 62, 59},
+	"random/v22/seed4":  {66, 66, 60},
+	"random/v22/seed6":  {66, 68, 66},
+	"random/v22/seed7":  {56, 56, 56},
+	"random/v22/seed8":  {64, 68, 64},
 }
 
 // TestOracleCorpusBoxing proves every corpus optimum, checks it against

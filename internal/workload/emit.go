@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteLayeredEdgeList streams the generated graph to w in the
+// dag.StreamEdgeList text format ("v <count>", then interleaved
+// "n <weight>" / "e <from> <to> <weight>" lines). Each line is
+// assembled with strconv append calls into one reusable buffer — no
+// fmt, no per-line allocation — producing bytes identical to the
+// fmt.Fprintf("%d"/"%g") emitter it replaces (pinned by
+// TestWriteLayeredEdgeListMatchesFmt). Returns the node and edge
+// counts actually emitted.
+func WriteLayeredEdgeList(w io.Writer, opts LayeredOpts) (nodes, edges int, err error) {
+	if err := opts.fill(); err != nil {
+		return 0, 0, err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	buf := make([]byte, 0, 64)
+	buf = append(buf, 'v', ' ')
+	buf = strconv.AppendInt(buf, int64(opts.V), 10)
+	buf = append(buf, '\n')
+	if _, err := bw.Write(buf); err != nil {
+		return 0, 0, err
+	}
+	err = Layered(opts,
+		func(_ int32, wt float64) error {
+			buf = append(buf[:0], 'n', ' ')
+			buf = strconv.AppendFloat(buf, wt, 'g', -1, 64)
+			buf = append(buf, '\n')
+			nodes++
+			_, err := bw.Write(buf)
+			return err
+		},
+		func(from, to int32, wt float64) error {
+			buf = append(buf[:0], 'e', ' ')
+			buf = strconv.AppendInt(buf, int64(from), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(to), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendFloat(buf, wt, 'g', -1, 64)
+			buf = append(buf, '\n')
+			edges++
+			_, err := bw.Write(buf)
+			return err
+		})
+	if err != nil {
+		return nodes, edges, err
+	}
+	return nodes, edges, bw.Flush()
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fastsched/internal/dag"
+)
+
+// TestWriteLayeredEdgeListMatchesFmt pins the allocation-free emitter
+// byte for byte against the fmt-based formatting it replaces.
+func TestWriteLayeredEdgeListMatchesFmt(t *testing.T) {
+	opts := LayeredOpts{V: 2000, Seed: 42, Width: 50, MaxEdgeWeight: 3}
+	var want bytes.Buffer
+	fmt.Fprintf(&want, "v %d\n", 2000)
+	err := Layered(opts,
+		func(_ int32, w float64) error {
+			_, err := fmt.Fprintf(&want, "n %g\n", w)
+			return err
+		},
+		func(from, to int32, w float64) error {
+			_, err := fmt.Fprintf(&want, "e %d %d %g\n", from, to, w)
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	nodes, edges, err := WriteLayeredEdgeList(&got, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes != 2000 {
+		t.Fatalf("emitted %d nodes, want 2000", nodes)
+	}
+	if edges == 0 {
+		t.Fatal("no edges emitted")
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("emitter output diverges from fmt formatting (lengths %d vs %d)",
+			want.Len(), got.Len())
+	}
+}
+
+// TestWriteLayeredEdgeListRoundTrips checks the emitted text parses
+// into the same CSR LayeredCSR builds in process.
+func TestWriteLayeredEdgeListRoundTrips(t *testing.T) {
+	opts := LayeredOpts{V: 500, Seed: 7}
+	var buf bytes.Buffer
+	if _, _, err := WriteLayeredEdgeList(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dag.StreamEdgeList(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := LayeredCSR(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape (%d,%d) vs (%d,%d)", got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	for n := 0; n < want.NumNodes(); n++ {
+		if got.NodeW[n] != want.NodeW[n] {
+			t.Fatalf("node %d weight %v vs %v", n, got.NodeW[n], want.NodeW[n])
+		}
+		for s := want.PredOff[n]; s < want.PredOff[n+1]; s++ {
+			if got.PredFrom[s] != want.PredFrom[s] || got.PredW[s] != want.PredW[s] {
+				t.Fatalf("pred slot %d of node %d diverges", s, n)
+			}
+		}
+	}
+}

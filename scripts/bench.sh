@@ -139,11 +139,13 @@ echo "wrote $TOUT"
 #
 # The million-node serving path: layered DAGs at v = 10⁴, 10⁵, 10⁶
 # streamed through the edge-list reader into CSR arenas and scheduled
-# with hierarchical FAST. Records ns/op, allocs/op and the peak
-# live-heap bytes per node observed at stage boundaries (the number the
-# arena design is accountable to — the target is ≤ ~200 B/node). Each
-# size runs -benchtime 1x: one iteration is the honest shape of a batch
-# load-and-schedule, and the 10⁶ case costs seconds per sample.
+# with hierarchical FAST. Each size reports three measurement modes
+# (see BenchmarkScale): the nil-arena single shot's peak-B/node and
+# splice balances, the fresh-arena cold-allocs/node, and the timed
+# warm serving loop's ns/op + warm-allocs/node. The benchmark does its
+# own warm-up pass and forced GC before the timed region, so the timed
+# loop measures the allocation-flat warm path and run-to-run variance
+# collapses to host drift; the derived summaries below use best-of-N.
 
 SOUT="${SOUT:-BENCH_scale.json}"
 SCOUNT="${SCOUNT:-3}"
@@ -151,20 +153,23 @@ SCOUNT="${SCOUNT:-3}"
 scaleraw="$(go test -run '^$' -bench 'BenchmarkScale/' -benchmem -benchtime 1x -timeout 900s -count="$SCOUNT" ./internal/fast)"
 echo "$scaleraw"
 
-# Benchmark lines carry the custom metric between ns/op and B/op:
-#   BenchmarkScale/v-10000-1  1  36658427 ns/op  160.5 peak-B/node  15718176 B/op  276790 allocs/op
+# Benchmark lines carry (value, unit) pairs after the iteration count,
+# with custom metrics sorted alphabetically between ns/op and B/op —
+# positions are not fixed, so scan the pairs by unit name:
+#   BenchmarkScale/v=10000-1  1  18665879 ns/op  1.000 balance  7.969 balance-pinned  0.046 cold-allocs/node  160.5 peak-B/node  0.036 warm-allocs/node  1093664 B/op  359 allocs/op
 echo "$scaleraw" | awk -v count="$SCOUNT" -v goversion="$(go version)" -v ncpu="$(nproc)" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^BenchmarkScale\// {
     name = $1
     sub(/-[0-9]+$/, "", name)
     if (!(name in seen)) { seen[name] = 1; order[++n] = name }
-    ns[name] = ns[name] sep[name] $3
-    peak[name] = peak[name] sep[name] $5
-    allocs[name] = allocs[name] sep[name] $9
-    sep[name] = ", "
-    if (minns[name] == "" || $3 + 0 < minns[name] + 0) minns[name] = $3 + 0
-    if (minpeak[name] == "" || $5 + 0 < minpeak[name] + 0) minpeak[name] = $5 + 0
+    for (i = 3; i < NF; i += 2) {
+        v = $i + 0
+        u = $(i + 1)
+        arr[name, u] = arr[name, u] sep[name, u] $i
+        sep[name, u] = ", "
+        if (minv[name, u] == "" || v < minv[name, u] + 0) minv[name, u] = v
+    }
 }
 END {
     printf "{\n"
@@ -176,8 +181,10 @@ END {
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
-        printf "    {\"name\": \"%s\", \"ns_per_op\": [%s], \"peak_b_per_node\": [%s], \"allocs_per_op\": [%s]}%s\n",
-            name, ns[name], peak[name], allocs[name], i < n ? "," : ""
+        printf "    {\"name\": \"%s\", \"ns_per_op\": [%s], \"peak_b_per_node\": [%s], \"allocs_per_op\": [%s], \"cold_allocs_per_node\": [%s], \"warm_allocs_per_node\": [%s], \"balance\": [%s], \"balance_pinned\": [%s]}%s\n",
+            name, arr[name, "ns/op"], arr[name, "peak-B/node"], arr[name, "allocs/op"],
+            arr[name, "cold-allocs/node"], arr[name, "warm-allocs/node"],
+            arr[name, "balance"], arr[name, "balance-pinned"], i < n ? "," : ""
     }
     printf "  ],\n"
     printf "  \"peak_b_per_node\": {\n"
@@ -185,7 +192,7 @@ END {
         name = order[i]
         v = name
         sub(/.*\/v=/, "", v)
-        printf "    \"v=%s\": %.1f%s\n", v, minpeak[name], i < n ? "," : ""
+        printf "    \"v=%s\": %.1f%s\n", v, minv[name, "peak-B/node"], i < n ? "," : ""
     }
     printf "  },\n"
     printf "  \"seconds_per_op\": {\n"
@@ -193,7 +200,25 @@ END {
         name = order[i]
         v = name
         sub(/.*\/v=/, "", v)
-        printf "    \"v=%s\": %.3f%s\n", v, minns[name] / 1e9, i < n ? "," : ""
+        printf "    \"v=%s\": %.3f%s\n", v, minv[name, "ns/op"] / 1e9, i < n ? "," : ""
+    }
+    printf "  },\n"
+    printf "  \"allocs_per_node\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        v = name
+        sub(/.*\/v=/, "", v)
+        printf "    \"v=%s\": {\"cold\": %.4f, \"warm\": %.4f}%s\n",
+            v, minv[name, "cold-allocs/node"], minv[name, "warm-allocs/node"], i < n ? "," : ""
+    }
+    printf "  },\n"
+    printf "  \"balance\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        v = name
+        sub(/.*\/v=/, "", v)
+        printf "    \"v=%s\": {\"balanced\": %.3f, \"pinned\": %.3f}%s\n",
+            v, minv[name, "balance"], minv[name, "balance-pinned"], i < n ? "," : ""
     }
     printf "  }\n"
     printf "}\n"

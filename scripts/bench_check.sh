@@ -212,17 +212,29 @@ END {
 # Re-runs the v=10⁵ scale benchmark only (the 10⁶ case costs seconds
 # per sample and scales the same arenas; 10⁵ catches any per-node
 # regression at a fraction of the gate's wall time) and checks:
-#   1. peak-B/node has not grown more than SCALE_THRESHOLD% — heap
-#      footprint is deterministic per (workload, code) pair, immune to
-#      host drift, so the gate stays tight at 15%;
-#   2. allocs/op has not grown more than SCALE_THRESHOLD% — also
-#      deterministic, same 15%;
-#   3. ns/op has not regressed more than SCALE_NS_THRESHOLD% — an
-#      absolute-time gate shares the 30% host-drift sizing documented
-#      at the top of this file.
+#   1. peak-B/node has not grown more than SCALE_THRESHOLD% against
+#      the baseline AND stays at or under SCALE_PEAK_MAX absolute —
+#      heap footprint is deterministic per (workload, code) pair,
+#      immune to host drift, so both stay tight;
+#   2. warm-loop allocs/op has not grown more than SCALE_THRESHOLD% —
+#      also deterministic, same 15%;
+#   3. ns/op (best-of-N, warm serving loop) has not regressed more than
+#      SCALE_NS_THRESHOLD% — an absolute-time gate shares the 30%
+#      host-drift sizing documented at the top of this file;
+#   4. cold-allocs/node <= SCALE_COLD_MAX and warm-allocs/node <
+#      SCALE_WARM_MAX — the arena's allocation-flat contract in
+#      absolute terms;
+#   5. balance <= SCALE_BALANCE_MAX AND balance <= SCALE_BALANCE_RATIO
+#      x balance-pinned — the work-stealing splice must both meet the
+#      1.5 max/mean busy-time bound and beat the pinned splice by >=25%.
 
 SCALE_THRESHOLD="${SCALE_THRESHOLD:-15}"
 SCALE_NS_THRESHOLD="${SCALE_NS_THRESHOLD:-30}"
+SCALE_PEAK_MAX="${SCALE_PEAK_MAX:-157}"
+SCALE_COLD_MAX="${SCALE_COLD_MAX:-4}"
+SCALE_WARM_MAX="${SCALE_WARM_MAX:-0.5}"
+SCALE_BALANCE_MAX="${SCALE_BALANCE_MAX:-1.5}"
+SCALE_BALANCE_RATIO="${SCALE_BALANCE_RATIO:-0.75}"
 SBASELINE="${SBASELINE:-BENCH_scale.json}"
 SBENCH='BenchmarkScale/v=100000$'
 
@@ -231,7 +243,7 @@ if [ ! -f "$SBASELINE" ]; then
     exit 1
 fi
 
-echo "== scale check vs ${SBASELINE} (mem/allocs ${SCALE_THRESHOLD}%, ns ${SCALE_NS_THRESHOLD}%)"
+echo "== scale check vs ${SBASELINE} (mem/allocs ${SCALE_THRESHOLD}%, ns ${SCALE_NS_THRESHOLD}%, peak <= ${SCALE_PEAK_MAX} B/node, cold <= ${SCALE_COLD_MAX}, warm < ${SCALE_WARM_MAX}, balance <= ${SCALE_BALANCE_MAX})"
 sraw="$(go test -run '^$' -bench "$SBENCH" -benchmem -benchtime 1x -timeout 300s -count="$COUNT" ./internal/fast)"
 echo "$sraw"
 
@@ -260,7 +272,11 @@ sbase="$(awk '
     printf "%s %d %.1f %d\n", name, minns, minpk, minal
 }' "$SBASELINE")"
 
-echo "$sraw" | awk -v sthreshold="$SCALE_THRESHOLD" -v nsthreshold="$SCALE_NS_THRESHOLD" -v baseline="$sbase" '
+# Current run: benchmark lines carry (value, unit) pairs with custom
+# metrics sorted alphabetically — scan by unit name, keep best-of-N.
+echo "$sraw" | awk -v sthreshold="$SCALE_THRESHOLD" -v nsthreshold="$SCALE_NS_THRESHOLD" \
+    -v peakmax="$SCALE_PEAK_MAX" -v coldmax="$SCALE_COLD_MAX" -v warmmax="$SCALE_WARM_MAX" \
+    -v balmax="$SCALE_BALANCE_MAX" -v balratio="$SCALE_BALANCE_RATIO" -v baseline="$sbase" '
 BEGIN {
     n = split(baseline, lines, "\n")
     for (i = 1; i <= n; i++) {
@@ -273,9 +289,11 @@ BEGIN {
 /^BenchmarkScale\// {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    if (curns[name] == "" || $3 + 0 < curns[name] + 0) curns[name] = $3 + 0
-    if (curpk[name] == "" || $5 + 0 < curpk[name] + 0) curpk[name] = $5 + 0
-    if (cural[name] == "" || $9 + 0 < cural[name] + 0) cural[name] = $9 + 0
+    for (i = 3; i < NF; i += 2) {
+        v = $i + 0
+        u = $(i + 1)
+        if (minv[name, u] == "" || v < minv[name, u] + 0) minv[name, u] = v
+    }
     target = name
 }
 END {
@@ -284,18 +302,41 @@ END {
         exit 1
     }
     fail = 0
-    pdelta = 100 * (curpk[target] - basepk[target]) / basepk[target]
+    curpk = minv[target, "peak-B/node"] + 0
+    cural = minv[target, "allocs/op"] + 0
+    curns = minv[target, "ns/op"] + 0
+    curcold = minv[target, "cold-allocs/node"] + 0
+    curwarm = minv[target, "warm-allocs/node"] + 0
+    curbal = minv[target, "balance"] + 0
+    curbalpin = minv[target, "balance-pinned"] + 0
+    # 1. peak: relative and absolute.
+    pdelta = 100 * (curpk - basepk[target]) / basepk[target]
     verdict = "ok"; if (pdelta > sthreshold) { verdict = "REGRESSED"; fail = 1 }
     printf "%-36s base %9.1f B/node  now %9.1f B/node  %+7.1f%%  %s\n",
-        target " peak", basepk[target], curpk[target], pdelta, verdict
-    adelta = 100 * (cural[target] - baseal[target]) / baseal[target]
+        target " peak", basepk[target], curpk, pdelta, verdict
+    verdict = "ok"; if (curpk > peakmax + 0) { verdict = "ABOVE CAP"; fail = 1 }
+    printf "%-36s %9.1f B/node (cap %.0f)  %s\n", target " peak cap", curpk, peakmax, verdict
+    # 2. warm-loop allocs/op.
+    adelta = 100 * (cural - baseal[target]) / baseal[target]
     verdict = "ok"; if (adelta > sthreshold) { verdict = "REGRESSED"; fail = 1 }
     printf "%-36s base %9d allocs  now %9d allocs  %+7.1f%%  %s\n",
-        target " allocs", baseal[target], cural[target], adelta, verdict
-    ndelta = 100 * (curns[target] - basens[target]) / basens[target]
+        target " allocs", baseal[target], cural, adelta, verdict
+    # 3. warm-loop time.
+    ndelta = 100 * (curns - basens[target]) / basens[target]
     verdict = "ok"; if (ndelta > nsthreshold) { verdict = "REGRESSED"; fail = 1 }
     printf "%-36s base %9d ns/op  now %9d ns/op  %+7.1f%%  %s\n",
-        target " time", basens[target], curns[target], ndelta, verdict
+        target " time", basens[target], curns, ndelta, verdict
+    # 4. absolute allocation-flat contract.
+    verdict = "ok"; if (curcold > coldmax + 0) { verdict = "ABOVE CAP"; fail = 1 }
+    printf "%-36s %9.4f allocs/node (cap %.1f)  %s\n", target " cold", curcold, coldmax, verdict
+    verdict = "ok"; if (curwarm >= warmmax + 0) { verdict = "ABOVE CAP"; fail = 1 }
+    printf "%-36s %9.4f allocs/node (cap %.1f)  %s\n", target " warm", curwarm, warmmax, verdict
+    # 5. splice balance: absolute bound and win over the pinned splice.
+    verdict = "ok"; if (curbal > balmax + 0) { verdict = "ABOVE CAP"; fail = 1 }
+    printf "%-36s %9.3f max/mean busy (cap %.2f)  %s\n", target " balance", curbal, balmax, verdict
+    verdict = "ok"; if (curbalpin <= 0 || curbal > balratio * curbalpin) { verdict = "BELOW GATE"; fail = 1 }
+    printf "%-36s %9.3f vs pinned %.3f (gate <= %.2fx)  %s\n",
+        target " balance vs pinned", curbal, curbalpin, balratio, verdict
     if (fail) {
         print "bench_check.sh: scale gate failed — investigate or re-baseline with scripts/bench.sh" > "/dev/stderr"
         exit 1

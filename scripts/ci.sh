@@ -35,9 +35,19 @@ echo "== streaming scale smoke (v=100000, race)"
 # from a generator goroutine through a pipe into the edge-list reader,
 # scheduled hierarchically, and flat-validated — under the race
 # detector, at 5x the default test size. The generator/parser pipe is
-# the one genuinely concurrent stage of the ingest path.
+# the one genuinely concurrent stage of the ingest path. TestScaleSmoke
+# also asserts the balanced splice's max/mean PE busy-time bound (1.5),
+# so the one-PE-dominates regression fails here, at scale, under race.
+# TestScaleArenaWarmZeroAllocs skips itself under -race (instrumentation
+# allocates), hence the separate non-race invocation below.
 FASTSCHED_SCALE_V=100000 go test -race -timeout 300s \
-    -run 'TestScaleSmoke|TestValidateFlatBig' ./internal/fast ./internal/sched
+    -run 'TestScaleSmoke|TestScaleArenaWarmZeroAllocs|TestValidateFlatBig' ./internal/fast ./internal/sched
+
+echo "== arena warm-path zero-alloc gate"
+# The tentpole's allocation contract, enforced: after one cold pass the
+# arena kernels (streaming parse, compact levels, classification,
+# priority order, clustering) run with exactly zero allocations.
+go test -timeout 120s -run 'TestScaleArenaWarmZeroAllocs' ./internal/fast
 
 echo "== schedd smoke (race)"
 # The serving-layer lifecycle under the race detector: daemon start,
